@@ -1,0 +1,14 @@
+//! Regenerates the design-space ablations. Scale comes from
+//! `INSITU_SCALE` (default `fast`).
+
+use insitu_experiments::{ablations, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    println!("# scale = {scale}\n");
+    println!("{}", ablations::diagnosis_policy(scale, seed).expect("policy").table());
+    println!("{}", ablations::share_depth(scale, seed).expect("share depth").table());
+    println!("{}", ablations::wss_group().expect("wss group").table());
+    println!("{}", ablations::permutation_set(scale, seed).expect("perm set").table());
+}

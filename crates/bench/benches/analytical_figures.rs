@@ -1,0 +1,16 @@
+//! Regenerates the analytical-model figures of the evaluation:
+//! Fig. 11, 12, 14, 15, 16, 21, 22, 23. These take milliseconds, so
+//! they always run in full.
+
+use insitu_experiments::{fig11, fig12, fig14, fig15, fig16, fig21, fig22, fig23};
+
+fn main() {
+    println!("{}", fig11::run().expect("fig11").table());
+    println!("{}", fig12::run().expect("fig12").table());
+    println!("{}", fig14::run().expect("fig14").table());
+    println!("{}", fig15::run().expect("fig15").table());
+    println!("{}", fig16::run().expect("fig16").table());
+    println!("{}", fig21::run().expect("fig21").table());
+    println!("{}", fig22::run().expect("fig22").table());
+    println!("{}", fig23::run().expect("fig23").table());
+}

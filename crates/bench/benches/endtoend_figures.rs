@@ -1,0 +1,15 @@
+//! Regenerates the end-to-end Cloud comparison: Table II and Fig. 25,
+//! plus the headline claims. Scale comes from `INSITU_SCALE`
+//! (default `fast`).
+
+use insitu_experiments::{endtoend, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# scale = {scale}\n");
+    let out = endtoend::run(scale, 42).expect("endtoend campaign");
+    println!("{}", out.table2());
+    println!("{}", out.fig25());
+    println!("{}", out.accuracy_table());
+    println!("{}", out.headline().table());
+}

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the numeric kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use insitu_nn::models::{jigsaw_network, mini_alexnet};
+use insitu_nn::{Mode, Network};
+use insitu_tensor::{conv2d_forward, matmul, ConvGeometry, Rng, Tensor};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = Rng::seed_from(1);
+    for &n in &[32usize, 128] {
+        let a = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let g = ConvGeometry::new(16, 18, 18, 24, 3, 1, 1).unwrap();
+    let x = Tensor::rand_uniform([4, 16, 18, 18], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform([24, 16, 3, 3], -0.2, 0.2, &mut rng);
+    let b = Tensor::zeros([24]);
+    c.bench_function("conv2d_forward b4 16->24 18x18", |bench| {
+        bench.iter(|| conv2d_forward(black_box(&x), &w, &b, &g).unwrap())
+    });
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let mut alex = mini_alexnet(8, &mut rng).unwrap();
+    let x = Tensor::rand_uniform([8, 3, 36, 36], 0.0, 1.0, &mut rng);
+    c.bench_function("mini_alexnet forward b8", |bench| {
+        bench.iter(|| alex.forward(black_box(&x), Mode::Eval).unwrap())
+    });
+
+    let mut jig = jigsaw_network(16, &mut rng).unwrap();
+    let jx = Tensor::rand_uniform([4, 9, 3, 12, 12], 0.0, 1.0, &mut rng);
+    c.bench_function("jigsaw forward b4", |bench| {
+        bench.iter(|| jig.forward(black_box(&jx), Mode::Eval).unwrap())
+    });
+
+    c.bench_function("mini_alexnet train step b8", |bench| {
+        bench.iter_batched(
+            || Tensor::rand_uniform([8, 3, 36, 36], 0.0, 1.0, &mut rng),
+            |xb| {
+                alex.zero_grads();
+                let y = alex.forward(&xb, Mode::Train).unwrap();
+                let (_, d) = insitu_nn::softmax_cross_entropy(&y, &[0; 8]).unwrap();
+                alex.backward(&d).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_device_models(c: &mut Criterion) {
+    use insitu_devices::{FpgaModel, GpuModel, NetworkShapes};
+    let gpu = GpuModel::tx1();
+    let fpga = FpgaModel::vx690t();
+    let net = NetworkShapes::alexnet();
+    c.bench_function("gpu batch_breakdown b16", |bench| {
+        bench.iter(|| gpu.batch_breakdown(black_box(&net), 16))
+    });
+    c.bench_function("gpu optimal_batch sweep", |bench| {
+        bench.iter(|| gpu.optimal_batch(black_box(&net), 0.1, 128))
+    });
+    c.bench_function("fpga batch_breakdown b16", |bench| {
+        bench.iter(|| fpga.batch_breakdown(black_box(&net), 16))
+    });
+}
+
+fn bench_fpga_sim(c: &mut Criterion) {
+    use insitu_devices::NetworkShapes;
+    use insitu_fpga::{design_throughput, ArchKind, CorunConfig, Design};
+    let convs = NetworkShapes::alexnet().convs();
+    let cfg = CorunConfig::paper(3);
+    c.bench_function("wss corun sim", |bench| {
+        bench.iter(|| cfg.run(ArchKind::Wss, black_box(&convs)))
+    });
+    let net = NetworkShapes::alexnet();
+    let spec = insitu_devices::FpgaSpec::vx690t();
+    c.bench_function("wss-nws design_throughput @100ms", |bench| {
+        bench.iter(|| design_throughput(Design::WssNws, spec, black_box(&net), 0.1, 64))
+    });
+}
+
+/// Small sample budget: the heavy targets are full training steps, and
+/// the reproduction machines are often single-core.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gemm, bench_conv, bench_networks, bench_device_models, bench_fpga_sim
+}
+criterion_main!(benches);

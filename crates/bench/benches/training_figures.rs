@@ -1,0 +1,14 @@
+//! Regenerates the training-based figures: Table I, Fig. 5, Fig. 6,
+//! Fig. 7. Scale comes from `INSITU_SCALE` (default `fast`).
+
+use insitu_experiments::{fig5, fig6, fig7, table1, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    println!("# scale = {scale}\n");
+    println!("{}", table1::run(scale, seed).expect("table1").table());
+    println!("{}", fig5::run(scale, seed).expect("fig5").table());
+    println!("{}", fig6::run(scale, seed).expect("fig6").table());
+    println!("{}", fig7::run(scale, seed).expect("fig7").table());
+}

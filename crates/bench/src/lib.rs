@@ -1,0 +1,12 @@
+//! # insitu-bench
+//!
+//! Criterion micro-benchmarks of the reproduction's hot kernels (GEMM,
+//! im2col convolution, jigsaw forward, device-model evaluation, FPGA
+//! architecture simulation) plus `harness = false` bench targets that
+//! regenerate every table and figure of the paper's evaluation when
+//! `cargo bench --workspace` runs.
+
+#![warn(missing_docs)]
+
+/// Name marker for the bench harness crate.
+pub const CRATE: &str = "insitu-bench";

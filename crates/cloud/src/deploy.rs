@@ -1,0 +1,149 @@
+//! Building the inference network from the unsupervised trunk
+//! (transfer learning) — the paper's Fig. 4 deployment recipe.
+
+use crate::pretrain::Pretrained;
+use crate::Result;
+use insitu_data::Dataset;
+use insitu_nn::models::mini_alexnet;
+use insitu_nn::transfer::transfer_and_freeze;
+use insitu_nn::{train, LabeledBatch, Sequential, TrainConfig, TrainReport};
+use insitu_tensor::Rng;
+
+/// Configuration of the transfer-learning job.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// Conv layers copied from the unsupervised trunk.
+    pub transfer_convs: usize,
+    /// Of those, how many are locked (the paper's `CONV-i`).
+    pub frozen_convs: usize,
+    /// Supervised fine-tuning passes over the limited labeled data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig { transfer_convs: 3, frozen_convs: 3, epochs: 15, batch_size: 16, lr: 0.005 }
+    }
+}
+
+/// Builds and fine-tunes an inference network on limited labeled data,
+/// starting from the pre-trained unsupervised trunk.
+///
+/// Returns the deployed network plus the training report (for cost
+/// accounting).
+///
+/// # Errors
+///
+/// Returns an error if the transfer is incompatible or training fails.
+pub fn build_inference(
+    pretrained: &Pretrained,
+    labeled: &Dataset,
+    cfg: &DeployConfig,
+    rng: &mut Rng,
+) -> Result<(Sequential, TrainReport)> {
+    let mut net = mini_alexnet(labeled.num_classes(), rng)?;
+    transfer_and_freeze(pretrained.jigsaw.trunk(), &mut net, cfg.transfer_convs, cfg.frozen_convs)?;
+    let train_cfg = TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        lr: cfg.lr,
+        ..Default::default()
+    };
+    let report = train(
+        &mut net,
+        LabeledBatch::new(labeled.images(), labeled.labels())?,
+        None,
+        &train_cfg,
+        rng,
+    )?;
+    Ok((net, report))
+}
+
+/// Trains an inference network *from scratch* on the same labeled data
+/// — the baseline the paper's Fig. 5 compares transfer learning
+/// against.
+///
+/// # Errors
+///
+/// Returns an error if training fails.
+pub fn build_from_scratch(
+    labeled: &Dataset,
+    epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut Rng,
+) -> Result<(Sequential, TrainReport)> {
+    let mut net = mini_alexnet(labeled.num_classes(), rng)?;
+    let train_cfg = TrainConfig { epochs, batch_size, lr, ..Default::default() };
+    let report = train(
+        &mut net,
+        LabeledBatch::new(labeled.images(), labeled.labels())?,
+        None,
+        &train_cfg,
+        rng,
+    )?;
+    Ok((net, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretrain::{pretrain, PretrainConfig};
+    use insitu_data::Condition;
+    use insitu_nn::transfer::conv_prefix_identical;
+
+    #[test]
+    fn deployed_net_shares_frozen_prefix() {
+        let mut rng = Rng::seed_from(31);
+        let raw = Dataset::generate(60, 4, &Condition::ideal(), &mut rng).unwrap();
+        let pre = pretrain(
+            &raw,
+            &PretrainConfig { permutations: 4, epochs: 2, batch_size: 8, lr: 0.015 },
+            &mut rng,
+        )
+        .unwrap();
+        let labeled = Dataset::generate(40, 4, &Condition::ideal(), &mut rng).unwrap();
+        let cfg = DeployConfig { epochs: 2, ..Default::default() };
+        let (net, report) = build_inference(&pre, &labeled, &cfg, &mut rng).unwrap();
+        // Frozen conv1..3 still identical to the trunk after training.
+        assert!(conv_prefix_identical(pre.jigsaw.trunk(), &net, 3).unwrap());
+        assert!(report.total_ops > 0);
+        assert_eq!(net.conv_count(), 5);
+    }
+
+    #[test]
+    fn scratch_baseline_trains() {
+        let mut rng = Rng::seed_from(32);
+        let labeled = Dataset::generate(40, 4, &Condition::ideal(), &mut rng).unwrap();
+        let (net, report) = build_from_scratch(&labeled, 2, 8, 0.02, &mut rng).unwrap();
+        assert_eq!(net.frozen_count(), 0);
+        assert!(report.history.len() == 2);
+    }
+
+    #[test]
+    fn unfrozen_transfer_keeps_copied_weights_trainable() {
+        let mut rng = Rng::seed_from(33);
+        let raw = Dataset::generate(50, 4, &Condition::ideal(), &mut rng).unwrap();
+        let pre = pretrain(
+            &raw,
+            &PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.015 },
+            &mut rng,
+        )
+        .unwrap();
+        let labeled = Dataset::generate(30, 4, &Condition::ideal(), &mut rng).unwrap();
+        let cfg = DeployConfig {
+            transfer_convs: 3,
+            frozen_convs: 0, // CONV-0: everything retrains
+            epochs: 2,
+            batch_size: 8,
+            lr: 0.05,
+        };
+        let (net, _) = build_inference(&pre, &labeled, &cfg, &mut rng).unwrap();
+        // After training with no freezing, the prefix should have moved.
+        assert!(!conv_prefix_identical(pre.jigsaw.trunk(), &net, 3).unwrap());
+    }
+}

@@ -1,0 +1,193 @@
+//! The Cloud endpoint an [`InsituNode`](insitu_core::InsituNode)
+//! talks to: holds the master copies of both models and serves
+//! incremental updates.
+
+use crate::incremental::{fine_tune, IncrementalConfig};
+use crate::pretrain::{continue_pretrain, Pretrained};
+use insitu_core::{CloudEndpoint, ModelUpdate};
+use insitu_data::Dataset;
+use insitu_nn::serialize::state_dict;
+use insitu_nn::Sequential;
+use insitu_tensor::Rng;
+
+/// The Cloud side of an In-situ AI deployment.
+#[derive(Debug)]
+pub struct Cloud {
+    inference: Sequential,
+    pretrained: Pretrained,
+    incremental: IncrementalConfig,
+    /// Valuable data retained from previous updates; every incremental
+    /// update trains over the retained history plus the new upload, so
+    /// small hard uploads cannot erase previously learned behavior.
+    archive: Option<Dataset>,
+    /// Refresh the unsupervised network every `jigsaw_refresh_every`
+    /// updates (0 = never).
+    jigsaw_refresh_every: u32,
+    version: u32,
+    total_training_ops: u64,
+    rng: Rng,
+}
+
+impl Cloud {
+    /// Creates the Cloud from the deployed master models.
+    pub fn new(
+        inference: Sequential,
+        pretrained: Pretrained,
+        incremental: IncrementalConfig,
+        seed: u64,
+    ) -> Cloud {
+        Cloud {
+            inference,
+            pretrained,
+            incremental,
+            archive: None,
+            jigsaw_refresh_every: 0,
+            version: 0,
+            total_training_ops: 0,
+            rng: Rng::seed_from(seed),
+        }
+    }
+
+    /// Enables periodic unsupervised refreshes of the diagnosis model.
+    pub fn with_jigsaw_refresh(mut self, every: u32) -> Cloud {
+        self.jigsaw_refresh_every = every;
+        self
+    }
+
+    /// Current model version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Cumulative training ops spent by this Cloud.
+    pub fn total_training_ops(&self) -> u64 {
+        self.total_training_ops
+    }
+
+    /// The master inference model.
+    pub fn inference_mut(&mut self) -> &mut Sequential {
+        &mut self.inference
+    }
+}
+
+impl CloudEndpoint for Cloud {
+    fn incremental_update(&mut self, uploaded: &Dataset) -> insitu_core::Result<ModelUpdate> {
+        let mut ops = 0u64;
+        let train_set = match self.archive.take() {
+            Some(archive) if !uploaded.is_empty() => {
+                Some(archive.concat(uploaded).map_err(|e| to_core(e.into()))?)
+            }
+            Some(archive) => Some(archive),
+            None if !uploaded.is_empty() => Some(uploaded.clone()),
+            None => None,
+        };
+        if let Some(train_set) = &train_set {
+            if !train_set.is_empty() {
+                let report =
+                    fine_tune(&mut self.inference, train_set, &self.incremental, &mut self.rng)
+                        .map_err(to_core)?;
+                ops += report.total_ops;
+            }
+        }
+        self.archive = train_set;
+        self.version += 1;
+        let jigsaw_params = if self.jigsaw_refresh_every > 0
+            && self.version.is_multiple_of(self.jigsaw_refresh_every)
+            && !uploaded.is_empty()
+        {
+            ops += continue_pretrain(
+                &mut self.pretrained,
+                uploaded,
+                self.incremental.epochs,
+                self.incremental.batch_size,
+                self.incremental.lr,
+                &mut self.rng,
+            )
+            .map_err(to_core)?;
+            Some(state_dict(&mut self.pretrained.jigsaw))
+        } else {
+            None
+        };
+        self.total_training_ops += ops;
+        Ok(ModelUpdate {
+            version: self.version,
+            inference_params: state_dict(&mut self.inference),
+            jigsaw_params,
+            training_ops: ops,
+        })
+    }
+}
+
+fn to_core(e: crate::CloudError) -> insitu_core::CoreError {
+    match e {
+        crate::CloudError::Nn(n) => insitu_core::CoreError::Nn(n),
+        crate::CloudError::Data(d) => insitu_core::CoreError::Data(d),
+        crate::CloudError::Core(c) => c,
+        crate::CloudError::BadConfig { reason } => insitu_core::CoreError::BadConfig { reason },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretrain::{pretrain, PretrainConfig};
+    use insitu_data::Condition;
+    use insitu_nn::models::mini_alexnet;
+
+    fn cloud() -> Cloud {
+        let mut rng = Rng::seed_from(51);
+        let raw = Dataset::generate(30, 4, &Condition::ideal(), &mut rng).unwrap();
+        let pre = pretrain(
+            &raw,
+            &PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.02 },
+            &mut rng,
+        )
+        .unwrap();
+        let inference = mini_alexnet(4, &mut rng).unwrap();
+        Cloud::new(
+            inference,
+            pre,
+            IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01 },
+            5,
+        )
+    }
+
+    #[test]
+    fn update_bumps_version_and_returns_weights() {
+        let mut c = cloud();
+        let mut rng = Rng::seed_from(52);
+        let data = Dataset::generate(12, 4, &Condition::in_situ(), &mut rng).unwrap();
+        let u = c.incremental_update(&data).unwrap();
+        assert_eq!(u.version, 1);
+        assert!(u.training_ops > 0);
+        assert!(!u.inference_params.is_empty());
+        assert!(u.jigsaw_params.is_none());
+        assert_eq!(c.total_training_ops(), u.training_ops);
+    }
+
+    #[test]
+    fn empty_upload_is_a_cheap_noop_update() {
+        let mut c = cloud();
+        let empty = Dataset::generate(
+            0,
+            4,
+            &Condition::ideal(),
+            &mut Rng::seed_from(1),
+        )
+        .unwrap();
+        let u = c.incremental_update(&empty).unwrap();
+        assert_eq!(u.training_ops, 0);
+        assert_eq!(u.version, 1);
+    }
+
+    #[test]
+    fn jigsaw_refresh_fires_on_schedule() {
+        let mut c = cloud().with_jigsaw_refresh(2);
+        let mut rng = Rng::seed_from(53);
+        let data = Dataset::generate(8, 4, &Condition::in_situ(), &mut rng).unwrap();
+        let u1 = c.incremental_update(&data).unwrap();
+        assert!(u1.jigsaw_params.is_none()); // version 1
+        let u2 = c.incremental_update(&data).unwrap();
+        assert!(u2.jigsaw_params.is_some()); // version 2
+    }
+}

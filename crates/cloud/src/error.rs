@@ -1,0 +1,76 @@
+//! Error type for the Cloud side.
+
+use insitu_core::CoreError;
+use insitu_data::DataError;
+use insitu_nn::NnError;
+use std::fmt;
+
+/// Error produced by pre-training, transfer, incremental updates or
+/// the system simulations.
+#[derive(Debug)]
+pub enum CloudError {
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A data operation failed.
+    Data(DataError),
+    /// A framework operation failed.
+    Core(CoreError),
+    /// A configuration is inconsistent.
+    BadConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::Nn(e) => write!(f, "network error: {e}"),
+            CloudError::Data(e) => write!(f, "data error: {e}"),
+            CloudError::Core(e) => write!(f, "framework error: {e}"),
+            CloudError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CloudError::Nn(e) => Some(e),
+            CloudError::Data(e) => Some(e),
+            CloudError::Core(e) => Some(e),
+            CloudError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<NnError> for CloudError {
+    fn from(e: NnError) -> Self {
+        CloudError::Nn(e)
+    }
+}
+
+impl From<DataError> for CloudError {
+    fn from(e: DataError) -> Self {
+        CloudError::Data(e)
+    }
+}
+
+impl From<CoreError> for CloudError {
+    fn from(e: CoreError) -> Self {
+        CloudError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CloudError = NnError::NoSuchLayer { layer: "x".into() }.into();
+        assert!(e.to_string().contains("network error"));
+        let d: CloudError = DataError::BadConfig { reason: "y".into() }.into();
+        assert!(std::error::Error::source(&d).is_some());
+    }
+}

@@ -1,0 +1,337 @@
+//! The autonomous data-diagnosis task.
+//!
+//! The diagnosis task decides, **without labels**, whether an incoming
+//! image is "valuable" — i.e. likely to be unrecognized by the current
+//! model and therefore worth uploading for incremental training. The
+//! paper's mechanism is the unsupervised context-prediction network:
+//! if the network cannot recover a known tile permutation, its learned
+//! features do not capture the sample, so the sample is out of the
+//! learned distribution.
+//!
+//! Several policies are provided (the paper fixes one; the extras form
+//! the design-space ablation in `insitu-experiments`):
+//!
+//! * [`DiagnosisPolicy::JigsawProbe`] — apply `probes` random known
+//!   permutations; the sample is valuable if the network misidentifies
+//!   more than half of them.
+//! * [`DiagnosisPolicy::JigsawConfidence`] — valuable if the softmax
+//!   probability assigned to the *true* permutation falls below a
+//!   threshold (a graded version of the probe).
+//! * [`DiagnosisPolicy::InferenceConfidence`] — valuable if the
+//!   inference network's top softmax probability falls below a
+//!   threshold (no second network; a classical baseline).
+//! * [`DiagnosisPolicy::Oracle`] — valuable iff the inference
+//!   prediction is wrong. Needs labels; the upper bound a deployed
+//!   system cannot use (labels don't exist in situ).
+
+use crate::error::CoreError;
+use crate::Result;
+use insitu_data::{jigsaw::normalize_tiles, jigsaw::permute_tiles, patchify, Dataset, PermutationSet};
+use insitu_nn::{confidence, softmax, JigsawNet, Sequential};
+use insitu_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// How the node decides which samples are valuable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DiagnosisPolicy {
+    /// Majority vote over `probes` jigsaw probes.
+    JigsawProbe {
+        /// Number of random permutations probed per image.
+        probes: usize,
+    },
+    /// True-permutation softmax probability below `threshold`.
+    JigsawConfidence {
+        /// Valuable when `p(true permutation) < threshold`.
+        threshold: f32,
+    },
+    /// Inference top-1 softmax probability below `threshold`.
+    InferenceConfidence {
+        /// Valuable when `max softmax < threshold`.
+        threshold: f32,
+    },
+    /// Ground-truth comparison (upper bound; unavailable in situ).
+    Oracle,
+}
+
+impl Default for DiagnosisPolicy {
+    fn default() -> Self {
+        DiagnosisPolicy::JigsawProbe { probes: 3 }
+    }
+}
+
+/// Per-sample diagnosis outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether the sample should be uploaded for incremental training.
+    pub valuable: bool,
+    /// Policy-specific confidence score in `[0, 1]`; higher means the
+    /// node is more certain the sample is *recognized*.
+    pub score: f32,
+}
+
+/// Runs a diagnosis policy over a dataset.
+///
+/// `inference` is consulted by the inference-side policies;
+/// `jigsaw`/`set` by the unsupervised policies. Inputs are processed in
+/// batches of `batch_size`.
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements between the networks and the
+/// data.
+pub fn diagnose(
+    policy: DiagnosisPolicy,
+    inference: &mut Sequential,
+    jigsaw: &mut JigsawNet,
+    set: &PermutationSet,
+    data: &Dataset,
+    batch_size: usize,
+    rng: &mut Rng,
+) -> Result<Vec<Verdict>> {
+    match policy {
+        DiagnosisPolicy::Oracle => oracle(inference, data, batch_size),
+        DiagnosisPolicy::InferenceConfidence { threshold } => {
+            inference_confidence(inference, data, batch_size, threshold)
+        }
+        DiagnosisPolicy::JigsawProbe { probes } => {
+            if probes == 0 {
+                return Err(CoreError::BadConfig {
+                    reason: "JigsawProbe requires at least one probe".into(),
+                });
+            }
+            jigsaw_probe(jigsaw, set, data, batch_size, probes, rng)
+        }
+        DiagnosisPolicy::JigsawConfidence { threshold } => {
+            jigsaw_confidence(jigsaw, set, data, batch_size, threshold, rng)
+        }
+    }
+}
+
+fn oracle(
+    inference: &mut Sequential,
+    data: &Dataset,
+    batch_size: usize,
+) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    let indices: Vec<usize> = (0..data.len()).collect();
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let sub = data.subset(chunk)?;
+        let logits = inference.predict(sub.images())?;
+        let preds = insitu_nn::predictions(&logits)?;
+        for (p, &label) in preds.iter().zip(sub.labels()) {
+            let correct = *p == label;
+            verdicts.push(Verdict { valuable: !correct, score: f32::from(u8::from(correct)) });
+        }
+    }
+    Ok(verdicts)
+}
+
+fn inference_confidence(
+    inference: &mut Sequential,
+    data: &Dataset,
+    batch_size: usize,
+    threshold: f32,
+) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    let indices: Vec<usize> = (0..data.len()).collect();
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let sub = data.subset(chunk)?;
+        let logits = inference.predict(sub.images())?;
+        for c in confidence(&logits)? {
+            verdicts.push(Verdict { valuable: c < threshold, score: c });
+        }
+    }
+    Ok(verdicts)
+}
+
+/// Builds the probe input for one image: tiles shuffled by `perm`.
+fn probe_input(image: &Tensor, perm: &[u8; 9]) -> Result<Tensor> {
+    let tiles = normalize_tiles(&patchify(image)?)?;
+    let shuffled = permute_tiles(&tiles, perm)?;
+    let d = shuffled.dims().to_vec();
+    Ok(shuffled.reshape([1, d[0], d[1], d[2], d[3]]).map_err(insitu_nn::NnError::from)?)
+}
+
+fn jigsaw_probe(
+    jigsaw: &mut JigsawNet,
+    set: &PermutationSet,
+    data: &Dataset,
+    _batch_size: usize,
+    probes: usize,
+    rng: &mut Rng,
+) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let image = data.image(i)?;
+        let mut correct = 0usize;
+        for _ in 0..probes {
+            let cls = rng.below(set.len());
+            let input = probe_input(&image, set.permutation(cls))?;
+            let logits = jigsaw.predict(&input)?;
+            let pred = insitu_nn::predictions(&logits)?[0];
+            if pred == cls {
+                correct += 1;
+            }
+        }
+        let score = correct as f32 / probes as f32;
+        verdicts.push(Verdict { valuable: 2 * correct < probes || correct == 0, score });
+    }
+    Ok(verdicts)
+}
+
+fn jigsaw_confidence(
+    jigsaw: &mut JigsawNet,
+    set: &PermutationSet,
+    data: &Dataset,
+    _batch_size: usize,
+    threshold: f32,
+    rng: &mut Rng,
+) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let image = data.image(i)?;
+        let cls = rng.below(set.len());
+        let input = probe_input(&image, set.permutation(cls))?;
+        let logits = jigsaw.predict(&input)?;
+        let probs = softmax(&logits)?;
+        let p_true = probs.at(&[0, cls]).map_err(insitu_nn::NnError::from)?;
+        verdicts.push(Verdict { valuable: p_true < threshold, score: p_true });
+    }
+    Ok(verdicts)
+}
+
+/// Indices of the valuable samples in a verdict list.
+pub fn valuable_indices(verdicts: &[Verdict]) -> Vec<usize> {
+    verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.valuable)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_data::Condition;
+    use insitu_nn::models::{jigsaw_network, mini_alexnet};
+
+    fn setup() -> (Sequential, JigsawNet, PermutationSet, Dataset, Rng) {
+        let mut rng = Rng::seed_from(11);
+        let inference = mini_alexnet(4, &mut rng).unwrap();
+        let jigsaw = jigsaw_network(8, &mut rng).unwrap();
+        let set = PermutationSet::generate(8, &mut rng).unwrap();
+        let data = Dataset::generate(10, 4, &Condition::ideal(), &mut rng).unwrap();
+        (inference, jigsaw, set, data, rng)
+    }
+
+    #[test]
+    fn oracle_matches_prediction_errors() {
+        let (mut inf, mut jig, set, data, mut rng) = setup();
+        let verdicts = diagnose(
+            DiagnosisPolicy::Oracle,
+            &mut inf,
+            &mut jig,
+            &set,
+            &data,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(verdicts.len(), data.len());
+        let logits = inf.predict(data.images()).unwrap();
+        let preds = insitu_nn::predictions(&logits).unwrap();
+        for ((v, p), &l) in verdicts.iter().zip(preds).zip(data.labels()) {
+            assert_eq!(v.valuable, p != l);
+        }
+    }
+
+    #[test]
+    fn confidence_threshold_extremes() {
+        let (mut inf, mut jig, set, data, mut rng) = setup();
+        let all = diagnose(
+            DiagnosisPolicy::InferenceConfidence { threshold: 1.1 },
+            &mut inf,
+            &mut jig,
+            &set,
+            &data,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(all.iter().all(|v| v.valuable)); // everything below 1.1
+        let none = diagnose(
+            DiagnosisPolicy::InferenceConfidence { threshold: 0.0 },
+            &mut inf,
+            &mut jig,
+            &set,
+            &data,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(none.iter().all(|v| !v.valuable));
+    }
+
+    #[test]
+    fn jigsaw_probe_runs_and_scores() {
+        let (mut inf, mut jig, set, data, mut rng) = setup();
+        let verdicts = diagnose(
+            DiagnosisPolicy::JigsawProbe { probes: 3 },
+            &mut inf,
+            &mut jig,
+            &set,
+            &data,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(verdicts.len(), data.len());
+        assert!(verdicts.iter().all(|v| (0.0..=1.0).contains(&v.score)));
+        // An untrained jigsaw should find most samples valuable.
+        let frac =
+            verdicts.iter().filter(|v| v.valuable).count() as f32 / verdicts.len() as f32;
+        assert!(frac > 0.5, "untrained jigsaw flagged only {frac}");
+    }
+
+    #[test]
+    fn zero_probes_rejected() {
+        let (mut inf, mut jig, set, data, mut rng) = setup();
+        assert!(diagnose(
+            DiagnosisPolicy::JigsawProbe { probes: 0 },
+            &mut inf,
+            &mut jig,
+            &set,
+            &data,
+            4,
+            &mut rng,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn valuable_indices_helper() {
+        let verdicts = [
+            Verdict { valuable: true, score: 0.0 },
+            Verdict { valuable: false, score: 1.0 },
+            Verdict { valuable: true, score: 0.2 },
+        ];
+        assert_eq!(valuable_indices(&verdicts), vec![0, 2]);
+    }
+
+    #[test]
+    fn jigsaw_confidence_policy_runs() {
+        let (mut inf, mut jig, set, data, mut rng) = setup();
+        let verdicts = diagnose(
+            DiagnosisPolicy::JigsawConfidence { threshold: 0.5 },
+            &mut inf,
+            &mut jig,
+            &set,
+            &data,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(verdicts.len(), data.len());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the In-situ AI framework.
+
+use insitu_data::DataError;
+use insitu_nn::NnError;
+use std::fmt;
+
+/// Error produced by node construction, diagnosis, planning or the
+/// update protocol.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A data operation failed.
+    Data(DataError),
+    /// A configuration is inconsistent (e.g. no feasible batch size).
+    BadConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The planner found no configuration meeting the constraints.
+    Infeasible {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            CoreError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = CoreError::Infeasible { reason: "no batch meets 1 ms".into() };
+        assert!(e.to_string().contains("1 ms"));
+        let n: CoreError = NnError::NoSuchLayer { layer: "x".into() }.into();
+        assert!(std::error::Error::source(&n).is_some());
+    }
+}

@@ -1,0 +1,306 @@
+//! The In-situ AI node: inference + autonomous diagnosis at the edge.
+
+use crate::diagnosis::{diagnose, valuable_indices, DiagnosisPolicy, Verdict};
+use crate::error::CoreError;
+use crate::metrics::{DataMovementMeter, IMAGE_BYTES};
+use crate::update::ModelUpdate;
+use crate::Result;
+use insitu_data::{Dataset, PermutationSet};
+use insitu_nn::serialize::load_state_dict;
+use insitu_nn::transfer::conv_prefix_identical;
+use insitu_nn::{evaluate, JigsawNet, LabeledBatch, Sequential};
+use insitu_tensor::Rng;
+
+/// The outcome of processing one acquisition stage on the node.
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// The node's class prediction for every image.
+    pub predictions: Vec<usize>,
+    /// Per-image diagnosis verdicts.
+    pub verdicts: Vec<Verdict>,
+    /// Indices of the images the node decided to upload.
+    pub valuable: Vec<usize>,
+    /// Bytes the node sent to the Cloud for this stage.
+    pub uploaded_bytes: u64,
+}
+
+impl StageOutcome {
+    /// Fraction of the stage that was uploaded.
+    pub fn upload_fraction(&self) -> f64 {
+        if self.predictions.is_empty() {
+            0.0
+        } else {
+            self.valuable.len() as f64 / self.predictions.len() as f64
+        }
+    }
+}
+
+/// An edge node running the two In-situ AI tasks over an IoT stream.
+///
+/// The node holds the deployed inference network and the unsupervised
+/// diagnosis network; the first `shared_convs` convolutional layers of
+/// the two hold identical weights (the invariant the WSS hardware's
+/// shared weight buffers rely on), which
+/// [`InsituNode::new`] verifies at construction.
+#[derive(Debug)]
+pub struct InsituNode {
+    inference: Sequential,
+    jigsaw: JigsawNet,
+    perm_set: PermutationSet,
+    policy: DiagnosisPolicy,
+    shared_convs: usize,
+    version: u32,
+    movement: DataMovementMeter,
+    rng: Rng,
+}
+
+impl InsituNode {
+    /// Assembles a node from deployed models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] if the first `shared_convs`
+    /// conv layers of the inference network and the jigsaw trunk are
+    /// not weight-identical.
+    pub fn new(
+        inference: Sequential,
+        jigsaw: JigsawNet,
+        perm_set: PermutationSet,
+        policy: DiagnosisPolicy,
+        shared_convs: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if shared_convs > 0
+            && !conv_prefix_identical(jigsaw.trunk(), &inference, shared_convs)?
+        {
+            return Err(CoreError::BadConfig {
+                reason: format!(
+                    "first {shared_convs} conv layers of inference and diagnosis differ; \
+                     deploy via transfer_and_freeze first"
+                ),
+            });
+        }
+        Ok(InsituNode {
+            inference,
+            jigsaw,
+            perm_set,
+            policy,
+            shared_convs,
+            version: 0,
+            movement: DataMovementMeter::new(),
+            rng: Rng::seed_from(seed),
+        })
+    }
+
+    /// The deployed model version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The diagnosis policy in force.
+    pub fn policy(&self) -> DiagnosisPolicy {
+        self.policy
+    }
+
+    /// Replaces the diagnosis policy.
+    pub fn set_policy(&mut self, policy: DiagnosisPolicy) {
+        self.policy = policy;
+    }
+
+    /// Number of weight-shared convolutional layers.
+    pub fn shared_convs(&self) -> usize {
+        self.shared_convs
+    }
+
+    /// Cumulative data-movement accounting.
+    pub fn movement(&self) -> &DataMovementMeter {
+        &self.movement
+    }
+
+    /// Borrow of the deployed inference network.
+    pub fn inference(&self) -> &Sequential {
+        &self.inference
+    }
+
+    /// Mutable borrow of the deployed inference network.
+    pub fn inference_mut(&mut self) -> &mut Sequential {
+        &mut self.inference
+    }
+
+    /// Borrow of the deployed diagnosis network.
+    pub fn jigsaw(&self) -> &JigsawNet {
+        &self.jigsaw
+    }
+
+    /// Held-out accuracy of the deployed inference model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn accuracy_on(&mut self, data: &Dataset, batch: usize) -> Result<f32> {
+        Ok(evaluate(
+            &mut self.inference,
+            LabeledBatch::new(data.images(), data.labels())?,
+            batch,
+        )?)
+    }
+
+    /// Processes one acquisition stage: runs inference on every image,
+    /// diagnoses which images are valuable, and accounts the upload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn process_stage(&mut self, data: &Dataset, batch: usize) -> Result<StageOutcome> {
+        // Inference task: predictions for the end application.
+        let mut predictions = Vec::with_capacity(data.len());
+        let indices: Vec<usize> = (0..data.len()).collect();
+        for chunk in indices.chunks(batch.max(1)) {
+            let sub = data.subset(chunk)?;
+            let logits = self.inference.predict(sub.images())?;
+            predictions.extend(insitu_nn::predictions(&logits)?);
+        }
+        // Diagnosis task: select valuable data.
+        let verdicts = diagnose(
+            self.policy,
+            &mut self.inference,
+            &mut self.jigsaw,
+            &self.perm_set,
+            data,
+            batch,
+            &mut self.rng,
+        )?;
+        let valuable = valuable_indices(&verdicts);
+        let uploaded_bytes = valuable.len() as u64 * IMAGE_BYTES;
+        self.movement.record(data.len() as u64, valuable.len() as u64);
+        Ok(StageOutcome { predictions, verdicts, valuable, uploaded_bytes })
+    }
+
+    /// Extracts the valuable subset chosen by
+    /// [`process_stage`](InsituNode::process_stage) for upload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if indices are out of range (a stale outcome).
+    pub fn upload_payload(&self, data: &Dataset, outcome: &StageOutcome) -> Result<Dataset> {
+        Ok(data.subset(&outcome.valuable)?)
+    }
+
+    /// Installs a model refresh from the Cloud.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a snapshot does not match the deployed
+    /// architecture.
+    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<()> {
+        load_state_dict(&mut self.inference, &update.inference_params)?;
+        if let Some(jp) = &update.jigsaw_params {
+            load_state_dict(&mut self.jigsaw, jp)?;
+        }
+        self.version = update.version;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_data::Condition;
+    use insitu_nn::models::{jigsaw_network, mini_alexnet};
+    use insitu_nn::serialize::state_dict;
+    use insitu_nn::transfer::transfer_and_freeze;
+
+    fn node() -> InsituNode {
+        let mut rng = Rng::seed_from(3);
+        let jigsaw = jigsaw_network(8, &mut rng).unwrap();
+        let mut inference = mini_alexnet(4, &mut rng).unwrap();
+        transfer_and_freeze(jigsaw.trunk(), &mut inference, 3, 3).unwrap();
+        let set = PermutationSet::generate(8, &mut rng).unwrap();
+        InsituNode::new(inference, jigsaw, set, DiagnosisPolicy::Oracle, 3, 7).unwrap()
+    }
+
+    fn data() -> Dataset {
+        Dataset::generate(12, 4, &Condition::ideal(), &mut Rng::seed_from(5)).unwrap()
+    }
+
+    #[test]
+    fn construction_requires_shared_prefix() {
+        let mut rng = Rng::seed_from(4);
+        let jigsaw = jigsaw_network(8, &mut rng).unwrap();
+        let inference = mini_alexnet(4, &mut rng).unwrap(); // NOT transferred
+        let set = PermutationSet::generate(8, &mut rng).unwrap();
+        assert!(matches!(
+            InsituNode::new(inference, jigsaw, set, DiagnosisPolicy::Oracle, 3, 7),
+            Err(CoreError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn process_stage_accounts_movement() {
+        let mut n = node();
+        let d = data();
+        let outcome = n.process_stage(&d, 4).unwrap();
+        assert_eq!(outcome.predictions.len(), d.len());
+        assert_eq!(outcome.verdicts.len(), d.len());
+        assert_eq!(
+            outcome.uploaded_bytes,
+            outcome.valuable.len() as u64 * IMAGE_BYTES
+        );
+        assert_eq!(n.movement().images_seen, d.len() as u64);
+        assert_eq!(n.movement().images_uploaded, outcome.valuable.len() as u64);
+        // Oracle policy: valuable == mispredicted.
+        for (i, v) in outcome.verdicts.iter().enumerate() {
+            assert_eq!(v.valuable, outcome.predictions[i] != d.labels()[i]);
+        }
+    }
+
+    #[test]
+    fn upload_payload_matches_valuable() {
+        let mut n = node();
+        let d = data();
+        let outcome = n.process_stage(&d, 4).unwrap();
+        let payload = n.upload_payload(&d, &outcome).unwrap();
+        assert_eq!(payload.len(), outcome.valuable.len());
+    }
+
+    #[test]
+    fn install_update_bumps_version_and_weights() {
+        let mut n = node();
+        let mut rng = Rng::seed_from(9);
+        let mut other = mini_alexnet(4, &mut rng).unwrap();
+        let update = ModelUpdate {
+            version: 5,
+            inference_params: state_dict(&mut other),
+            jigsaw_params: None,
+            training_ops: 1,
+        };
+        n.install_update(&update).unwrap();
+        assert_eq!(n.version(), 5);
+        assert_eq!(state_dict(n.inference_mut()), update.inference_params);
+        // Mismatched snapshot rejected.
+        let bad = ModelUpdate {
+            version: 6,
+            inference_params: vec![],
+            jigsaw_params: None,
+            training_ops: 0,
+        };
+        assert!(n.install_update(&bad).is_err());
+        assert_eq!(n.version(), 5);
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let mut n = node();
+        assert_eq!(n.policy(), DiagnosisPolicy::Oracle);
+        n.set_policy(DiagnosisPolicy::JigsawProbe { probes: 1 });
+        assert_eq!(n.policy(), DiagnosisPolicy::JigsawProbe { probes: 1 });
+        assert_eq!(n.shared_convs(), 3);
+    }
+
+    #[test]
+    fn accuracy_in_unit_interval() {
+        let mut n = node();
+        let acc = n.accuracy_on(&data(), 4).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,194 @@
+//! The configuration planner: the paper's analytical models put to
+//! work.
+//!
+//! Given the deployment constraints (availability, end-user latency
+//! bound) and the network shapes, the planner chooses the working
+//! mode, platform, and batch sizes:
+//!
+//! * **Single-running (GPU)** — the *time model* (Eqs. 5–8) picks the
+//!   largest inference batch meeting the latency bound (maximum
+//!   perf/W under the deadline, the paper's Fig. 21 method); the
+//!   *resource model* (Eq. 9) picks the largest diagnosis batch that
+//!   fits device memory.
+//! * **Co-running (FPGA)** — Eqs. (10)–(14) configure the WSS Group +
+//!   NWS pipeline and pick the largest batch meeting the latency
+//!   bound.
+
+use crate::error::CoreError;
+use crate::modes::{select_mode, Availability, Platform, WorkingMode};
+use crate::Result;
+use insitu_devices::{FpgaSpec, GpuModel, GpuSpec, NetworkShapes};
+use insitu_fpga::WssNwsPipeline;
+use serde::{Deserialize, Serialize};
+
+/// Deployment constraints supplied by the end user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanRequest {
+    /// Availability requirement for the inference task.
+    pub availability: Availability,
+    /// End-user latency bound for inference, in seconds.
+    pub t_user: f64,
+    /// Upper bound on batch sizes the search considers.
+    pub max_batch: usize,
+}
+
+impl Default for PlanRequest {
+    fn default() -> Self {
+        PlanRequest { availability: Availability::Scheduled, t_user: 0.1, max_batch: 256 }
+    }
+}
+
+/// The planner's decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePlan {
+    /// Chosen working mode.
+    pub mode: WorkingMode,
+    /// Chosen accelerator.
+    pub platform: Platform,
+    /// Inference batch size.
+    pub inference_batch: usize,
+    /// Diagnosis batch size (Single-running) or pipeline batch
+    /// (Co-running).
+    pub diagnosis_batch: usize,
+    /// Predicted inference latency at the chosen batch, seconds.
+    pub predicted_latency_s: f64,
+    /// Predicted throughput, images/second.
+    pub predicted_throughput: f64,
+    /// Predicted energy-efficiency, images/second/watt (GPU path only;
+    /// 0.0 for the FPGA pipeline where the paper optimizes throughput).
+    pub predicted_perf_per_watt: f64,
+    /// WSS group size (Co-running only; 0 otherwise).
+    pub wss_group_size: usize,
+}
+
+/// Plans a node configuration for the given constraints and networks.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when no batch size meets the
+/// latency bound on the selected platform.
+pub fn plan(
+    request: &PlanRequest,
+    inference: &NetworkShapes,
+    diagnosis: &NetworkShapes,
+) -> Result<NodePlan> {
+    let (mode, platform) = select_mode(request.availability);
+    match platform {
+        Platform::MobileGpu => {
+            let gpu = GpuModel::new(GpuSpec::tx1());
+            let inference_batch = gpu
+                .optimal_batch(inference, request.t_user, request.max_batch)
+                .ok_or_else(|| CoreError::Infeasible {
+                    reason: format!(
+                        "no GPU batch meets {} s for `{}`",
+                        request.t_user, inference.name
+                    ),
+                })?;
+            let diagnosis_batch = gpu.max_batch_under_ram(diagnosis, request.max_batch).max(1);
+            Ok(NodePlan {
+                mode,
+                platform,
+                inference_batch,
+                diagnosis_batch,
+                predicted_latency_s: gpu.batch_latency(inference, inference_batch),
+                predicted_throughput: gpu.throughput(inference, inference_batch),
+                predicted_perf_per_watt: gpu.perf_per_watt(inference, inference_batch),
+                wss_group_size: 0,
+            })
+        }
+        Platform::Fpga => {
+            let spec = FpgaSpec::vx690t();
+            let convs = inference.convs();
+            let fcs = inference.fcs();
+            let pipe = WssNwsPipeline::configure(spec, &convs, &fcs);
+            let point = pipe
+                .best_under_latency(&convs, &fcs, request.t_user, request.max_batch)
+                .ok_or_else(|| CoreError::Infeasible {
+                    reason: format!(
+                        "no pipeline batch meets {} s for `{}`",
+                        request.t_user, inference.name
+                    ),
+                })?;
+            Ok(NodePlan {
+                mode,
+                platform,
+                inference_batch: point.batch,
+                diagnosis_batch: point.batch,
+                predicted_latency_s: point.latency_s,
+                predicted_throughput: point.throughput,
+                predicted_perf_per_watt: 0.0,
+                wss_group_size: pipe.group_size,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nets() -> (NetworkShapes, NetworkShapes) {
+        let inf = NetworkShapes::alexnet();
+        let diag = NetworkShapes::diagnosis_of(&inf, 9);
+        (inf, diag)
+    }
+
+    #[test]
+    fn scheduled_plan_uses_gpu_time_and_resource_models() {
+        let (inf, diag) = nets();
+        let req = PlanRequest {
+            availability: Availability::Scheduled,
+            t_user: 0.1,
+            max_batch: 128,
+        };
+        let plan = plan(&req, &inf, &diag).unwrap();
+        assert_eq!(plan.platform, Platform::MobileGpu);
+        assert_eq!(plan.mode, WorkingMode::SingleRunning);
+        assert!(plan.predicted_latency_s <= 0.1);
+        assert!(plan.inference_batch >= 1);
+        assert!(plan.diagnosis_batch >= plan.inference_batch); // RAM >> deadline bound
+        assert!(plan.predicted_perf_per_watt > 0.0);
+    }
+
+    #[test]
+    fn always_on_plan_uses_fpga_pipeline() {
+        let (inf, diag) = nets();
+        let req =
+            PlanRequest { availability: Availability::AlwaysOn, t_user: 0.2, max_batch: 128 };
+        let plan = plan(&req, &inf, &diag).unwrap();
+        assert_eq!(plan.platform, Platform::Fpga);
+        assert_eq!(plan.mode, WorkingMode::CoRunning);
+        assert!(plan.predicted_latency_s <= 0.2);
+        assert!(plan.wss_group_size >= 1);
+    }
+
+    #[test]
+    fn impossible_deadline_is_infeasible() {
+        let (inf, diag) = nets();
+        let req = PlanRequest {
+            availability: Availability::Scheduled,
+            t_user: 1e-9,
+            max_batch: 16,
+        };
+        assert!(matches!(
+            plan(&req, &inf, &diag),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn looser_deadline_never_reduces_throughput() {
+        let (inf, diag) = nets();
+        let mut last = 0.0;
+        for &t in &[0.05, 0.1, 0.2, 0.4] {
+            let req = PlanRequest {
+                availability: Availability::AlwaysOn,
+                t_user: t,
+                max_batch: 256,
+            };
+            let p = plan(&req, &inf, &diag).unwrap();
+            assert!(p.predicted_throughput >= last * 0.999);
+            last = p.predicted_throughput;
+        }
+    }
+}

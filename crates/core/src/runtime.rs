@@ -1,0 +1,224 @@
+//! A threaded deployment runtime: the node and the Cloud as
+//! concurrent actors exchanging messages over channels.
+//!
+//! The batch-oriented APIs ([`InsituNode::process_stage`],
+//! [`CloudEndpoint::incremental_update`]) are what the experiments
+//! drive; this module wires them into a live system the way a real
+//! deployment would run — the node consuming a sensor stream on its
+//! own thread, shipping valuable data upstream, and hot-swapping model
+//! updates as they arrive.
+
+use crate::error::CoreError;
+use crate::node::InsituNode;
+use crate::update::CloudEndpoint;
+use crate::Result;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use insitu_data::Dataset;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread;
+
+/// A message from the node to the Cloud uplink.
+#[derive(Debug)]
+enum Uplink {
+    /// Valuable data for incremental training.
+    Valuable(Dataset),
+    /// End of stream.
+    Shutdown,
+}
+
+/// Statistics of one completed streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Batches the node processed.
+    pub batches: u64,
+    /// Images the node examined.
+    pub images_seen: u64,
+    /// Images uploaded to the Cloud.
+    pub images_uploaded: u64,
+    /// Model updates installed on the node.
+    pub updates_installed: u64,
+}
+
+/// Runs a live session: feeds every dataset from `stream` through the
+/// node on a worker thread while a Cloud thread consumes the uploads
+/// and pushes back model updates, which the node installs between
+/// batches. Returns the final node together with session statistics.
+///
+/// The Cloud is shared behind a mutex so callers keep ownership of
+/// whatever state their [`CloudEndpoint`] carries.
+///
+/// # Errors
+///
+/// Returns the first error raised by either actor.
+pub fn run_streaming_session<C>(
+    mut node: InsituNode,
+    cloud: Arc<Mutex<C>>,
+    stream: Vec<Dataset>,
+    batch_size: usize,
+) -> Result<(InsituNode, SessionStats)>
+where
+    C: CloudEndpoint + Send + 'static,
+{
+    let (up_tx, up_rx): (Sender<Uplink>, Receiver<Uplink>) = bounded(4);
+    // The downlink must never apply backpressure: if it were bounded,
+    // a full downlink would block the Cloud while the node is blocked
+    // on a full uplink — a circular wait. Updates are small snapshots
+    // and the node drains them between batches, so unbounded is safe.
+    let (down_tx, down_rx) = unbounded::<crate::update::ModelUpdate>();
+
+    // Cloud actor: train on whatever arrives, ship updates back.
+    let cloud_thread = thread::spawn(move || -> Result<u64> {
+        let mut served = 0u64;
+        while let Ok(msg) = up_rx.recv() {
+            match msg {
+                Uplink::Shutdown => break,
+                Uplink::Valuable(data) => {
+                    let update = cloud.lock().incremental_update(&data)?;
+                    served += 1;
+                    // The node may have exited; a closed channel is fine.
+                    if down_tx.send(update).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(served)
+    });
+
+    // Node actor (this thread): process the stream, install updates
+    // opportunistically between batches.
+    let mut stats = SessionStats {
+        batches: 0,
+        images_seen: 0,
+        images_uploaded: 0,
+        updates_installed: 0,
+    };
+    let mut first_error: Option<CoreError> = None;
+    for data in stream {
+        // Install any updates that arrived while we were busy.
+        while let Ok(update) = down_rx.try_recv() {
+            node.install_update(&update)?;
+            stats.updates_installed += 1;
+        }
+        let outcome = node.process_stage(&data, batch_size)?;
+        stats.batches += 1;
+        stats.images_seen += data.len() as u64;
+        stats.images_uploaded += outcome.valuable.len() as u64;
+        if !outcome.valuable.is_empty() {
+            let payload = node.upload_payload(&data, &outcome)?;
+            if up_tx.send(Uplink::Valuable(payload)).is_err() {
+                first_error = Some(CoreError::BadConfig {
+                    reason: "cloud thread hung up early".into(),
+                });
+                break;
+            }
+        }
+    }
+    let _ = up_tx.send(Uplink::Shutdown);
+    // Drain the final updates so the returned node is as fresh as
+    // possible.
+    match cloud_thread.join() {
+        Ok(Ok(_served)) => {}
+        Ok(Err(e)) => return Err(e),
+        Err(_) => {
+            return Err(CoreError::BadConfig { reason: "cloud thread panicked".into() })
+        }
+    }
+    while let Ok(update) = down_rx.try_recv() {
+        node.install_update(&update)?;
+        stats.updates_installed += 1;
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok((node, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnosis::DiagnosisPolicy;
+    use crate::update::ModelUpdate;
+    use insitu_data::{Condition, PermutationSet};
+    use insitu_nn::models::{jigsaw_network, mini_alexnet};
+    use insitu_nn::serialize::state_dict;
+    use insitu_nn::transfer::transfer_and_freeze;
+    use insitu_tensor::Rng;
+
+    /// A trivially fast Cloud double: echoes back the same weights.
+    #[derive(Debug)]
+    struct EchoCloud {
+        params: Vec<insitu_tensor::Tensor>,
+        version: u32,
+    }
+
+    impl CloudEndpoint for EchoCloud {
+        fn incremental_update(&mut self, uploaded: &Dataset) -> Result<ModelUpdate> {
+            let _ = uploaded;
+            self.version += 1;
+            Ok(ModelUpdate {
+                version: self.version,
+                inference_params: self.params.clone(),
+                jigsaw_params: None,
+                training_ops: 1,
+            })
+        }
+    }
+
+    fn make_node(seed: u64) -> InsituNode {
+        let mut rng = Rng::seed_from(seed);
+        let jigsaw = jigsaw_network(8, &mut rng).unwrap();
+        let mut inference = mini_alexnet(4, &mut rng).unwrap();
+        transfer_and_freeze(jigsaw.trunk(), &mut inference, 3, 3).unwrap();
+        let set = PermutationSet::generate(8, &mut rng).unwrap();
+        InsituNode::new(inference, jigsaw, set, DiagnosisPolicy::Oracle, 3, seed).unwrap()
+    }
+
+    #[test]
+    fn streaming_session_processes_and_updates() {
+        let mut node = make_node(5);
+        let params = state_dict(node.inference_mut());
+        let cloud = Arc::new(Mutex::new(EchoCloud { params, version: 0 }));
+        let mut rng = Rng::seed_from(9);
+        let stream: Vec<Dataset> = (0..3)
+            .map(|_| Dataset::generate(20, 4, &Condition::in_situ(), &mut rng).unwrap())
+            .collect();
+        let (node, stats) = run_streaming_session(node, cloud, stream, 8).unwrap();
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.images_seen, 60);
+        assert!(stats.images_uploaded > 0); // untrained model errs plenty
+        assert!(stats.updates_installed >= 1);
+        assert!(node.version() >= 1);
+    }
+
+    #[test]
+    fn long_streams_do_not_deadlock() {
+        // Regression test: with a bounded downlink, a stream longer
+        // than the channel capacity deadlocked (node blocked on the
+        // uplink, Cloud blocked on the downlink).
+        let mut node = make_node(8);
+        let params = state_dict(node.inference_mut());
+        let cloud = Arc::new(Mutex::new(EchoCloud { params, version: 0 }));
+        let mut rng = Rng::seed_from(10);
+        let stream: Vec<Dataset> = (0..12)
+            .map(|_| Dataset::generate(8, 4, &Condition::in_situ(), &mut rng).unwrap())
+            .collect();
+        let (_, stats) = run_streaming_session(node, cloud, stream, 8).unwrap();
+        assert_eq!(stats.batches, 12);
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let node = make_node(6);
+        let params = {
+            let mut n = make_node(6);
+            state_dict(n.inference_mut())
+        };
+        let cloud = Arc::new(Mutex::new(EchoCloud { params, version: 0 }));
+        let (node, stats) = run_streaming_session(node, cloud, vec![], 8).unwrap();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.images_seen, 0);
+        assert_eq!(node.version(), 0);
+    }
+}

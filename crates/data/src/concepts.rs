@@ -1,0 +1,248 @@
+//! Procedural "species" renderer: the synthetic stand-in for camera-trap
+//! imagery.
+//!
+//! Each class is a parametric texture (stripes, spots, rings or
+//! checkers at a class-specific orientation, frequency and palette)
+//! rendered with per-instance variation — position jitter, phase, scale
+//! and clutter — so recognition is learnable but not trivial, and the
+//! spatial structure is rich enough for the jigsaw context-prediction
+//! task to carry signal.
+
+use crate::error::DataError;
+use crate::Result;
+use insitu_tensor::{Rng, Tensor};
+
+/// Image edge length used across the reproduction (matches
+/// `insitu_nn::models::IMAGE_SIZE`).
+pub const IMAGE_SIZE: usize = 36;
+/// Color channels.
+pub const CHANNELS: usize = 3;
+
+/// The texture family a class renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Oriented sinusoidal stripes (zebra-like).
+    Stripes,
+    /// A lattice of bright spots (leopard-like).
+    Spots,
+    /// Concentric rings around a moving center.
+    Rings,
+    /// A smoothed checkerboard.
+    Checker,
+}
+
+impl PatternKind {
+    fn from_index(i: usize) -> PatternKind {
+        match i % 4 {
+            0 => PatternKind::Stripes,
+            1 => PatternKind::Spots,
+            2 => PatternKind::Rings,
+            _ => PatternKind::Checker,
+        }
+    }
+}
+
+/// The immutable parameters that define one class ("species").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Class index.
+    pub class: usize,
+    /// Texture family.
+    pub kind: PatternKind,
+    /// Texture orientation in radians.
+    pub angle: f32,
+    /// Spatial frequency (cycles across the image).
+    pub frequency: f32,
+    /// Foreground RGB color, each in `[0, 1]`.
+    pub color: [f32; 3],
+    /// Background RGB color.
+    pub background: [f32; 3],
+}
+
+impl Concept {
+    /// Derives the deterministic parameters of class `class` out of
+    /// `num_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] if `class >= num_classes` or
+    /// `num_classes == 0`.
+    pub fn for_class(class: usize, num_classes: usize) -> Result<Concept> {
+        if num_classes == 0 || class >= num_classes {
+            return Err(DataError::BadConfig {
+                reason: format!("class {class} out of {num_classes}"),
+            });
+        }
+        // Only three hues cycle across classes, so color alone cannot
+        // identify a class — several classes share a hue and differ
+        // only in texture. This forces the CNN to learn shape/texture
+        // features (which is also what makes conv-feature transfer
+        // meaningful, as in real imagery).
+        let hue = (class % 3) as f32 / 3.0 + (class / 12) as f32 * 0.11;
+        let color = hue_to_rgb(hue % 1.0);
+        let background = hue_to_rgb((hue + 0.5) % 1.0).map(|v| v * 0.25);
+        let kind = PatternKind::from_index(class);
+        let angle = ((class / 4) % 3) as f32 * 0.55 + 0.25;
+        let frequency = 2.5 + ((class / 4) % 3) as f32 * 1.3;
+        Ok(Concept { class, kind, angle, frequency, color, background })
+    }
+
+    /// Renders one instance of this concept with per-instance variation
+    /// drawn from `rng`. Output shape is `(3, 36, 36)` with values in
+    /// `[0, 1]`.
+    ///
+    /// The texture fills an elliptical "body" against a darker
+    /// background with a fixed illumination gradient. The scene is
+    /// therefore **spatially non-stationary** — tiles from different
+    /// grid positions look different — which is what makes the jigsaw
+    /// context-prediction task informative (exactly as in natural
+    /// camera-trap imagery).
+    pub fn render(&self, rng: &mut Rng) -> Tensor {
+        let phase = rng.uniform(0.0, std::f32::consts::TAU);
+        let jitter_x = rng.uniform(-0.15, 0.15);
+        let jitter_y = rng.uniform(-0.15, 0.15);
+        let scale = rng.uniform(0.85, 1.2);
+        let clutter = rng.uniform(0.02, 0.05);
+        // Body ellipse: slightly anisotropic, jittered around center.
+        let (body_cx, body_cy) = (rng.uniform(-0.15, 0.15), rng.uniform(-0.15, 0.15));
+        let (body_a, body_b) = (rng.uniform(0.55, 0.8), rng.uniform(0.45, 0.7));
+        let mut noise_rng = rng.fork();
+
+        let n = IMAGE_SIZE;
+        let mut data = vec![0f32; CHANNELS * n * n];
+        let (sin_a, cos_a) = self.angle.sin_cos();
+        for y in 0..n {
+            for x in 0..n {
+                // Normalized coordinates in [-1, 1], instance-jittered.
+                let xf = (x as f32 / (n - 1) as f32) * 2.0 - 1.0 + jitter_x;
+                let yf = (y as f32 / (n - 1) as f32) * 2.0 - 1.0 + jitter_y;
+                let (u, v) = (
+                    (xf * cos_a + yf * sin_a) * scale,
+                    (-xf * sin_a + yf * cos_a) * scale,
+                );
+                let f = self.frequency * std::f32::consts::PI;
+                let value = match self.kind {
+                    PatternKind::Stripes => 0.5 + 0.5 * (f * u + phase).sin(),
+                    PatternKind::Spots => {
+                        let s = (f * u + phase).sin() * (f * v + phase).sin();
+                        (s.max(0.0)).powf(1.5)
+                    }
+                    PatternKind::Rings => {
+                        let r = (u * u + v * v).sqrt();
+                        0.5 + 0.5 * (f * 1.4 * r + phase).sin()
+                    }
+                    PatternKind::Checker => {
+                        let s = (f * 0.8 * u + phase).sin() * (f * 0.8 * v + phase).sin();
+                        0.5 + 0.5 * (3.0 * s).tanh()
+                    }
+                };
+                // Smooth elliptical body mask (1 inside, →0 outside).
+                let rx = (xf - body_cx) / body_a;
+                let ry = (yf - body_cy) / body_b;
+                let r2 = rx * rx + ry * ry;
+                let mask = (1.0 - (r2 - 0.7).max(0.0) / 0.6).clamp(0.0, 1.0);
+                // Fixed top-lit illumination gradient on the background.
+                let glow = 0.18 * (1.0 - (yf + 1.0) / 2.0) + 0.06 * (xf + 1.0) / 2.0;
+                for c in 0..CHANNELS {
+                    let body = self.color[c] * value + self.background[c] * (1.0 - value);
+                    let bg = self.background[c] * 0.5 + glow;
+                    let fg = body * mask + bg * (1.0 - mask);
+                    let noisy = fg + noise_rng.normal_with(0.0, clutter);
+                    data[(c * n + y) * n + x] = noisy.clamp(0.0, 1.0);
+                }
+            }
+        }
+        Tensor::from_vec([CHANNELS, n, n], data).expect("render buffer sized correctly")
+    }
+}
+
+/// Converts a hue in `[0, 1)` (full saturation/value) to RGB.
+fn hue_to_rgb(h: f32) -> [f32; 3] {
+    let h6 = (h % 1.0) * 6.0;
+    let x = 1.0 - (h6 % 2.0 - 1.0).abs();
+    match h6 as usize {
+        0 => [1.0, x, 0.0],
+        1 => [x, 1.0, 0.0],
+        2 => [0.0, 1.0, x],
+        3 => [0.0, x, 1.0],
+        4 => [x, 0.0, 1.0],
+        _ => [1.0, 0.0, x],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concepts_are_deterministic() {
+        let a = Concept::for_class(3, 8).unwrap();
+        let b = Concept::for_class(3, 8).unwrap();
+        assert_eq!(a, b);
+        assert!(Concept::for_class(8, 8).is_err());
+        assert!(Concept::for_class(0, 0).is_err());
+    }
+
+    #[test]
+    fn classes_differ() {
+        let a = Concept::for_class(0, 8).unwrap();
+        let b = Concept::for_class(1, 8).unwrap();
+        assert_ne!(a.kind, b.kind);
+        assert_ne!(a.color, b.color);
+    }
+
+    #[test]
+    fn render_shape_and_range() {
+        let mut rng = Rng::seed_from(1);
+        let c = Concept::for_class(2, 8).unwrap();
+        let img = c.render(&mut rng);
+        assert_eq!(img.dims(), &[3, 36, 36]);
+        assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn instances_vary_but_share_structure() {
+        let mut rng = Rng::seed_from(2);
+        let c = Concept::for_class(0, 8).unwrap();
+        let a = c.render(&mut rng);
+        let b = c.render(&mut rng);
+        // Different instances differ...
+        assert!(a.max_abs_diff(&b).unwrap() > 0.05);
+        // ...but on average (over many pairs) less than instances of a
+        // different class: the class signal must dominate the nuisance.
+        let other = Concept::for_class(5, 8).unwrap();
+        let (mut intra, mut inter) = (0.0f32, 0.0f32);
+        let pairs = 24;
+        for _ in 0..pairs {
+            let x = c.render(&mut rng);
+            let y = c.render(&mut rng);
+            let z = other.render(&mut rng);
+            intra += x.sub(&y).unwrap().norm_sq();
+            inter += x.sub(&z).unwrap().norm_sq();
+        }
+        assert!(inter > intra, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn all_pattern_kinds_reachable() {
+        let kinds: Vec<PatternKind> =
+            (0..4).map(|i| Concept::for_class(i, 4).unwrap().kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PatternKind::Stripes,
+                PatternKind::Spots,
+                PatternKind::Rings,
+                PatternKind::Checker
+            ]
+        );
+    }
+
+    #[test]
+    fn hue_wheel_is_valid_rgb() {
+        for i in 0..12 {
+            let rgb = hue_to_rgb(i as f32 / 12.0);
+            assert!(rgb.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Labelled image datasets.
+
+use crate::concepts::{Concept, CHANNELS, IMAGE_SIZE};
+use crate::drift::Condition;
+use crate::error::DataError;
+use crate::Result;
+use insitu_tensor::{Rng, Tensor};
+
+/// A labelled set of synthetic IoT images, stored as one batched tensor
+/// `(N, 3, 36, 36)` plus per-sample class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Generates `n` images with uniformly random classes under the
+    /// given environment condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] if `num_classes == 0`.
+    pub fn generate(
+        n: usize,
+        num_classes: usize,
+        condition: &Condition,
+        rng: &mut Rng,
+    ) -> Result<Dataset> {
+        if num_classes == 0 {
+            return Err(DataError::BadConfig { reason: "num_classes must be > 0".into() });
+        }
+        let concepts: Vec<Concept> = (0..num_classes)
+            .map(|c| Concept::for_class(c, num_classes))
+            .collect::<Result<_>>()?;
+        let sample_len = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+        let mut data = Vec::with_capacity(n * sample_len);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cls = rng.below(num_classes);
+            let clean = concepts[cls].render(rng);
+            let seen = condition.apply(&clean, rng)?;
+            data.extend_from_slice(seen.as_slice());
+            labels.push(cls);
+        }
+        Ok(Dataset {
+            images: Tensor::from_vec([n, CHANNELS, IMAGE_SIZE, IMAGE_SIZE], data)?,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Builds a dataset from existing parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image count and label count disagree, or
+    /// a label is out of range.
+    pub fn from_parts(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Dataset> {
+        let n = images.dims().first().copied().unwrap_or(0);
+        if n != labels.len() {
+            return Err(DataError::BadConfig {
+                reason: format!("{n} images but {} labels", labels.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::BadConfig {
+                reason: format!("label {bad} out of range 0..{num_classes}"),
+            });
+        }
+        Ok(Dataset { images, labels, num_classes })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The batched image tensor `(N, 3, 36, 36)`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Per-sample labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The image at index `i` as a `(3, 36, 36)` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `i` is out of range.
+    pub fn image(&self, i: usize) -> Result<Tensor> {
+        if i >= self.len() {
+            return Err(DataError::BadConfig {
+                reason: format!("index {i} out of {}", self.len()),
+            });
+        }
+        let sample_len = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+        Ok(Tensor::from_vec(
+            [CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
+            self.images.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec(),
+        )?)
+    }
+
+    /// Copies the samples at `indices` into a new dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let sample_len = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::BadConfig {
+                    reason: format!("index {i} out of {}", self.len()),
+                });
+            }
+            data.extend_from_slice(&self.images.as_slice()[i * sample_len..(i + 1) * sample_len]);
+            labels.push(self.labels[i]);
+        }
+        Ok(Dataset {
+            images: Tensor::from_vec(
+                [indices.len(), CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
+                data,
+            )?,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Concatenates two datasets with the same class space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the class counts differ.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset> {
+        if self.num_classes != other.num_classes {
+            return Err(DataError::BadConfig {
+                reason: format!(
+                    "class spaces differ: {} vs {}",
+                    self.num_classes, other.num_classes
+                ),
+            });
+        }
+        let mut data = self.images.as_slice().to_vec();
+        data.extend_from_slice(other.images.as_slice());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let n = self.len() + other.len();
+        Ok(Dataset {
+            images: Tensor::from_vec([n, CHANNELS, IMAGE_SIZE, IMAGE_SIZE], data)?,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Splits into `(first k, rest)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `k > len`.
+    pub fn split_at(&self, k: usize) -> Result<(Dataset, Dataset)> {
+        if k > self.len() {
+            return Err(DataError::BadConfig {
+                reason: format!("split {k} out of {}", self.len()),
+            });
+        }
+        let head: Vec<usize> = (0..k).collect();
+        let tail: Vec<usize> = (k..self.len()).collect();
+        Ok((self.subset(&head)?, self.subset(&tail)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(rng: &mut Rng) -> Dataset {
+        Dataset::generate(20, 4, &Condition::ideal(), rng).unwrap()
+    }
+
+    #[test]
+    fn generate_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let d = small(&mut rng);
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.images().dims(), &[20, 3, 36, 36]);
+        assert_eq!(d.num_classes(), 4);
+        assert!(d.labels().iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Dataset::generate(8, 3, &Condition::ideal(), &mut Rng::seed_from(5)).unwrap();
+        let b = Dataset::generate(8, 3, &Condition::ideal(), &mut Rng::seed_from(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subset_and_image_access() {
+        let mut rng = Rng::seed_from(2);
+        let d = small(&mut rng);
+        let s = d.subset(&[3, 7, 1]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels()[0], d.labels()[3]);
+        assert_eq!(s.image(0).unwrap(), d.image(3).unwrap());
+        assert!(d.subset(&[99]).is_err());
+        assert!(d.image(99).is_err());
+    }
+
+    #[test]
+    fn concat_and_split() {
+        let mut rng = Rng::seed_from(3);
+        let a = small(&mut rng);
+        let b = small(&mut rng);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 40);
+        let (head, tail) = c.split_at(20).unwrap();
+        assert_eq!(head, a);
+        assert_eq!(tail.len(), 20);
+        assert!(c.split_at(41).is_err());
+        let other = Dataset::generate(4, 2, &Condition::ideal(), &mut rng).unwrap();
+        assert!(a.concat(&other).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let imgs = Tensor::zeros([2, 3, 36, 36]);
+        assert!(Dataset::from_parts(imgs.clone(), vec![0], 2).is_err());
+        assert!(Dataset::from_parts(imgs.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::from_parts(imgs, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn zero_classes_rejected() {
+        let mut rng = Rng::seed_from(4);
+        assert!(Dataset::generate(5, 0, &Condition::ideal(), &mut rng).is_err());
+    }
+}

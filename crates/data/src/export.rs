@@ -1,0 +1,149 @@
+//! PPM export: write synthetic images to disk for visual inspection.
+//!
+//! The binary `P6` PPM format needs no dependencies and opens in any
+//! image viewer — handy for eyeballing what the drift model does to a
+//! "species" (the `visualize_drift` example writes a gallery).
+
+use crate::concepts::{CHANNELS, IMAGE_SIZE};
+use crate::error::DataError;
+use crate::Result;
+use insitu_tensor::Tensor;
+use std::io::Write;
+use std::path::Path;
+
+/// Encodes a `(3, H, W)` image with values in `[0, 1]` as a binary PPM.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadImage`] if the tensor is not 3-channel 3-D.
+pub fn to_ppm(image: &Tensor) -> Result<Vec<u8>> {
+    let d = image.dims();
+    if d.len() != 3 || d[0] != CHANNELS {
+        return Err(DataError::BadImage {
+            expected: vec![CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
+            actual: d.to_vec(),
+        });
+    }
+    let (h, w) = (d[1], d[2]);
+    let mut out = Vec::with_capacity(32 + 3 * h * w);
+    out.extend_from_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+    let px = image.as_slice();
+    for y in 0..h {
+        for x in 0..w {
+            for c in 0..3 {
+                let v = (px[(c * h + y) * w + x].clamp(0.0, 1.0) * 255.0).round() as u8;
+                out.push(v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes an image to a `.ppm` file.
+///
+/// # Errors
+///
+/// Returns an error on shape or I/O failure.
+pub fn save_ppm(image: &Tensor, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = to_ppm(image)?;
+    let mut file = std::fs::File::create(path).map_err(|e| DataError::BadConfig {
+        reason: format!("cannot create PPM file: {e}"),
+    })?;
+    file.write_all(&bytes).map_err(|e| DataError::BadConfig {
+        reason: format!("cannot write PPM file: {e}"),
+    })?;
+    Ok(())
+}
+
+/// Tiles a list of same-sized images into one contiguous sheet image
+/// (`cols` across), with a 1-pixel black gutter.
+///
+/// # Errors
+///
+/// Returns an error if the list is empty or shapes disagree.
+pub fn contact_sheet(images: &[Tensor], cols: usize) -> Result<Tensor> {
+    let first = images.first().ok_or_else(|| DataError::BadConfig {
+        reason: "contact sheet needs at least one image".into(),
+    })?;
+    let d = first.dims().to_vec();
+    if d.len() != 3 {
+        return Err(DataError::BadImage { expected: vec![3, 0, 0], actual: d });
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    for img in images {
+        if img.dims() != [c, h, w] {
+            return Err(DataError::BadImage {
+                expected: vec![c, h, w],
+                actual: img.dims().to_vec(),
+            });
+        }
+    }
+    let cols = cols.max(1).min(images.len());
+    let rows = images.len().div_ceil(cols);
+    let (sheet_h, sheet_w) = (rows * (h + 1) - 1, cols * (w + 1) - 1);
+    let mut sheet = Tensor::zeros([c, sheet_h, sheet_w]);
+    let s = sheet.as_mut_slice();
+    for (i, img) in images.iter().enumerate() {
+        let (ty, tx) = (i / cols * (h + 1), i % cols * (w + 1));
+        let p = img.as_slice();
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    s[(ch * sheet_h + ty + y) * sheet_w + tx + x] = p[(ch * h + y) * w + x];
+                }
+            }
+        }
+    }
+    Ok(sheet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::Concept;
+    use insitu_tensor::Rng;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let mut rng = Rng::seed_from(1);
+        let img = Concept::for_class(0, 4).unwrap().render(&mut rng);
+        let ppm = to_ppm(&img).unwrap();
+        assert!(ppm.starts_with(b"P6\n36 36\n255\n"));
+        assert_eq!(ppm.len(), 13 + 3 * 36 * 36);
+        assert!(to_ppm(&Tensor::zeros([1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn ppm_pixel_values_clamped() {
+        let img = Tensor::filled([3, 2, 2], 2.0); // out of range
+        let ppm = to_ppm(&img).unwrap();
+        assert!(ppm[ppm.len() - 12..].iter().all(|&b| b == 255));
+    }
+
+    #[test]
+    fn contact_sheet_tiles() {
+        let a = Tensor::filled([3, 4, 4], 1.0);
+        let b = Tensor::filled([3, 4, 4], 0.5);
+        let sheet = contact_sheet(&[a, b], 2).unwrap();
+        assert_eq!(sheet.dims(), &[3, 4, 9]); // 2 tiles + 1px gutter
+        // Gutter column stays black.
+        assert_eq!(sheet.at(&[0, 0, 4]).unwrap(), 0.0);
+        assert_eq!(sheet.at(&[0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(sheet.at(&[0, 0, 5]).unwrap(), 0.5);
+        assert!(contact_sheet(&[], 2).is_err());
+        assert!(
+            contact_sheet(&[Tensor::zeros([3, 4, 4]), Tensor::zeros([3, 2, 2])], 2).is_err()
+        );
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let mut rng = Rng::seed_from(2);
+        let img = Concept::for_class(1, 4).unwrap().render(&mut rng);
+        let path = std::env::temp_dir().join("insitu_test_image.ppm");
+        save_ppm(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes, to_ppm(&img).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+}

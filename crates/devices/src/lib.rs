@@ -1,0 +1,32 @@
+//! # insitu-devices
+//!
+//! Analytical time, utilization and energy models of the paper's
+//! evaluation platforms: the TX1-class mobile GPU (Eqs. 2–3, 5–9), the
+//! VX690T-class FPGA built from tiled convolution engines (Eqs. 4,
+//! 12), the Titan X-class Cloud trainer, and the IoT uplink. These
+//! models drive the Single-running configuration planner and every
+//! microarchitecture figure of the evaluation (Figs. 11–16, 21).
+//!
+//! ## Example
+//!
+//! ```
+//! use insitu_devices::{GpuModel, NetworkShapes};
+//!
+//! let gpu = GpuModel::tx1();
+//! let alexnet = NetworkShapes::alexnet();
+//! // Pick the optimal batch under a 100 ms deadline (paper Fig. 21).
+//! let batch = gpu.optimal_batch(&alexnet, 0.1, 128).unwrap();
+//! assert!(gpu.batch_latency(&alexnet, batch) <= 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fpga;
+mod gpu;
+mod layers;
+mod spec;
+
+pub use fpga::{best_tiling, FpgaBreakdown, FpgaModel, Tiling};
+pub use gpu::{GpuBreakdown, GpuModel};
+pub use layers::{ConvShape, FcShape, LayerShape, NetworkShapes};
+pub use spec::{CloudGpuSpec, FpgaSpec, GpuSpec, UplinkSpec};

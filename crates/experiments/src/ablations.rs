@@ -1,0 +1,441 @@
+//! Design-space ablations for the choices the paper motivates but does
+//! not sweep:
+//!
+//! * **diagnosis policy** — the realizable unsupervised policies vs
+//!   the oracle: upload fraction and recall of truly-mispredicted data;
+//! * **share depth** — how many conv layers to share/lock in the
+//!   incremental loop (generalizes Fig. 6 end-to-end);
+//! * **WSS group size** — throughput across forced `WSS_Groupsize`
+//!   values under the Eq. (10) DSP constraint;
+//! * **permutation-set size** — jigsaw class count vs pre-train task
+//!   accuracy and transfer quality.
+
+use crate::report::{f, pct, Table};
+use crate::scale::Scale;
+use crate::Result;
+use insitu_cloud::{build_inference, fine_tune, pretrain, DeployConfig, IncrementalConfig, PretrainConfig};
+use insitu_core::{diagnose, DiagnosisPolicy};
+use insitu_data::{Condition, Dataset};
+use insitu_devices::{FpgaSpec, NetworkShapes};
+use insitu_fpga::WssNwsPipeline;
+use insitu_nn::{evaluate, LabeledBatch};
+use insitu_tensor::Rng;
+
+/// One diagnosis-policy evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRow {
+    /// Policy description.
+    pub policy: String,
+    /// Fraction of the stream the policy uploads.
+    pub upload_fraction: f64,
+    /// Recall: fraction of truly mispredicted samples flagged.
+    pub recall: f64,
+    /// Precision: fraction of flagged samples truly mispredicted.
+    pub precision: f64,
+}
+
+/// Diagnosis-policy ablation output.
+#[derive(Debug, Clone)]
+pub struct PolicyOutput {
+    /// One row per policy.
+    pub rows: Vec<PolicyRow>,
+}
+
+impl PolicyOutput {
+    /// Renders the ablation as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Ablation: diagnosis policy (vs oracle ground truth)",
+            &["policy", "upload fraction", "recall", "precision"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.policy.clone(),
+                pct(r.upload_fraction),
+                pct(r.recall),
+                pct(r.precision),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the diagnosis-policy ablation on a drifted stream.
+///
+/// # Errors
+///
+/// Returns an error on training failures.
+pub fn diagnosis_policy(scale: Scale, seed: u64) -> Result<PolicyOutput> {
+    let mut rng = Rng::seed_from(seed);
+    let classes = scale.classes();
+    let raw = Dataset::generate(
+        150 * scale.images_per_k(),
+        classes,
+        &Condition::ideal(),
+        &mut rng,
+    )?;
+    let labeled =
+        Dataset::generate(50 * scale.images_per_k(), classes, &Condition::ideal(), &mut rng)?;
+    let stream = Dataset::generate(
+        scale.pick(24, 150, 300),
+        classes,
+        &Condition::with_severity(0.6)?,
+        &mut rng,
+    )?;
+    let pre = pretrain(
+        &raw,
+        &PretrainConfig {
+            permutations: scale.permutations(),
+            epochs: scale.pick(2, 10, 14),
+            batch_size: 16,
+            lr: 0.015,
+        },
+        &mut rng,
+    )?;
+    let (mut inference, _) = build_inference(
+        &pre,
+        &labeled,
+        &DeployConfig { epochs: scale.pick(2, 10, 14), ..Default::default() },
+        &mut rng,
+    )?;
+    let mut jigsaw = pre.jigsaw;
+    let set = pre.set;
+
+    // Ground truth: the oracle's verdicts.
+    let oracle = diagnose(
+        DiagnosisPolicy::Oracle,
+        &mut inference,
+        &mut jigsaw,
+        &set,
+        &stream,
+        32,
+        &mut rng,
+    )?;
+    let truly_bad: Vec<bool> = oracle.iter().map(|v| v.valuable).collect();
+    let bad_count = truly_bad.iter().filter(|&&b| b).count().max(1);
+
+    let policies = vec![
+        ("oracle".to_string(), DiagnosisPolicy::Oracle),
+        ("jigsaw-probe(3)".to_string(), DiagnosisPolicy::JigsawProbe { probes: 3 }),
+        (
+            "jigsaw-confidence(0.5)".to_string(),
+            DiagnosisPolicy::JigsawConfidence { threshold: 0.5 },
+        ),
+        (
+            "inference-confidence(0.6)".to_string(),
+            DiagnosisPolicy::InferenceConfidence { threshold: 0.6 },
+        ),
+        (
+            "inference-confidence(0.9)".to_string(),
+            DiagnosisPolicy::InferenceConfidence { threshold: 0.9 },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let verdicts =
+            diagnose(policy, &mut inference, &mut jigsaw, &set, &stream, 32, &mut rng)?;
+        let flagged: Vec<bool> = verdicts.iter().map(|v| v.valuable).collect();
+        let uploads = flagged.iter().filter(|&&b| b).count();
+        let hits = flagged
+            .iter()
+            .zip(&truly_bad)
+            .filter(|(&flag, &bad)| flag && bad)
+            .count();
+        rows.push(PolicyRow {
+            policy: name,
+            upload_fraction: uploads as f64 / stream.len() as f64,
+            recall: hits as f64 / bad_count as f64,
+            precision: if uploads == 0 { 1.0 } else { hits as f64 / uploads as f64 },
+        });
+    }
+    Ok(PolicyOutput { rows })
+}
+
+/// One share-depth evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareDepthRow {
+    /// Conv layers shared/locked during the incremental update.
+    pub depth: usize,
+    /// Accuracy after one drifted-stage update.
+    pub accuracy: f32,
+    /// Modeled update cost in ops.
+    pub update_ops: u64,
+}
+
+/// Share-depth ablation output.
+#[derive(Debug, Clone)]
+pub struct ShareDepthOutput {
+    /// One row per depth.
+    pub rows: Vec<ShareDepthRow>,
+}
+
+impl ShareDepthOutput {
+    /// Renders the ablation as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Ablation: shared-layer depth in the incremental loop",
+            &["shared convs", "accuracy after update", "update ops", "vs depth 0"],
+        );
+        let base = self.rows.first().map_or(1, |r| r.update_ops).max(1);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.depth.to_string(),
+                pct(r.accuracy as f64),
+                format!("{:.2e}", r.update_ops as f64),
+                format!("{}x", f(base as f64 / r.update_ops.max(1) as f64, 2)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the share-depth ablation: one drifted incremental update with
+/// the first `depth` conv layers locked, for several depths.
+///
+/// # Errors
+///
+/// Returns an error on training failures.
+pub fn share_depth(scale: Scale, seed: u64) -> Result<ShareDepthOutput> {
+    let mut rng = Rng::seed_from(seed);
+    let classes = scale.classes();
+    let base_set = Dataset::generate(
+        80 * scale.images_per_k(),
+        classes,
+        &Condition::ideal(),
+        &mut rng,
+    )?;
+    let drifted = Dataset::generate(
+        60 * scale.images_per_k(),
+        classes,
+        &Condition::with_severity(0.6)?,
+        &mut rng,
+    )?;
+    let eval = Dataset::generate(
+        scale.eval_images(),
+        classes,
+        &Condition::with_severity(0.6)?,
+        &mut rng,
+    )?;
+    // One shared base model.
+    let (base_net, _) = insitu_cloud::build_from_scratch(
+        &base_set,
+        scale.pick(2, 10, 14),
+        16,
+        0.005,
+        &mut rng,
+    )?;
+    let base_params = {
+        let mut net = base_net;
+        insitu_nn::serialize::state_dict(&mut net)
+    };
+    let inc = IncrementalConfig { epochs: scale.fine_tune_epochs(), batch_size: 16, lr: 0.01 };
+    let mut rows = Vec::new();
+    for depth in [0usize, 1, 3, 5] {
+        let mut net = insitu_nn::models::mini_alexnet(classes, &mut rng)?;
+        insitu_nn::serialize::load_state_dict(&mut net, &base_params)?;
+        net.freeze_first_convs(depth)?;
+        let report = fine_tune(&mut net, &drifted, &inc, &mut rng)?;
+        let accuracy =
+            evaluate(&mut net, LabeledBatch::new(eval.images(), eval.labels())?, 32)?;
+        rows.push(ShareDepthRow { depth, accuracy, update_ops: report.total_ops });
+    }
+    Ok(ShareDepthOutput { rows })
+}
+
+/// One WSS-group-size evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WssGroupRow {
+    /// Forced `WSS_Groupsize`.
+    pub group_size: usize,
+    /// Steady-state throughput at batch 8, images/s (`None` =
+    /// violates the DSP constraint).
+    pub throughput: Option<f64>,
+}
+
+/// WSS-group ablation output.
+#[derive(Debug, Clone)]
+pub struct WssGroupOutput {
+    /// One row per group size tried.
+    pub rows: Vec<WssGroupRow>,
+    /// The group size `configure` would pick.
+    pub auto_pick: usize,
+}
+
+impl WssGroupOutput {
+    /// Renders the ablation as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Ablation: WSS_Groupsize under Eq. 10 (auto pick = {})",
+                self.auto_pick
+            ),
+            &["group size", "throughput (img/s)"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.group_size.to_string(),
+                r.throughput.map_or("x (over budget)".into(), |v| f(v, 1)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the WSS group-size ablation (purely analytical).
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn wss_group() -> Result<WssGroupOutput> {
+    let net = NetworkShapes::alexnet();
+    let spec = FpgaSpec::vx690t();
+    let convs = net.convs();
+    let fcs = net.fcs();
+    let auto = WssNwsPipeline::configure(spec, &convs, &fcs);
+    let rows = (1..=8)
+        .map(|group_size| WssGroupRow {
+            group_size,
+            throughput: WssNwsPipeline::configure_fixed_group(spec, &fcs, group_size)
+                .map(|p| p.throughput(&convs, &fcs, 8)),
+        })
+        .collect();
+    Ok(WssGroupOutput { rows, auto_pick: auto.group_size })
+}
+
+/// One permutation-set-size evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PermSetRow {
+    /// Jigsaw class count.
+    pub permutations: usize,
+    /// Accuracy on the jigsaw task itself.
+    pub jigsaw_accuracy: f32,
+    /// Inference accuracy after transfer + fine-tune on limited labels.
+    pub transfer_accuracy: f32,
+}
+
+/// Permutation-set ablation output.
+#[derive(Debug, Clone)]
+pub struct PermSetOutput {
+    /// One row per set size.
+    pub rows: Vec<PermSetRow>,
+}
+
+impl PermSetOutput {
+    /// Renders the ablation as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Ablation: jigsaw permutation-set size",
+            &["permutations", "jigsaw acc", "transfer acc"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.permutations.to_string(),
+                pct(r.jigsaw_accuracy as f64),
+                pct(r.transfer_accuracy as f64),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the permutation-set-size ablation.
+///
+/// # Errors
+///
+/// Returns an error on training failures.
+pub fn permutation_set(scale: Scale, seed: u64) -> Result<PermSetOutput> {
+    let mut rng = Rng::seed_from(seed);
+    let classes = scale.classes();
+    let raw = Dataset::generate(
+        150 * scale.images_per_k(),
+        classes,
+        &Condition::ideal(),
+        &mut rng,
+    )?;
+    let labeled =
+        Dataset::generate(40 * scale.images_per_k(), classes, &Condition::ideal(), &mut rng)?;
+    let eval =
+        Dataset::generate(scale.eval_images(), classes, &Condition::ideal(), &mut rng)?;
+    let mut rows = Vec::new();
+    for permutations in [4usize, 8, 16] {
+        let pre = pretrain(
+            &raw,
+            &PretrainConfig {
+                permutations,
+                epochs: scale.pick(2, 10, 14),
+                batch_size: 16,
+                lr: 0.015,
+            },
+            &mut rng,
+        )?;
+        let (mut net, _) = build_inference(
+            &pre,
+            &labeled,
+            &DeployConfig { epochs: scale.pick(2, 10, 14), ..Default::default() },
+            &mut rng,
+        )?;
+        let transfer_accuracy =
+            evaluate(&mut net, LabeledBatch::new(eval.images(), eval.labels())?, 32)?;
+        rows.push(PermSetRow {
+            permutations,
+            jigsaw_accuracy: pre.task_accuracy,
+            transfer_accuracy,
+        });
+    }
+    Ok(PermSetOutput { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_ablation_smoke() {
+        let out = diagnosis_policy(Scale::Smoke, 7).unwrap();
+        assert_eq!(out.rows.len(), 5);
+        let oracle = &out.rows[0];
+        assert!((oracle.recall - 1.0).abs() < 1e-9);
+        assert!((oracle.precision - 1.0).abs() < 1e-9);
+        for r in &out.rows {
+            assert!((0.0..=1.0).contains(&r.upload_fraction));
+            assert!((0.0..=1.0).contains(&r.recall));
+            assert!((0.0..=1.0).contains(&r.precision));
+        }
+    }
+
+    #[test]
+    fn share_depth_smoke_cost_monotone() {
+        let out = share_depth(Scale::Smoke, 8).unwrap();
+        assert_eq!(out.rows.len(), 4);
+        for w in out.rows.windows(2) {
+            assert!(w[1].update_ops < w[0].update_ops);
+        }
+    }
+
+    #[test]
+    fn wss_group_has_an_interior_optimum_or_boundary() {
+        let out = wss_group().unwrap();
+        assert!(out.auto_pick >= 1);
+        // Auto pick must be at least as good as every feasible forced pick.
+        let auto_tput = out
+            .rows
+            .iter()
+            .find(|r| r.group_size == out.auto_pick)
+            .and_then(|r| r.throughput)
+            .expect("auto pick is feasible");
+        for r in &out.rows {
+            if let Some(t) = r.throughput {
+                assert!(auto_tput >= t * 0.999, "group {} beats auto", r.group_size);
+            }
+        }
+        // Large groups eventually violate the DSP constraint.
+        assert!(out.rows.iter().any(|r| r.throughput.is_none()));
+    }
+
+    #[test]
+    fn permutation_set_smoke() {
+        let out = permutation_set(Scale::Smoke, 9).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.table().row_count(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--scale smoke|fast|full] [--seed N] [EXPERIMENT ...]
+//! repro --list
+//! ```
+//!
+//! With no experiment names, everything runs (the full evaluation
+//! section). Experiment names: `table1 fig5 fig6 fig7 fig11 fig12
+//! fig14 fig15 fig16 fig21 fig22 fig23 table2 fig25 ablations`.
+
+use insitu_experiments::{ablations, endtoend, Scale};
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "table1", "fig5", "fig6", "fig7", "fig11", "fig12", "fig14", "fig15", "fig16", "fig21",
+    "fig22", "fig23", "table2", "fig25", "ablations",
+];
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut seed = 42u64;
+    let mut picks: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for e in ALL {
+                    println!("{e}");
+                }
+                return;
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("fast") => Scale::Fast,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?} (smoke|fast|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => picks.push(other.to_string()),
+        }
+    }
+    if picks.is_empty() {
+        picks = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!("# In-situ AI reproduction — scale={scale}, seed={seed}\n");
+    let started = Instant::now();
+    // Table II and Fig. 25 come from one simulation: run it once.
+    let mut endtoend_cache: Option<endtoend::Output> = None;
+    for pick in &picks {
+        let t0 = Instant::now();
+        let result: Result<(), insitu_experiments::Error> = (|| {
+            match pick.as_str() {
+                "table1" => println!("{}", insitu_experiments::table1::run(scale, seed)?.table()),
+                "fig5" => println!("{}", insitu_experiments::fig5::run(scale, seed)?.table()),
+                "fig6" => println!("{}", insitu_experiments::fig6::run(scale, seed)?.table()),
+                "fig7" => println!("{}", insitu_experiments::fig7::run(scale, seed)?.table()),
+                "fig11" => println!("{}", insitu_experiments::fig11::run()?.table()),
+                "fig12" => println!("{}", insitu_experiments::fig12::run()?.table()),
+                "fig14" => println!("{}", insitu_experiments::fig14::run()?.table()),
+                "fig15" => println!("{}", insitu_experiments::fig15::run()?.table()),
+                "fig16" => println!("{}", insitu_experiments::fig16::run()?.table()),
+                "fig21" => println!("{}", insitu_experiments::fig21::run()?.table()),
+                "fig22" => println!("{}", insitu_experiments::fig22::run()?.table()),
+                "fig23" => println!("{}", insitu_experiments::fig23::run()?.table()),
+                "table2" | "fig25" => {
+                    if endtoend_cache.is_none() {
+                        endtoend_cache = Some(endtoend::run(scale, seed)?);
+                    }
+                    let out = endtoend_cache.as_ref().expect("just filled");
+                    if pick == "table2" {
+                        println!("{}", out.table2());
+                    } else {
+                        println!("{}", out.fig25());
+                        println!("{}", out.accuracy_table());
+                        println!("{}", out.headline().table());
+                    }
+                }
+                "ablations" => {
+                    println!("{}", ablations::diagnosis_policy(scale, seed)?.table());
+                    println!("{}", ablations::share_depth(scale, seed)?.table());
+                    println!("{}", ablations::wss_group()?.table());
+                    println!("{}", ablations::permutation_set(scale, seed)?.table());
+                }
+                other => {
+                    eprintln!("unknown experiment `{other}` (try --list)");
+                    std::process::exit(2);
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => println!("[{pick} done in {:.1} s]\n", t0.elapsed().as_secs_f64()),
+            Err(e) => {
+                eprintln!("{pick} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("# all done in {:.1} s", started.elapsed().as_secs_f64());
+}

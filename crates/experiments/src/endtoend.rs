@@ -1,0 +1,252 @@
+//! The end-to-end Cloud comparison: Table II (normalized data
+//! movement) and Fig. 25 (Cloud energy and model-update time) come
+//! from the same simulation — the four IoT system organizations of
+//! the paper's Fig. 24 processing an identical five-stage acquisition
+//! campaign.
+//!
+//! Headline claims this reproduces: data movement reduced by 28–71%,
+//! model-update speedup 1.4–3.3×, energy saving 30–70%.
+
+use crate::report::{bytes, f, pct, secs, Table};
+use crate::scale::Scale;
+use crate::Result;
+use insitu_cloud::{run_campaign, IncrementalConfig, StageReport, SystemConfig, SystemKind};
+use insitu_data::Campaign;
+
+/// The simulation's full output.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Stage reports per system, in (a)–(d) order.
+    pub reports: Vec<(SystemKind, Vec<StageReport>)>,
+    /// Stage names.
+    pub stage_names: Vec<String>,
+}
+
+/// Runs all four systems on the same campaign, in parallel threads.
+///
+/// # Errors
+///
+/// Returns an error on training failures in any variant.
+pub fn run(scale: Scale, seed: u64) -> Result<Output> {
+    let campaign = Campaign::paper_schedule(scale.images_per_k(), scale.classes(), seed)?;
+    let cfg = SystemConfig {
+        incremental: IncrementalConfig {
+            epochs: scale.fine_tune_epochs(),
+            batch_size: 16,
+            lr: 0.005,
+        },
+        bootstrap: IncrementalConfig { epochs: scale.epochs(), batch_size: 16, lr: 0.005 },
+        eval_per_stage: scale.eval_images(),
+        seed,
+        ..Default::default()
+    };
+    let stage_names: Vec<String> =
+        campaign.stages().iter().map(|s| s.name.clone()).collect();
+    let mut results: Vec<Option<(SystemKind, Vec<StageReport>)>> =
+        SystemKind::all().iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for kind in SystemKind::all() {
+            let campaign = &campaign;
+            let cfg = cfg.clone();
+            handles.push((
+                kind,
+                scope.spawn(move || run_campaign(kind, campaign, cfg)),
+            ));
+        }
+        for (slot, (kind, handle)) in results.iter_mut().zip(handles) {
+            let reports = handle
+                .join()
+                .map_err(|_| format!("campaign thread for {} panicked", kind.name()))
+                .and_then(|r| r.map_err(|e| e.to_string()));
+            *slot = Some((kind, reports.map_err(crate::Error::from)?));
+        }
+        Ok::<(), crate::Error>(())
+    })?;
+    Ok(Output {
+        reports: results.into_iter().map(|r| r.expect("filled above")).collect(),
+        stage_names,
+    })
+}
+
+impl Output {
+    /// Reports for one system kind.
+    pub fn of(&self, kind: SystemKind) -> &[StageReport] {
+        &self
+            .reports
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("all four kinds simulated")
+            .1
+    }
+
+    /// Table II: per-stage data movement of (c)/(d), normalized to the
+    /// all-data systems (a)/(b).
+    pub fn table2(&self) -> Table {
+        let mut t = Table::new(
+            "Table II: normalized data movement per update stage",
+            &{
+                let mut h = vec!["IoT system"];
+                h.extend(self.stage_names.iter().map(String::as_str));
+                h
+            }[..],
+        );
+        let a = self.of(SystemKind::Traditional);
+        let d = self.of(SystemKind::InsituAi);
+        let norm = |x: &StageReport, base: &StageReport| {
+            if base.uploaded_bytes == 0 {
+                0.0
+            } else {
+                x.uploaded_bytes as f64 / base.uploaded_bytes as f64
+            }
+        };
+        let mut row_ab = vec!["a/b".to_string()];
+        let mut row_cd = vec!["c/d".to_string()];
+        for (sa, sd) in a.iter().zip(d) {
+            row_ab.push(f(norm(sa, sa), 2));
+            row_cd.push(f(norm(sd, sa), 2));
+        }
+        t.push_row(row_ab);
+        t.push_row(row_cd);
+        t
+    }
+
+    /// Fig. 25: per-stage Cloud energy and model-update time for the
+    /// four systems, plus the speedup of (d) over (a).
+    pub fn fig25(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 25: Cloud energy and model-update time per stage",
+            &["stage", "system", "uploaded", "energy (J)", "update time", "d-speedup vs a"],
+        );
+        let a = self.of(SystemKind::Traditional);
+        for (i, name) in self.stage_names.iter().enumerate() {
+            for (kind, reports) in &self.reports {
+                let s = &reports[i];
+                let speed = if *kind == SystemKind::InsituAi {
+                    format!("{}x", f(a[i].update_time_s() / s.update_time_s().max(1e-12), 2))
+                } else {
+                    "-".into()
+                };
+                t.push_row(vec![
+                    name.clone(),
+                    kind.name().into(),
+                    bytes(s.uploaded_bytes),
+                    f(s.total_energy_j(), 1),
+                    secs(s.update_time_s()),
+                    speed,
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Accuracy trajectory table (sanity view: In-situ AI keeps pace
+    /// with the all-data system).
+    pub fn accuracy_table(&self) -> Table {
+        let mut t = Table::new("End-to-end accuracy per stage", &{
+            let mut h = vec!["system"];
+            h.extend(self.stage_names.iter().map(String::as_str));
+            h
+        });
+        for (kind, reports) in &self.reports {
+            let mut row = vec![kind.name().to_string()];
+            row.extend(reports.iter().map(|s| pct(s.accuracy_after as f64)));
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// Headline numbers over the post-bootstrap stages: data-movement
+    /// reduction, update-time speedup range, and energy saving of (d)
+    /// vs (a).
+    pub fn headline(&self) -> Headline {
+        let a = self.of(SystemKind::Traditional);
+        let d = self.of(SystemKind::InsituAi);
+        let post = 1..a.len();
+        let a_bytes: u64 = post.clone().map(|i| a[i].uploaded_bytes).sum();
+        let d_bytes: u64 = post.clone().map(|i| d[i].uploaded_bytes).sum();
+        let speedups: Vec<f64> = post
+            .clone()
+            .map(|i| a[i].update_time_s() / d[i].update_time_s().max(1e-12))
+            .collect();
+        let a_energy: f64 = post.clone().map(|i| a[i].total_energy_j()).sum();
+        let d_energy: f64 = post.clone().map(|i| d[i].total_energy_j()).sum();
+        Headline {
+            movement_reduction: 1.0 - d_bytes as f64 / a_bytes.max(1) as f64,
+            min_speedup: speedups.iter().copied().fold(f64::INFINITY, f64::min),
+            max_speedup: speedups.iter().copied().fold(0.0, f64::max),
+            energy_saving: 1.0 - d_energy / a_energy.max(1e-12),
+        }
+    }
+}
+
+/// The paper's abstract-level claims, measured on our campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Headline {
+    /// Fractional reduction in data movement (paper: 0.28–0.71).
+    pub movement_reduction: f64,
+    /// Smallest per-stage update speedup (paper: 1.4×).
+    pub min_speedup: f64,
+    /// Largest per-stage update speedup (paper: 3.3×).
+    pub max_speedup: f64,
+    /// Fractional energy saving (paper: 0.30–0.70).
+    pub energy_saving: f64,
+}
+
+impl Headline {
+    /// Renders the headline as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Headline: In-situ AI (d) vs traditional (a)",
+            &["metric", "measured", "paper"],
+        );
+        t.push_row(vec![
+            "data movement reduction".into(),
+            pct(self.movement_reduction),
+            "28-71%".into(),
+        ]);
+        t.push_row(vec![
+            "update speedup".into(),
+            format!("{}x - {}x", f(self.min_speedup, 2), f(self.max_speedup, 2)),
+            "1.4x - 3.3x".into(),
+        ]);
+        t.push_row(vec![
+            "energy saving".into(),
+            pct(self.energy_saving),
+            "30-70%".into(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_preserves_orderings() {
+        let out = run(Scale::Smoke, 5).unwrap();
+        assert_eq!(out.reports.len(), 4);
+        assert_eq!(out.stage_names.len(), 5);
+        let a = out.of(SystemKind::Traditional);
+        let b = out.of(SystemKind::CloudDiagnosis);
+        let c = out.of(SystemKind::InsituDiagnosis);
+        let d = out.of(SystemKind::InsituAi);
+        for i in 1..5 {
+            // a and b move everything; c and d move less.
+            assert_eq!(a[i].uploaded_bytes, b[i].uploaded_bytes);
+            assert!(c[i].uploaded_bytes <= a[i].uploaded_bytes);
+            assert!(d[i].uploaded_bytes <= a[i].uploaded_bytes);
+            // d's update is never slower than a's.
+            assert!(d[i].update_time_s() <= a[i].update_time_s() * 1.001);
+        }
+        let h = out.headline();
+        assert!(h.movement_reduction >= 0.0 && h.movement_reduction <= 1.0);
+        assert!(h.max_speedup >= h.min_speedup);
+        // Tables render.
+        assert_eq!(out.table2().row_count(), 2);
+        assert_eq!(out.fig25().row_count(), 20);
+        assert_eq!(out.accuracy_table().row_count(), 4);
+        assert_eq!(h.table().row_count(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 11 — inference latency and performance/power ratio across
+//! batch sizes on the mobile GPU and the FPGA (AlexNet).
+//!
+//! Expected shape: latency grows with batch on both platforms; the
+//! GPU's perf/W improves markedly with batch while the FPGA's stays
+//! nearly flat.
+
+use crate::report::{f, secs, Table};
+use crate::Result;
+use insitu_devices::{FpgaModel, GpuModel, NetworkShapes};
+
+/// One batch-size measurement point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Batch size.
+    pub batch: usize,
+    /// GPU batch latency, seconds.
+    pub gpu_latency_s: f64,
+    /// GPU perf/W, images/s/W.
+    pub gpu_ppw: f64,
+    /// FPGA batch latency, seconds.
+    pub fpga_latency_s: f64,
+    /// FPGA perf/W, images/s/W.
+    pub fpga_ppw: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Batch sweep points.
+    pub points: Vec<Point>,
+}
+
+/// The batch sizes swept (paper plots 1..128).
+pub const BATCHES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let net = NetworkShapes::alexnet();
+    let gpu = GpuModel::tx1();
+    // The characterization figure uses the state-of-the-art FPGA
+    // design of the paper's Fig. 9, which has no FCN batch loop —
+    // the batching optimization is introduced later (Fig. 13).
+    let fpga = FpgaModel::vx690t().with_fcn_batch_opt(false);
+    let points = BATCHES
+        .iter()
+        .map(|&batch| Point {
+            batch,
+            gpu_latency_s: gpu.batch_latency(&net, batch),
+            gpu_ppw: gpu.perf_per_watt(&net, batch),
+            fpga_latency_s: fpga.batch_latency(&net, batch),
+            fpga_ppw: fpga.perf_per_watt(&net, batch),
+        })
+        .collect();
+    Ok(Output { points })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 11: AlexNet latency & perf/power vs batch size",
+            &["batch", "GPU latency", "GPU img/s/W", "FPGA latency", "FPGA img/s/W"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.batch.to_string(),
+                secs(p.gpu_latency_s),
+                f(p.gpu_ppw, 2),
+                secs(p.fpga_latency_s),
+                f(p.fpga_ppw, 2),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let out = run().unwrap();
+        assert_eq!(out.points.len(), BATCHES.len());
+        // Latency grows with batch on both platforms.
+        for w in out.points.windows(2) {
+            assert!(w[1].gpu_latency_s > w[0].gpu_latency_s);
+            assert!(w[1].fpga_latency_s > w[0].fpga_latency_s);
+        }
+        // GPU perf/W improves substantially; FPGA stays nearly flat.
+        let first = &out.points[0];
+        let last = &out.points[BATCHES.len() - 1];
+        assert!(last.gpu_ppw > 1.5 * first.gpu_ppw);
+        assert!(last.fpga_ppw < 1.5 * first.fpga_ppw);
+        // GPU is the more energy-efficient single-task platform.
+        assert!(first.gpu_ppw > first.fpga_ppw);
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let out = run().unwrap();
+        assert_eq!(out.table().row_count(), BATCHES.len());
+    }
+}

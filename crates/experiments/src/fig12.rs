@@ -1,0 +1,95 @@
+//! Fig. 12 — runtime breakdown of the inference task (CONV vs FCN)
+//! across batch sizes, on GPU and FPGA.
+//!
+//! Expected shape: FCN layers account for a large share (paper: up to
+//! ~50%) at batch sizes 1–4 and shrink as batching amortizes the FCN
+//! weights.
+
+use crate::report::{pct, Table};
+use crate::Result;
+use insitu_devices::{FpgaModel, GpuModel, NetworkShapes};
+
+/// One breakdown point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Batch size.
+    pub batch: usize,
+    /// FCN share of GPU runtime in `[0, 1]`.
+    pub gpu_fc_fraction: f64,
+    /// FCN share of FPGA runtime in `[0, 1]`.
+    pub fpga_fc_fraction: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Batch sweep points.
+    pub points: Vec<Point>,
+}
+
+/// The batch sizes swept.
+pub const BATCHES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the sweep. The FPGA here is the *unbatched* baseline design
+/// (paper Fig. 9), matching the characterization section.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let net = NetworkShapes::alexnet();
+    let gpu = GpuModel::tx1();
+    let fpga = FpgaModel::vx690t().with_fcn_batch_opt(false);
+    let points = BATCHES
+        .iter()
+        .map(|&batch| Point {
+            batch,
+            gpu_fc_fraction: gpu.batch_breakdown(&net, batch).fc_fraction(),
+            fpga_fc_fraction: fpga.batch_breakdown(&net, batch).fc_fraction(),
+        })
+        .collect();
+    Ok(Output { points })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 12: FCN share of AlexNet inference runtime",
+            &["batch", "GPU FCN share", "FPGA FCN share"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.batch.to_string(),
+                pct(p.gpu_fc_fraction),
+                pct(p.fpga_fc_fraction),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcn_is_heavy_at_small_batch_and_shrinks_on_gpu() {
+        let out = run().unwrap();
+        let b1 = &out.points[0];
+        assert!(b1.gpu_fc_fraction > 0.3, "gpu b1 {}", b1.gpu_fc_fraction);
+        assert!(b1.fpga_fc_fraction > 0.3, "fpga b1 {}", b1.fpga_fc_fraction);
+        let b32 = out.points.last().unwrap();
+        assert!(b32.gpu_fc_fraction < b1.gpu_fc_fraction / 2.0);
+    }
+
+    #[test]
+    fn fractions_are_valid() {
+        let out = run().unwrap();
+        for p in &out.points {
+            assert!((0.0..=1.0).contains(&p.gpu_fc_fraction));
+            assert!((0.0..=1.0).contains(&p.fpga_fc_fraction));
+        }
+        assert_eq!(out.table().row_count(), BATCHES.len());
+    }
+}

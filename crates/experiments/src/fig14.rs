@@ -1,0 +1,134 @@
+//! Fig. 14 — per-layer-class performance/power ratio across batch
+//! sizes: GPU CONV and FCN improve with batching; FPGA CONV is flat;
+//! FPGA FCN improves only with the paper's Fig. 13 batch loop.
+
+use crate::report::{f, Table};
+use crate::Result;
+use insitu_devices::{FpgaModel, GpuModel, NetworkShapes};
+
+/// One measurement point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Batch size.
+    pub batch: usize,
+    /// GPU CONV-only perf/W.
+    pub gpu_conv_ppw: f64,
+    /// GPU FCN-only perf/W.
+    pub gpu_fc_ppw: f64,
+    /// FPGA CONV-only perf/W (batch-independent by Eq. 4).
+    pub fpga_conv_ppw: f64,
+    /// FPGA FCN perf/W without the batch loop.
+    pub fpga_fc_ppw_nobatch: f64,
+    /// FPGA FCN perf/W with the batch loop.
+    pub fpga_fc_ppw_batch: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Batch sweep points.
+    pub points: Vec<Point>,
+}
+
+/// The batch sizes swept.
+pub const BATCHES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the sweep on AlexNet's layer classes in isolation.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let full = NetworkShapes::alexnet();
+    let conv_only = NetworkShapes::new(
+        "alexnet-conv",
+        full.layers.iter().copied().filter(|l| l.is_conv()).collect(),
+    );
+    let fc_only = NetworkShapes::new(
+        "alexnet-fc",
+        full.layers.iter().copied().filter(|l| !l.is_conv()).collect(),
+    );
+    let gpu = GpuModel::tx1();
+    let fpga_batch = FpgaModel::vx690t();
+    let fpga_nobatch = fpga_batch.with_fcn_batch_opt(false);
+    let points = BATCHES
+        .iter()
+        .map(|&batch| Point {
+            batch,
+            gpu_conv_ppw: gpu.perf_per_watt(&conv_only, batch),
+            gpu_fc_ppw: gpu.perf_per_watt(&fc_only, batch),
+            fpga_conv_ppw: fpga_batch.perf_per_watt(&conv_only, batch),
+            fpga_fc_ppw_nobatch: fpga_nobatch.perf_per_watt(&fc_only, batch),
+            fpga_fc_ppw_batch: fpga_batch.perf_per_watt(&fc_only, batch),
+        })
+        .collect();
+    Ok(Output { points })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 14: per-layer-class perf/power (img/s/W) vs batch",
+            &[
+                "batch",
+                "GPU conv",
+                "GPU fcn",
+                "FPGA conv",
+                "FPGA fcn",
+                "FPGA fcn+batch",
+            ],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.batch.to_string(),
+                f(p.gpu_conv_ppw, 2),
+                f(p.gpu_fc_ppw, 2),
+                f(p.fpga_conv_ppw, 2),
+                f(p.fpga_fc_ppw_nobatch, 2),
+                f(p.fpga_fc_ppw_batch, 2),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_effects_match_paper() {
+        let out = run().unwrap();
+        let first = &out.points[0];
+        let last = out.points.last().unwrap();
+        // GPU improves on both layer classes.
+        assert!(last.gpu_conv_ppw > first.gpu_conv_ppw);
+        assert!(last.gpu_fc_ppw > 2.0 * first.gpu_fc_ppw);
+        // FPGA CONV flat (Eq. 4 has no batch term).
+        assert!((last.fpga_conv_ppw - first.fpga_conv_ppw).abs() / first.fpga_conv_ppw < 0.01);
+        // FPGA FCN flat without the loop, improving with it.
+        assert!(
+            (last.fpga_fc_ppw_nobatch - first.fpga_fc_ppw_nobatch).abs()
+                / first.fpga_fc_ppw_nobatch
+                < 0.1
+        );
+        assert!(last.fpga_fc_ppw_batch > 2.0 * first.fpga_fc_ppw_batch);
+        // At batch 1 the two FPGA FCN variants coincide.
+        assert!(
+            (first.fpga_fc_ppw_batch - first.fpga_fc_ppw_nobatch).abs()
+                / first.fpga_fc_ppw_nobatch
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn gpu_conv_beats_fpga_conv() {
+        // Paper: "the overall energy-efficiency of GPU is better than
+        // that of FPGA" and FPGA conv is worse than GPU conv.
+        let out = run().unwrap();
+        for p in &out.points {
+            assert!(p.gpu_conv_ppw > p.fpga_conv_ppw, "batch {}", p.batch);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Fig. 15 — resource-utilization comparison between the GPU (Eq. 3)
+//! and the FPGA (Eq. 4) across AlexNet's CONV layers and batch sizes.
+//!
+//! Expected shape: GPU utilization grows with batch (bigger data
+//! matrix → more thread blocks → fuller waves); FPGA utilization is a
+//! per-layer constant.
+
+use crate::report::{pct, Table};
+use crate::Result;
+use insitu_devices::{FpgaModel, GpuModel, NetworkShapes};
+
+/// Utilization of one CONV layer at one batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Layer name (`conv1`..`conv5`).
+    pub layer: String,
+    /// Batch size.
+    pub batch: usize,
+    /// GPU utilization (Eq. 3).
+    pub gpu_util: f64,
+    /// FPGA utilization (Eq. 4) — batch-independent.
+    pub fpga_util: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// All (layer, batch) points.
+    pub points: Vec<Point>,
+}
+
+/// The batch sizes swept.
+pub const BATCHES: [usize; 4] = [1, 4, 16, 64];
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let net = NetworkShapes::alexnet();
+    let gpu = GpuModel::tx1();
+    let fpga = FpgaModel::vx690t();
+    let mut points = Vec::new();
+    for (i, conv) in net.convs().iter().enumerate() {
+        for &batch in &BATCHES {
+            points.push(Point {
+                layer: format!("conv{}", i + 1),
+                batch,
+                gpu_util: gpu.conv_utilization(conv, batch),
+                fpga_util: fpga.conv_utilization(conv),
+            });
+        }
+    }
+    Ok(Output { points })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 15: CONV-layer resource utilization (GPU Eq.3 vs FPGA Eq.4)",
+            &["layer", "batch", "GPU util", "FPGA util"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.layer.clone(),
+                p.batch.to_string(),
+                pct(p.gpu_util),
+                pct(p.fpga_util),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_util_grows_with_batch_fpga_constant() {
+        let out = run().unwrap();
+        for layer_idx in 0..5 {
+            let layer_points: Vec<&Point> = out
+                .points
+                .iter()
+                .filter(|p| p.layer == format!("conv{}", layer_idx + 1))
+                .collect();
+            assert_eq!(layer_points.len(), BATCHES.len());
+            // GPU: trends upward with batch. Eq. 3 is a sawtooth in the
+            // grid size, so allow small local dips.
+            for w in layer_points.windows(2) {
+                assert!(w[1].gpu_util >= w[0].gpu_util - 0.05);
+            }
+            assert!(
+                layer_points.last().unwrap().gpu_util > layer_points[0].gpu_util
+                    || layer_points[0].gpu_util > 0.95
+            );
+            // FPGA: identical across batches.
+            for p in &layer_points {
+                assert!((p.fpga_util - layer_points[0].fpga_util).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_utilizations_valid() {
+        let out = run().unwrap();
+        for p in &out.points {
+            assert!(p.gpu_util > 0.0 && p.gpu_util <= 1.0);
+            assert!(p.fpga_util > 0.0 && p.fpga_util <= 1.0);
+        }
+        assert_eq!(out.points.len(), 5 * BATCHES.len());
+    }
+}

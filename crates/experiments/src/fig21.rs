@@ -1,0 +1,146 @@
+//! Fig. 21 — Single-running mode: speedup of the time-model-guided
+//! batch selection over the non-batching method, against the
+//! brute-force best, for AlexNet- and VGG-based inference.
+//!
+//! "Speedup" is throughput at the chosen batch relative to batch 1,
+//! subject to the latency requirement. Expected shape: AlexNet gains
+//! ~3× on average (its layers underutilize the GPU at batch 1); VGG
+//! gains only ~1.1×; the time-model pick is within a whisker of the
+//! exhaustive search.
+
+use crate::report::{f, secs, Table};
+use crate::Result;
+use insitu_devices::{GpuModel, NetworkShapes};
+
+/// One latency-requirement evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Network name.
+    pub network: String,
+    /// Latency requirement, seconds.
+    pub t_user: f64,
+    /// Batch chosen by the time model.
+    pub model_batch: usize,
+    /// Throughput speedup of the time-model pick over batch 1.
+    pub model_speedup: f64,
+    /// Throughput speedup of the brute-force best over batch 1.
+    pub best_speedup: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// All (network, requirement) points.
+    pub points: Vec<Point>,
+    /// Mean speedup per network (`(alexnet, vgg)`).
+    pub mean_speedups: (f64, f64),
+}
+
+/// Latency requirements swept, seconds.
+pub const REQUIREMENTS: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.8];
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let gpu = GpuModel::tx1();
+    let mut points = Vec::new();
+    let mut means = Vec::new();
+    for net in [NetworkShapes::alexnet(), NetworkShapes::vgg16()] {
+        let base_tput = gpu.throughput(&net, 1);
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for &t_user in &REQUIREMENTS {
+            let Some(model_batch) = gpu.optimal_batch(&net, t_user, 256) else {
+                continue; // requirement infeasible even at batch 1
+            };
+            let model_speedup = gpu.throughput(&net, model_batch) / base_tput;
+            let best_speedup = gpu
+                .brute_force_best(&net, t_user, 256)
+                .map(|(b, _)| gpu.throughput(&net, b) / base_tput)
+                .unwrap_or(1.0);
+            acc += model_speedup;
+            count += 1;
+            points.push(Point {
+                network: net.name.clone(),
+                t_user,
+                model_batch,
+                model_speedup,
+                best_speedup,
+            });
+        }
+        means.push(if count > 0 { acc / count as f64 } else { 0.0 });
+    }
+    Ok(Output { points, mean_speedups: (means[0], means[1]) })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 21: time-model batch selection vs non-batching (GPU)",
+            &["network", "T_user", "picked batch", "model speedup", "best speedup"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.network.clone(),
+                secs(p.t_user),
+                p.model_batch.to_string(),
+                format!("{}x", f(p.model_speedup, 2)),
+                format!("{}x", f(p.best_speedup, 2)),
+            ]);
+        }
+        t.push_row(vec![
+            "mean".into(),
+            "-".into(),
+            "-".into(),
+            format!(
+                "alexnet {}x / vgg16 {}x",
+                f(self.mean_speedups.0, 2),
+                f(self.mean_speedups.1, 2)
+            ),
+            "-".into(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_gains_much_more_than_vgg() {
+        let out = run().unwrap();
+        let (alex, vgg) = out.mean_speedups;
+        // Paper: ~3x average for AlexNet, ~1.1x for VGG.
+        assert!(alex > 2.0, "alexnet mean speedup {alex}");
+        assert!(vgg < alex / 1.5, "vgg {vgg} vs alexnet {alex}");
+        assert!(vgg >= 1.0);
+    }
+
+    #[test]
+    fn model_pick_close_to_brute_force() {
+        let out = run().unwrap();
+        for p in &out.points {
+            assert!(
+                p.model_speedup >= 0.9 * p.best_speedup,
+                "{} @ {}: model {} vs best {}",
+                p.network,
+                p.t_user,
+                p.model_speedup,
+                p.best_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn speedups_never_below_one() {
+        let out = run().unwrap();
+        for p in &out.points {
+            assert!(p.model_speedup >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 22 — CONV-layer runtime (compute + off-chip data access) of
+//! the three co-running architectures NWS, WS, WSS at 2628 PEs, under
+//! the CONV-0/3/5 weight-sharing strategies.
+//!
+//! Expected shape: WSS has the best compute time and WS the worst
+//! (engine idleness); WSS's data-access time is far below NWS's and
+//! shrinks as more layers are shared.
+
+use crate::report::{secs, Table};
+use crate::Result;
+use insitu_devices::NetworkShapes;
+use insitu_fpga::{ArchKind, CorunConfig, CorunReport};
+
+/// One (architecture, sharing-strategy) evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Architecture evaluated.
+    pub arch: ArchKind,
+    /// Leading layers shared (0, 3 or 5).
+    pub shared_layers: usize,
+    /// Full co-run report.
+    pub report: CorunReport,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// All (arch, strategy) points.
+    pub points: Vec<Point>,
+}
+
+/// Sharing strategies swept (the paper's CONV-0/3/5).
+pub const SHARING: [usize; 3] = [0, 3, 5];
+
+/// Runs the comparison on AlexNet's CONV stack.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let convs = NetworkShapes::alexnet().convs();
+    let mut points = Vec::new();
+    for &shared in &SHARING {
+        let cfg = CorunConfig::paper(shared);
+        for arch in ArchKind::all() {
+            points.push(Point { arch, shared_layers: shared, report: cfg.run(arch, &convs) });
+        }
+    }
+    Ok(Output { points })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 22: co-running CONV runtime at 2628 PEs (compute + data access)",
+            &["sharing", "arch", "compute", "data access", "total", "diag idle"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("CONV-{}", p.shared_layers),
+                p.arch.name().to_string(),
+                secs(p.report.compute_s),
+                secs(p.report.data_access_s),
+                secs(p.report.total_s()),
+                format!("{:.0}%", p.report.diagnosis_idle_fraction * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// The report for one (architecture, sharing) combination.
+    pub fn find(&self, arch: ArchKind, shared: usize) -> &CorunReport {
+        &self
+            .points
+            .iter()
+            .find(|p| p.arch == arch && p.shared_layers == shared)
+            .expect("all combinations present")
+            .report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wss_best_ws_worst_compute() {
+        let out = run().unwrap();
+        for &s in &SHARING {
+            let nws = out.find(ArchKind::Nws, s);
+            let ws = out.find(ArchKind::Ws, s);
+            let wss = out.find(ArchKind::Wss, s);
+            assert!(wss.compute_s < nws.compute_s, "CONV-{s}");
+            assert!(nws.compute_s < ws.compute_s, "CONV-{s}");
+            assert!(wss.total_s() < nws.total_s() && wss.total_s() < ws.total_s());
+        }
+    }
+
+    #[test]
+    fn wss_data_access_shrinks_with_sharing() {
+        let out = run().unwrap();
+        let d0 = out.find(ArchKind::Wss, 0).data_access_s;
+        let d3 = out.find(ArchKind::Wss, 3).data_access_s;
+        let d5 = out.find(ArchKind::Wss, 5).data_access_s;
+        assert!(d0 > d3 && d3 > d5);
+        // NWS can't exploit sharing.
+        let n0 = out.find(ArchKind::Nws, 0).data_access_s;
+        let n5 = out.find(ArchKind::Nws, 5).data_access_s;
+        assert!((n0 - n5).abs() < 1e-12);
+        assert!(n0 > 2.0 * d0);
+    }
+
+    #[test]
+    fn nine_points_rendered() {
+        let out = run().unwrap();
+        assert_eq!(out.points.len(), 9);
+        assert_eq!(out.table().row_count(), 9);
+    }
+}

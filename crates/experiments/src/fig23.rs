@@ -1,0 +1,148 @@
+//! Fig. 23 — maximum overall processing throughput of the four
+//! end-to-end FPGA designs under latency requirements of 50–800 ms.
+//!
+//! Expected shape: NWS is flat (no batching); NWS-batch improves with
+//! looser bounds; WS cannot meet 50 ms (the paper's ✗) and is lowest;
+//! WSS-NWS wins at every requirement, and its 50 ms throughput already
+//! beats NWS-batch's 800 ms best.
+
+use crate::report::{f, secs, Table};
+use crate::Result;
+use insitu_devices::{FpgaSpec, NetworkShapes};
+use insitu_fpga::{design_throughput, Design, ThroughputPoint};
+
+/// One (design, requirement) evaluation; `None` = infeasible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Design evaluated.
+    pub design: Design,
+    /// Latency requirement, seconds.
+    pub t_user: f64,
+    /// Best feasible throughput point, if any.
+    pub best: Option<ThroughputPoint>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// All (design, requirement) points.
+    pub points: Vec<Point>,
+}
+
+/// Latency requirements swept, seconds (the paper's 50–800 ms).
+pub const REQUIREMENTS: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.8];
+
+/// Runs the sweep on AlexNet + diagnosis co-running.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for harness uniformity.
+pub fn run() -> Result<Output> {
+    let net = NetworkShapes::alexnet();
+    let spec = FpgaSpec::vx690t();
+    let mut points = Vec::new();
+    for design in Design::all() {
+        for &t_user in &REQUIREMENTS {
+            points.push(Point {
+                design,
+                t_user,
+                best: design_throughput(design, spec, &net, t_user, 256),
+            });
+        }
+    }
+    Ok(Output { points })
+}
+
+impl Output {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 23: overall throughput (img/s) vs latency requirement",
+            &["design", "T_user", "batch", "throughput"],
+        );
+        for p in &self.points {
+            match p.best {
+                Some(b) => t.push_row(vec![
+                    p.design.name().into(),
+                    secs(p.t_user),
+                    b.batch.to_string(),
+                    f(b.throughput, 1),
+                ]),
+                None => t.push_row(vec![
+                    p.design.name().into(),
+                    secs(p.t_user),
+                    "-".into(),
+                    "x (infeasible)".into(),
+                ]),
+            }
+        }
+        t
+    }
+
+    /// Best throughput of a design at a requirement, if feasible.
+    pub fn tput(&self, design: Design, t_user: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.design == design && (p.t_user - t_user).abs() < 1e-12)
+            .and_then(|p| p.best.map(|b| b.throughput))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_infeasible_at_50ms_and_capped() {
+        let out = run().unwrap();
+        // The paper's ✗: WS cannot meet the 50 ms requirement.
+        assert!(out.tput(Design::Ws, 0.05).is_none());
+        // WS is always below WSS-NWS, and its best (800 ms) stays
+        // below NWS-batch's best, matching the paper's ordering of
+        // maximum throughputs.
+        for &t in &REQUIREMENTS[1..] {
+            if let Some(ws) = out.tput(Design::Ws, t) {
+                let wss = out.tput(Design::WssNws, t).unwrap();
+                assert!(ws < wss, "WS {ws} vs WSS {wss} @ {t}");
+            }
+        }
+        let ws_best = out.tput(Design::Ws, 0.8).unwrap();
+        let nb_best = out.tput(Design::NwsBatch, 0.8).unwrap();
+        assert!(ws_best < nb_best, "WS best {ws_best} vs NWS-batch best {nb_best}");
+    }
+
+    #[test]
+    fn nws_flat_nws_batch_grows() {
+        let out = run().unwrap();
+        let nws_first = out.tput(Design::Nws, 0.1).unwrap();
+        let nws_last = out.tput(Design::Nws, 0.8).unwrap();
+        assert!((nws_last - nws_first).abs() / nws_first < 0.1);
+        let nb_first = out.tput(Design::NwsBatch, 0.1).unwrap();
+        let nb_last = out.tput(Design::NwsBatch, 0.8).unwrap();
+        assert!(nb_last > 1.2 * nb_first);
+    }
+
+    #[test]
+    fn wss_nws_dominates_everywhere() {
+        let out = run().unwrap();
+        for &t in &REQUIREMENTS {
+            let ours = out.tput(Design::WssNws, t).expect("always feasible");
+            for d in [Design::Nws, Design::NwsBatch, Design::Ws] {
+                if let Some(theirs) = out.tput(d, t) {
+                    assert!(ours > theirs, "{} @ {t}: {theirs} vs {ours}", d.name());
+                }
+            }
+        }
+        // Our tightest beats their loosest.
+        let ours_tight = out.tput(Design::WssNws, 0.05).unwrap();
+        let best_other = out.tput(Design::NwsBatch, 0.8).unwrap();
+        assert!(ours_tight > best_other);
+    }
+
+    #[test]
+    fn twenty_points() {
+        let out = run().unwrap();
+        assert_eq!(out.points.len(), 20);
+        assert_eq!(out.table().row_count(), 20);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fig. 7 — does fine-tuning on only the *valuable* (mispredicted)
+//! data match fine-tuning on everything?
+//!
+//! The paper's protocol: train `Net-50k` on the first 50k images; run
+//! it over the remaining 150k and collect the errors; then compare
+//! `Net-Err` (fine-tuned on the errors alone) against `Net-50k-150k`
+//! (all remaining data) and `Net-50k-200k` (everything). Expected
+//! shape: `Net-Err` ≈ `Net-50k-200k` accuracy at a fraction of the
+//! data movement and fine-tuning time.
+
+use crate::report::{pct, Table};
+use crate::scale::Scale;
+use crate::Result;
+use insitu_data::{Condition, Dataset};
+use insitu_nn::models::mini_alexnet;
+use insitu_nn::serialize::{load_state_dict, state_dict};
+use insitu_nn::{evaluate, predictions, train, LabeledBatch, TrainConfig};
+use insitu_tensor::Rng;
+
+/// One variant's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Variant name (`Net-50k`, `Net-Err`, …).
+    pub name: String,
+    /// Images used for the fine-tuning step (0 for the base model).
+    pub fine_tune_images: usize,
+    /// Modeled fine-tuning cost in ops.
+    pub fine_tune_ops: u64,
+    /// Held-out accuracy.
+    pub accuracy: f32,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Rows: Net-50k, Net-Err, Net-50k-150k, Net-50k-200k.
+    pub rows: Vec<Row>,
+}
+
+impl Output {
+    /// Looks a row up by name.
+    pub fn row(&self, name: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 7: incremental training on valuable data only",
+            &["variant", "fine-tune imgs", "fine-tune ops", "accuracy"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.name.clone(),
+                r.fine_tune_images.to_string(),
+                format!("{:.2e}", r.fine_tune_ops as f64),
+                pct(r.accuracy as f64),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the experiment. The stream uses a mild in-situ condition so
+/// the base model makes enough mistakes for `Net-Err` to learn from.
+///
+/// # Errors
+///
+/// Returns an error on training failures.
+pub fn run(scale: Scale, seed: u64) -> Result<Output> {
+    let mut rng = Rng::seed_from(seed);
+    let classes = scale.classes();
+    let condition = Condition::with_severity(0.65)?;
+    let base_n = 50 * scale.images_per_k();
+    let rest_n = 150 * scale.images_per_k();
+    let base_set = Dataset::generate(base_n, classes, &condition, &mut rng)?;
+    let rest_set = Dataset::generate(rest_n, classes, &condition, &mut rng)?;
+    let eval = Dataset::generate(scale.eval_images(), classes, &condition, &mut rng)?;
+
+    // Net-50k: the base model.
+    let mut base = mini_alexnet(classes, &mut rng)?;
+    // The base model is deliberately *incomplete* (the paper's
+    // Net-50k is far from converged on 50k of 1.2M images): a short
+    // budget leaves a sizeable error set on the remaining stream,
+    // which is the regime where error-only fine-tuning genuinely
+    // carries the distribution's information.
+    let base_cfg = TrainConfig {
+        epochs: scale.pick(1, 2, 3),
+        batch_size: 16,
+        lr: 0.005,
+        ..Default::default()
+    };
+    train(
+        &mut base,
+        LabeledBatch::new(base_set.images(), base_set.labels())?,
+        None,
+        &base_cfg,
+        &mut rng,
+    )?;
+    let base_params = state_dict(&mut base);
+    let base_acc = evaluate(&mut base, LabeledBatch::new(eval.images(), eval.labels())?, 32)?;
+
+    // Select the errors on the remaining stream.
+    let mut err_indices = Vec::new();
+    let all: Vec<usize> = (0..rest_set.len()).collect();
+    for chunk in all.chunks(64) {
+        let sub = rest_set.subset(chunk)?;
+        let logits = base.predict(sub.images())?;
+        let preds = predictions(&logits)?;
+        for (j, (&p, &l)) in preds.iter().zip(sub.labels()).enumerate() {
+            if p != l {
+                err_indices.push(chunk[j]);
+            }
+        }
+    }
+    let err_set = rest_set.subset(&err_indices)?;
+    let full_set = base_set.concat(&rest_set)?;
+
+    let ft_cfg = TrainConfig {
+        epochs: scale.fine_tune_epochs(),
+        batch_size: 16,
+        lr: 0.005,
+        ..Default::default()
+    };
+    let mut rows = vec![Row {
+        name: "Net-50k".into(),
+        fine_tune_images: 0,
+        fine_tune_ops: 0,
+        accuracy: base_acc,
+    }];
+    for (name, set) in [
+        ("Net-Err", &err_set),
+        ("Net-50k-150k", &rest_set),
+        ("Net-50k-200k", &full_set),
+    ] {
+        let mut net = mini_alexnet(classes, &mut rng)?;
+        load_state_dict(&mut net, &base_params)?;
+        let report = if set.is_empty() {
+            None
+        } else {
+            Some(train(
+                &mut net,
+                LabeledBatch::new(set.images(), set.labels())?,
+                None,
+                &ft_cfg,
+                &mut rng,
+            )?)
+        };
+        let accuracy =
+            evaluate(&mut net, LabeledBatch::new(eval.images(), eval.labels())?, 32)?;
+        rows.push(Row {
+            name: name.into(),
+            fine_tune_images: set.len(),
+            fine_tune_ops: report.map_or(0, |r| r.total_ops),
+            accuracy,
+        });
+    }
+    Ok(Output { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_rows_and_cost_ordering() {
+        let out = run(Scale::Smoke, 4).unwrap();
+        assert_eq!(out.rows.len(), 4);
+        let err = out.row("Net-Err").unwrap();
+        let rest = out.row("Net-50k-150k").unwrap();
+        let full = out.row("Net-50k-200k").unwrap();
+        // Net-Err fine-tunes on strictly less data & ops.
+        assert!(err.fine_tune_images <= rest.fine_tune_images);
+        assert!(rest.fine_tune_images < full.fine_tune_images);
+        assert!(err.fine_tune_ops <= rest.fine_tune_ops);
+        assert_eq!(out.table().row_count(), 4);
+    }
+}

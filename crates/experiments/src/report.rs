@@ -1,0 +1,152 @@
+//! Aligned-table rendering for experiment outputs.
+
+use std::fmt;
+
+/// A printable result table (one per reproduced figure/table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// A cell's text, if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:>w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a duration in adaptive units.
+pub fn secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0} s")
+    } else if x >= 1.0 {
+        format!("{x:.2} s")
+    } else if x >= 1e-3 {
+        format!("{:.2} ms", x * 1e3)
+    } else {
+        format!("{:.1} us", x * 1e6)
+    }
+}
+
+/// Formats a byte count in adaptive units.
+pub fn bytes(x: u64) -> String {
+    let x = x as f64;
+    if x >= 1e9 {
+        format!("{:.2} GB", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} MB", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1} KB", x / 1e3)
+    } else {
+        format!("{x:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "12345".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(0, 1), Some("1"));
+        assert_eq!(t.cell(5, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.543), "54.3%");
+        assert_eq!(secs(0.0123), "12.30 ms");
+        assert_eq!(secs(2.5), "2.50 s");
+        assert_eq!(secs(250.0), "250 s");
+        assert_eq!(bytes(1234), "1.2 KB");
+        assert_eq!(bytes(12_345_678), "12.35 MB");
+    }
+}

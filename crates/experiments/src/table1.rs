@@ -1,0 +1,124 @@
+//! Table I — accuracy of statically trained CNN models on ideal vs
+//! real (in-situ) IoT data.
+//!
+//! The paper trains AlexNet/GoogLeNet/VGGNet on ImageNet and tests on
+//! Snapshot Serengeti: 80→54%, 83→62%, 93→72%. We train the Mini
+//! counterparts on curated synthetic data and test on the drifted
+//! in-situ distribution. Expected shape: every model loses a large
+//! slice of accuracy; the deeper/wider models rank higher on both
+//! columns.
+
+use crate::report::{pct, Table};
+use crate::scale::Scale;
+use crate::Result;
+use insitu_data::{Condition, Dataset};
+use insitu_nn::models::{mini_alexnet, mini_googlenet, mini_vgg};
+use insitu_nn::{evaluate, train, LabeledBatch, Sequential, TrainConfig};
+use insitu_tensor::Rng;
+
+/// One model's row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Accuracy on curated (ideal) held-out data.
+    pub ideal_accuracy: f32,
+    /// Accuracy on drifted in-situ data.
+    pub insitu_accuracy: f32,
+}
+
+/// The table's data.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// One row per model, in AlexNet/GoogLeNet/VGG order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns an error on training failures.
+pub fn run(scale: Scale, seed: u64) -> Result<Output> {
+    let mut rng = Rng::seed_from(seed);
+    let classes = scale.classes();
+    let n_train = 100 * scale.images_per_k() * 2;
+    let train_set = Dataset::generate(n_train, classes, &Condition::ideal(), &mut rng)?;
+    let eval_ideal =
+        Dataset::generate(scale.eval_images(), classes, &Condition::ideal(), &mut rng)?;
+    // The Serengeti analog: the harshest drift the environment model
+    // produces (animals against the lens, night, heavy weather).
+    let harsh = Condition::with_severity(1.0)?;
+    let eval_insitu = Dataset::generate(scale.eval_images(), classes, &harsh, &mut rng)?;
+
+    let cfg = TrainConfig {
+        epochs: scale.epochs(),
+        batch_size: 16,
+        lr: 0.005,
+        ..Default::default()
+    };
+    type Builder = Box<dyn Fn(&mut Rng) -> insitu_nn::Result<Sequential>>;
+    let builders: Vec<(&str, Builder)> = vec![
+        ("mini-alexnet", Box::new(move |r| mini_alexnet(classes, r))),
+        ("mini-googlenet", Box::new(move |r| mini_googlenet(classes, r))),
+        ("mini-vgg", Box::new(move |r| mini_vgg(classes, r))),
+    ];
+    let mut rows = Vec::new();
+    for (name, build) in builders {
+        let mut net = build(&mut rng)?;
+        train(
+            &mut net,
+            LabeledBatch::new(train_set.images(), train_set.labels())?,
+            None,
+            &cfg,
+            &mut rng,
+        )?;
+        let ideal_accuracy = evaluate(
+            &mut net,
+            LabeledBatch::new(eval_ideal.images(), eval_ideal.labels())?,
+            32,
+        )?;
+        let insitu_accuracy = evaluate(
+            &mut net,
+            LabeledBatch::new(eval_insitu.images(), eval_insitu.labels())?,
+            32,
+        )?;
+        rows.push(Row { model: name.to_string(), ideal_accuracy, insitu_accuracy });
+    }
+    Ok(Output { rows })
+}
+
+impl Output {
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Table I: static models on ideal vs in-situ data",
+            &["model", "ideal acc", "in-situ acc", "drop"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.model.clone(),
+                pct(r.ideal_accuracy as f64),
+                pct(r.insitu_accuracy as f64),
+                pct((r.ideal_accuracy - r.insitu_accuracy) as f64),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_has_three_rows() {
+        let out = run(Scale::Smoke, 1).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        for r in &out.rows {
+            assert!((0.0..=1.0).contains(&r.ideal_accuracy));
+            assert!((0.0..=1.0).contains(&r.insitu_accuracy));
+        }
+        assert_eq!(out.table().row_count(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # insitu-fpga
+//!
+//! A cycle-approximate simulator of the paper's FPGA co-running
+//! architectures: the NWS and WS baselines, the proposed two-level
+//! Weight-Share-Share (WSS) design built from output-neuron PE arrays,
+//! the off-chip weight-traffic accounting under CONV-0/3/5 sharing,
+//! and the WSS-Group + NWS two-stage pipeline with its Eq. (10)–(14)
+//! configuration model.
+//!
+//! ## Example
+//!
+//! ```
+//! use insitu_fpga::{ArchKind, CorunConfig};
+//! use insitu_devices::NetworkShapes;
+//!
+//! let convs = NetworkShapes::alexnet().convs();
+//! let cfg = CorunConfig::paper(3); // CONV-3 sharing, 2628 PEs
+//! let wss = cfg.run(ArchKind::Wss, &convs);
+//! let ws = cfg.run(ArchKind::Ws, &convs);
+//! assert!(wss.total_s() < ws.total_s());
+//! ```
+
+#![warn(missing_docs)]
+
+mod arch;
+mod engine;
+mod memory;
+mod pipeline;
+
+pub use arch::{ArchKind, CorunConfig, CorunReport, PATCHES};
+pub use engine::{DotProductEngine, PeArrayEngine};
+pub use memory::{conv_weight_bytes, corun_traffic, SharingLevel, TrafficReport};
+pub use pipeline::{design_throughput, Design, ThroughputPoint, WssNwsPipeline};

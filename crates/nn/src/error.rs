@@ -1,0 +1,101 @@
+//! Error type for the neural-network framework.
+
+use insitu_tensor::TensorError;
+use std::fmt;
+
+/// Error produced by network construction, training or inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input of the wrong shape.
+    BadInputShape {
+        /// Layer name.
+        layer: String,
+        /// Expected shape (0 marks a free batch dimension).
+        expected: Vec<usize>,
+        /// Actual shape.
+        actual: Vec<usize>,
+    },
+    /// `backward` was called without a preceding training-mode `forward`.
+    NoForwardCache {
+        /// Layer name.
+        layer: String,
+    },
+    /// A named layer does not exist in the network.
+    NoSuchLayer {
+        /// Requested layer name or index description.
+        layer: String,
+    },
+    /// Transfer learning was attempted between incompatible networks.
+    IncompatibleTransfer {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// Labels and inputs disagree, or a label is out of range.
+    BadLabels {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A serialized snapshot does not match the network.
+    SnapshotMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInputShape { layer, expected, actual } => write!(
+                f,
+                "layer `{layer}`: bad input shape, expected {expected:?} (0 = any batch), got {actual:?}"
+            ),
+            NnError::NoForwardCache { layer } => write!(
+                f,
+                "layer `{layer}`: backward called without a training-mode forward"
+            ),
+            NnError::NoSuchLayer { layer } => write!(f, "no such layer: {layer}"),
+            NnError::IncompatibleTransfer { reason } => {
+                write!(f, "incompatible transfer: {reason}")
+            }
+            NnError::BadLabels { reason } => write!(f, "bad labels: {reason}"),
+            NnError::SnapshotMismatch { reason } => write!(f, "snapshot mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error() {
+        let te = TensorError::InvalidGeometry { reason: "x".into() };
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+        assert!(std::error::Error::source(&ne).is_some());
+    }
+
+    #[test]
+    fn display_mentions_layer() {
+        let e = NnError::NoForwardCache { layer: "conv3".into() };
+        assert!(e.to_string().contains("conv3"));
+    }
+}

@@ -1,0 +1,322 @@
+//! The unsupervised context-prediction ("jigsaw") network.
+//!
+//! The paper's diagnosis task (its Fig. 3) splits an image into a 3×3
+//! grid, shuffles the nine tiles with a permutation drawn from a fixed
+//! set, and asks a network to predict *which* permutation was applied.
+//! The nine patches run through **one shared convolutional trunk** — the
+//! first level of weight sharing the WSS architecture exploits — and the
+//! concatenated features feed a small fully connected head that
+//! classifies the permutation index.
+//!
+//! Implementation note: the patch dimension is folded into the batch
+//! dimension (`(B, P, C, h, w)` → `(B·P, C, h, w)`), which makes the
+//! trunk weight sharing exact by construction and reuses the ordinary
+//! [`Sequential`] machinery for both passes.
+
+use crate::error::NnError;
+use crate::layer::Mode;
+use crate::net::{Network, Sequential};
+use crate::Result;
+use insitu_tensor::Tensor;
+
+/// A siamese network: one shared trunk applied to `patches` inputs,
+/// plus a classification head over the concatenated features.
+#[derive(Debug, Clone)]
+pub struct JigsawNet {
+    trunk: Sequential,
+    head: Sequential,
+    patches: usize,
+    /// Feature length produced by the trunk for one patch.
+    feature_len: usize,
+    /// Batch size of the latest training-mode forward.
+    last_batch: usize,
+}
+
+impl JigsawNet {
+    /// Assembles a jigsaw network.
+    ///
+    /// `feature_len` must equal the trunk's output width for a single
+    /// patch; the head must accept `patches * feature_len` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IncompatibleTransfer`] if the head's first
+    /// fully connected layer width disagrees with
+    /// `patches * feature_len`.
+    pub fn new(
+        trunk: Sequential,
+        head: Sequential,
+        patches: usize,
+        feature_len: usize,
+    ) -> Result<Self> {
+        // Validate the head against the concatenated feature width.
+        let head_in = head.describe().fc_layers().first().map(|l| match *l {
+            crate::describe::LayerDesc::Fc { input, .. } => input,
+            _ => 0,
+        });
+        if let Some(input) = head_in {
+            if input != patches * feature_len {
+                return Err(NnError::IncompatibleTransfer {
+                    reason: format!(
+                        "head expects {input} features but trunk produces {} x {} = {}",
+                        patches,
+                        feature_len,
+                        patches * feature_len
+                    ),
+                });
+            }
+        }
+        Ok(JigsawNet { trunk, head, patches, feature_len, last_batch: 0 })
+    }
+
+    /// The shared convolutional trunk.
+    pub fn trunk(&self) -> &Sequential {
+        &self.trunk
+    }
+
+    /// Mutable access to the shared trunk (for transfer learning).
+    pub fn trunk_mut(&mut self) -> &mut Sequential {
+        &mut self.trunk
+    }
+
+    /// The classification head.
+    pub fn head(&self) -> &Sequential {
+        &self.head
+    }
+
+    /// Mutable access to the head.
+    pub fn head_mut(&mut self) -> &mut Sequential {
+        &mut self.head
+    }
+
+    /// Number of patches per sample (9 for a 3×3 grid).
+    pub fn patches(&self) -> usize {
+        self.patches
+    }
+
+    /// Convenience: evaluation-mode forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.forward(input, Mode::Eval)
+    }
+
+    fn fold_patches(&self, input: &Tensor) -> Result<(Tensor, usize)> {
+        let d = input.dims();
+        if d.len() != 5 || d[1] != self.patches {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw".into(),
+                expected: vec![0, self.patches, 0, 0, 0],
+                actual: d.to_vec(),
+            });
+        }
+        let b = d[0];
+        let folded = input.reshape([b * self.patches, d[2], d[3], d[4]])?;
+        Ok((folded, b))
+    }
+}
+
+impl Network for JigsawNet {
+    /// Input shape: `(B, P, C, h, w)`; output: `(B, classes)`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (folded, b) = self.fold_patches(input)?;
+        let feats = self.trunk.forward(&folded, mode)?; // (B*P, F)
+        let fd = feats.dims();
+        if fd.len() != 2 || fd[1] != self.feature_len {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw trunk output".into(),
+                expected: vec![b * self.patches, self.feature_len],
+                actual: fd.to_vec(),
+            });
+        }
+        let concat = feats.reshape([b, self.patches * self.feature_len])?;
+        if mode == Mode::Train {
+            self.last_batch = b;
+        }
+        self.head.forward(&concat, mode)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
+        let b = self.last_batch;
+        let dconcat = self.head.backward(dout)?; // (B, P*F)
+        let dfeats = dconcat.reshape([b * self.patches, self.feature_len])?;
+        // Trunk backward accumulates gradients across all patches: the
+        // second level of weight sharing happens here for free.
+        let dfolded = self.trunk.backward(&dfeats)?;
+        let fd = dfolded.dims().to_vec();
+        Ok(dfolded.reshape([b, self.patches, fd[1], fd[2], fd[3]])?)
+    }
+
+    fn zero_grads(&mut self) {
+        self.trunk.zero_grads();
+        self.head.zero_grads();
+    }
+
+    fn visit_trainable(&mut self, visitor: &mut dyn FnMut(u64, &mut Tensor, &mut Tensor)) {
+        // Namespace trunk and head keys so they never collide.
+        self.trunk.visit_trainable(&mut |k, p, g| visitor(k, p, g));
+        self.head.visit_trainable(&mut |k, p, g| visitor(k | (1 << 63), p, g));
+    }
+
+    fn visit_all(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        self.trunk.visit_all(visitor);
+        self.head.visit_all(visitor);
+    }
+
+    fn param_count(&self) -> usize {
+        self.trunk.param_count() + self.head.param_count()
+    }
+
+    fn training_ops_per_sample(&self) -> u64 {
+        self.patches as u64 * self.trunk.training_ops_per_sample()
+            + self.head.training_ops_per_sample()
+    }
+
+    fn inference_ops_per_sample(&self) -> u64 {
+        self.patches as u64 * self.trunk.inference_ops_per_sample()
+            + self.head.inference_ops_per_sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+    use insitu_tensor::Rng;
+
+    fn tiny_jigsaw(rng: &mut Rng) -> JigsawNet {
+        let mut trunk = Sequential::new("trunk");
+        trunk.push(Conv2d::new("conv1", 1, 6, 6, 4, 3, 1, 1, rng).unwrap());
+        trunk.push(Relu::new("r1"));
+        trunk.push(MaxPool2d::new("p1", 4, 6, 6, 2, 2).unwrap());
+        trunk.push(Flatten::new("flat"));
+        // Feature length: 4 * 3 * 3 = 36.
+        let mut head = Sequential::new("head");
+        head.push(Linear::new("fc1", 4 * 36, 16, rng));
+        head.push(Relu::new("hr"));
+        head.push(Linear::new("fc2", 16, 5, rng));
+        JigsawNet::new(trunk, head, 4, 36).unwrap()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = tiny_jigsaw(&mut rng);
+        let x = Tensor::randn([2, 4, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 5]);
+    }
+
+    #[test]
+    fn rejects_wrong_patch_count() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = tiny_jigsaw(&mut rng);
+        let x = Tensor::zeros([2, 3, 1, 6, 6]);
+        assert!(net.forward(&x, Mode::Eval).is_err());
+        let x4d = Tensor::zeros([2, 1, 6, 6]);
+        assert!(net.forward(&x4d, Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn head_width_validation() {
+        let mut rng = Rng::seed_from(3);
+        let trunk = Sequential::new("t");
+        let mut head = Sequential::new("h");
+        head.push(Linear::new("fc", 10, 2, &mut rng));
+        assert!(matches!(
+            JigsawNet::new(trunk, head, 4, 36),
+            Err(NnError::IncompatibleTransfer { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_roundtrip_and_shared_grads() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = tiny_jigsaw(&mut rng);
+        let x = Tensor::randn([3, 4, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let dx = net.backward(&Tensor::filled(y.shape().clone(), 0.1)).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+        // Trunk conv received gradient contributions (shared across patches).
+        let mut saw_nonzero = false;
+        net.visit_trainable(&mut |_, _, g| {
+            if g.norm_sq() > 0.0 {
+                saw_nonzero = true;
+            }
+        });
+        assert!(saw_nonzero);
+    }
+
+    #[test]
+    fn trunk_sharing_is_exact() {
+        // Permuting the patch order of a sample only permutes which head
+        // inputs see which features: trunk outputs per patch are identical.
+        let mut rng = Rng::seed_from(5);
+        let mut net = tiny_jigsaw(&mut rng);
+        let patch = Tensor::randn([1, 1, 1, 6, 6], 0.0, 1.0, &mut rng);
+        // Duplicate the same patch 4 times: all features equal.
+        let mut data = Vec::new();
+        for _ in 0..4 {
+            data.extend_from_slice(patch.as_slice());
+        }
+        let x = Tensor::from_vec([1, 4, 1, 6, 6], data).unwrap();
+        let folded = x.reshape([4, 1, 6, 6]).unwrap();
+        let feats = net.trunk_mut().forward(&folded, Mode::Eval).unwrap();
+        let f0 = feats.row(0).unwrap();
+        for p in 1..4 {
+            assert_eq!(feats.row(p).unwrap(), f0);
+        }
+    }
+
+    #[test]
+    fn jigsaw_learns_to_identify_permutations() {
+        // Synthetic task: patches carry a constant intensity that encodes
+        // a permutation of [0..4); the net must classify which of 5
+        // fixed permutations was applied.
+        let mut rng = Rng::seed_from(6);
+        let mut net = tiny_jigsaw(&mut rng);
+        let perms: [[usize; 4]; 5] =
+            [[0, 1, 2, 3], [1, 0, 3, 2], [2, 3, 0, 1], [3, 2, 1, 0], [0, 2, 1, 3]];
+        let n = 200;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let cls = rng.below(5);
+            labels.push(cls);
+            for &pos in &perms[cls] {
+                let base = pos as f32 / 4.0;
+                for _ in 0..36 {
+                    data.push(base + rng.uniform(-0.05, 0.05));
+                }
+            }
+        }
+        let x = Tensor::from_vec([n, 4, 1, 6, 6], data).unwrap();
+        let cfg = crate::train::TrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            lr: 0.05,
+            ..Default::default()
+        };
+        let report = crate::train::train(
+            &mut net,
+            crate::train::LabeledBatch::new(&x, &labels).unwrap(),
+            None,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        let final_acc = report.history.last().unwrap().train_accuracy;
+        assert!(final_acc > 0.9, "jigsaw accuracy {final_acc}");
+    }
+
+    #[test]
+    fn ops_account_for_patch_count() {
+        let mut rng = Rng::seed_from(7);
+        let net = tiny_jigsaw(&mut rng);
+        let trunk_ops = net.trunk().inference_ops_per_sample();
+        let head_ops = net.head().inference_ops_per_sample();
+        assert_eq!(net.inference_ops_per_sample(), 4 * trunk_ops + head_ops);
+    }
+}

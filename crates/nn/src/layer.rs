@@ -1,0 +1,130 @@
+//! The [`Layer`] trait: the unit of composition for networks.
+
+use crate::describe::LayerDesc;
+use crate::Result;
+use insitu_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Stochastic layers (dropout) behave differently in the two modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: stochastic regularizers active, caches retained for
+    /// backward.
+    Train,
+    /// Evaluation: deterministic inference.
+    Eval,
+}
+
+/// Coarse classification of a layer, used for freezing policies
+/// ("lock the first *n* CONV layers") and for the analytical device
+/// models (CONV vs FCN treatment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolutional layer (the paper's CONV).
+    Conv,
+    /// Fully connected layer (the paper's FCN).
+    Fc,
+    /// Parameter-free activation.
+    Activation,
+    /// Parameter-free pooling.
+    Pool,
+    /// Shape adapter (flatten).
+    Reshape,
+    /// Stochastic regularizer.
+    Regularizer,
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`forward`](Layer::forward) in
+/// `Train` mode so that [`backward`](Layer::backward) can run without
+/// re-receiving the input. `backward` must be called at most once per
+/// training forward and accumulates parameter gradients into the layer's
+/// gradient buffers (callers zero them via
+/// [`zero_grads`](Layer::zero_grads) between optimization steps).
+pub trait Layer: std::fmt::Debug + Send {
+    /// Short human-readable name, e.g. `"conv1"`.
+    fn name(&self) -> &str;
+
+    /// The layer's kind.
+    fn kind(&self) -> LayerKind;
+
+    /// Computes the layer output for a batched input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape disagrees with the layer.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates the upstream gradient, accumulating parameter
+    /// gradients and returning the gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no training-mode forward preceded this call or
+    /// the gradient shape disagrees with the cached activation.
+    fn backward(&mut self, dout: &Tensor) -> Result<Tensor>;
+
+    /// Visits `(parameter, gradient)` pairs mutably, in a stable order.
+    ///
+    /// The optimizer uses this to update parameters; serialization uses
+    /// it to snapshot them. Parameter-free layers do nothing.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        let _ = visitor;
+    }
+
+    /// Number of trainable scalar parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Analytical description for the device models, if the layer is
+    /// compute-relevant (CONV/FCN).
+    fn describe(&self) -> Option<LayerDesc> {
+        None
+    }
+
+    /// Output shape (including batch dimension) for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>>;
+
+    /// Upcast for downcasting to a concrete layer type (used by
+    /// transfer learning to copy convolution weights).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast for downcasting to a concrete layer type.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Deep copy behind the trait object; lets networks be `Clone` so
+    /// the same trained model can be deployed to a node while the
+    /// Cloud keeps the master.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_is_copy_eq() {
+        let m = Mode::Train;
+        let n = m;
+        assert_eq!(m, n);
+        assert_ne!(Mode::Train, Mode::Eval);
+    }
+
+    #[test]
+    fn layer_kind_hashable() {
+        use std::collections::HashSet;
+        let kinds: HashSet<LayerKind> =
+            [LayerKind::Conv, LayerKind::Fc, LayerKind::Conv].into_iter().collect();
+        assert_eq!(kinds.len(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Inverted dropout.
+
+use crate::error::NnError;
+use crate::layer::{Layer, LayerKind, Mode};
+use crate::Result;
+use insitu_tensor::{Rng, Tensor};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation
+/// is a no-op.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    name: String,
+    p: f32,
+    rng: Rng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(name: impl Into<String>, p: f32, rng: &mut Rng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { name: name.into(), p, rng: rng.fork(), mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Regularizer
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Eval => {
+                self.mask = None;
+                Ok(input.clone())
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let mask: Vec<f32> = (0..input.len())
+                    .map(|_| if self.rng.chance(keep) { 1.0 / keep } else { 0.0 })
+                    .collect();
+                let mut out = input.clone();
+                for (o, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+                    *o *= m;
+                }
+                self.mask = Some(mask);
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        if mask.len() != dout.len() {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                expected: vec![mask.len()],
+                actual: vec![dout.len()],
+            });
+        }
+        let mut dx = dout.clone();
+        for (g, &m) in dx.as_mut_slice().iter_mut().zip(&mask) {
+            *g *= m;
+        }
+        Ok(dx)
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        Ok(input.to_vec())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut rng = Rng::seed_from(1);
+        let mut l = Dropout::new("d", 0.5, &mut rng);
+        let x = Tensor::filled([100], 1.0);
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut rng = Rng::seed_from(2);
+        let mut l = Dropout::new("d", 0.3, &mut rng);
+        let x = Tensor::filled([20_000], 1.0);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors are scaled by 1/(1-p).
+        let survivors: Vec<f32> =
+            y.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
+        assert!(survivors.iter().all(|&v| (v - 1.0 / 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = Rng::seed_from(3);
+        let mut l = Dropout::new("d", 0.5, &mut rng);
+        let x = Tensor::filled([64], 1.0);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        let dx = l.backward(&Tensor::filled([64], 1.0)).unwrap();
+        // Gradient flows exactly where activations flowed.
+        for (yi, di) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(yi == &0.0, di == &0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let mut rng = Rng::seed_from(4);
+        let _ = Dropout::new("d", 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,103 @@
+//! Flatten layer: `(B, C, H, W)` → `(B, C·H·W)`.
+
+use crate::error::NnError;
+use crate::layer::{Layer, LayerKind, Mode};
+use crate::Result;
+use insitu_tensor::Tensor;
+
+/// Reshapes a batched feature map into a batched feature vector; the
+/// adapter between convolutional and fully connected stages.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    name: String,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten { name: name.into(), input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Reshape
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let d = input.dims();
+        if d.is_empty() {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                expected: vec![0, 0],
+                actual: d.to_vec(),
+            });
+        }
+        let batch = d[0];
+        let rest: usize = d[1..].iter().product();
+        if mode == Mode::Train {
+            self.input_dims = Some(d.to_vec());
+        } else {
+            self.input_dims = None;
+        }
+        Ok(input.reshape([batch, rest])?)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
+        let dims = self.input_dims.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        Ok(dout.reshape(dims.as_slice())?)
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        if input.is_empty() {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                expected: vec![0, 0],
+                actual: input.to_vec(),
+            });
+        }
+        Ok(vec![input[0], input[1..].iter().product()])
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut l = Flatten::new("f");
+        let x = Tensor::from_vec([2, 3, 2, 2], (0..24).map(|i| i as f32).collect()).unwrap();
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = l.backward(&y).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 2, 2]);
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn output_shape_math() {
+        let l = Flatten::new("f");
+        assert_eq!(l.output_shape(&[4, 8, 3, 3]).unwrap(), vec![4, 72]);
+        assert_eq!(l.output_shape(&[4, 10]).unwrap(), vec![4, 10]);
+    }
+}

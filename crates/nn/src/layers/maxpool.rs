@@ -1,0 +1,139 @@
+//! Max-pooling layer.
+
+use crate::error::NnError;
+use crate::layer::{Layer, LayerKind, Mode};
+use crate::Result;
+use insitu_tensor::{maxpool2d_backward, maxpool2d_forward, PoolGeometry, Tensor};
+
+/// 2-D max pooling with a square window.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    name: String,
+    geom: PoolGeometry,
+    cache: Option<(Vec<usize>, usize)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pooling geometry is invalid.
+    pub fn new(
+        name: impl Into<String>,
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self> {
+        Ok(MaxPool2d {
+            name: name.into(),
+            geom: PoolGeometry::new(channels, in_h, in_w, window, stride)?,
+            cache: None,
+        })
+    }
+
+    /// The pooling geometry.
+    pub fn geometry(&self) -> &PoolGeometry {
+        &self.geom
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (out, argmax) = maxpool2d_forward(input, &self.geom)?;
+        if mode == Mode::Train {
+            self.cache = Some((argmax, input.dims()[0]));
+        } else {
+            self.cache = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
+        let (argmax, batch) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        Ok(maxpool2d_backward(dout, &argmax, &self.geom, batch)?)
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        if input.len() != 4
+            || input[1] != self.geom.channels
+            || input[2] != self.geom.in_h
+            || input[3] != self.geom.in_w
+        {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                expected: vec![0, self.geom.channels, self.geom.in_h, self.geom.in_w],
+                actual: input.to_vec(),
+            });
+        }
+        Ok(vec![input[0], self.geom.channels, self.geom.out_h, self.geom.out_w])
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_tensor::Rng;
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut l = MaxPool2d::new("p", 1, 4, 4, 2, 2).unwrap();
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        let dx = l.backward(&Tensor::filled([1, 1, 2, 2], 1.0)).unwrap();
+        assert_eq!(dx.sum(), 4.0);
+    }
+
+    #[test]
+    fn eval_mode_keeps_no_cache() {
+        let mut l = MaxPool2d::new("p", 1, 4, 4, 2, 2).unwrap();
+        let x = Tensor::zeros([1, 1, 4, 4]);
+        let _ = l.forward(&x, Mode::Eval).unwrap();
+        assert!(l.backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn output_shape_checks_input() {
+        let l = MaxPool2d::new("p", 3, 8, 8, 2, 2).unwrap();
+        assert_eq!(l.output_shape(&[5, 3, 8, 8]).unwrap(), vec![5, 3, 4, 4]);
+        assert!(l.output_shape(&[5, 2, 8, 8]).is_err());
+    }
+
+    #[test]
+    fn pooling_reduces_resolution_only() {
+        let mut rng = Rng::seed_from(1);
+        let mut l = MaxPool2d::new("p", 2, 6, 6, 2, 2).unwrap();
+        let x = Tensor::randn([3, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[3, 2, 3, 3]);
+        // Every pooled value must exist in the input.
+        for &v in y.as_slice() {
+            assert!(x.as_slice().contains(&v));
+        }
+    }
+}

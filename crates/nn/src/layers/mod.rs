@@ -1,0 +1,15 @@
+//! The built-in trainable and structural layers.
+
+mod conv2d;
+mod dropout;
+mod flatten;
+mod linear;
+mod maxpool;
+mod relu;
+
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use maxpool::MaxPool2d;
+pub use relu::Relu;

@@ -1,0 +1,122 @@
+//! ReLU activation.
+
+use crate::error::NnError;
+use crate::layer::{Layer, LayerKind, Mode};
+use crate::Result;
+use insitu_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`, applied elementwise.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    name: String,
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Relu { name: name.into(), mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = input.map(|x| x.max(0.0));
+        if mode == Mode::Train {
+            self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        } else {
+            self.mask = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        if mask.len() != dout.len() {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                expected: vec![mask.len()],
+                actual: vec![dout.len()],
+            });
+        }
+        let mut dx = dout.clone();
+        for (g, &m) in dx.as_mut_slice().iter_mut().zip(&mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        Ok(dx)
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        Ok(input.to_vec())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negative() {
+        let mut l = Relu::new("r");
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut l = Relu::new("r");
+        let x = Tensor::from_vec([4], vec![-1.0, 0.5, 2.0, -3.0]).unwrap();
+        let _ = l.forward(&x, Mode::Train).unwrap();
+        let dout = Tensor::filled([4], 1.0);
+        let dx = l.backward(&dout).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_grad() {
+        // Subgradient convention: d/dx relu(0) = 0.
+        let mut l = Relu::new("r");
+        let x = Tensor::zeros([2]);
+        let _ = l.forward(&x, Mode::Train).unwrap();
+        let dx = l.backward(&Tensor::filled([2], 5.0)).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut l = Relu::new("r");
+        assert!(l.backward(&Tensor::zeros([1])).is_err());
+    }
+
+    #[test]
+    fn shape_passthrough() {
+        let l = Relu::new("r");
+        assert_eq!(l.output_shape(&[2, 3, 4, 5]).unwrap(), vec![2, 3, 4, 5]);
+        assert_eq!(l.param_count(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Classification metrics beyond plain accuracy: top-k, confusion
+//! matrices and per-class recall — used by the wildlife-monitoring
+//! example to report which "species" the drift hurts most.
+
+use crate::error::NnError;
+use crate::Result;
+use insitu_tensor::Tensor;
+use std::fmt;
+
+/// Fraction of rows whose label is among the `k` highest logits.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f32> {
+    let d = logits.dims();
+    if d.len() != 2 || d[0] != labels.len() {
+        return Err(NnError::BadLabels {
+            reason: format!("logits {d:?} incompatible with {} labels", labels.len()),
+        });
+    }
+    if k == 0 {
+        return Err(NnError::BadLabels { reason: "top-k needs k >= 1".into() });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let classes = d[1];
+    let k = k.min(classes);
+    let mut hits = 0usize;
+    for (row, &label) in logits.as_slice().chunks(classes).zip(labels) {
+        // Count how many entries strictly exceed the label's logit;
+        // the label is in the top k iff fewer than k do.
+        let own = row[label];
+        let better = row.iter().filter(|&&v| v > own).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    Ok(hits as f32 / labels.len() as f32)
+}
+
+/// A square confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    pub fn new(classes: usize) -> ConfusionMatrix {
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Builds a matrix from logits and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes disagree or a label is out of range.
+    pub fn from_logits(logits: &Tensor, labels: &[usize]) -> Result<ConfusionMatrix> {
+        let d = logits.dims();
+        if d.len() != 2 || d[0] != labels.len() {
+            return Err(NnError::BadLabels {
+                reason: format!("logits {d:?} incompatible with {} labels", labels.len()),
+            });
+        }
+        let mut m = ConfusionMatrix::new(d[1]);
+        let preds = crate::loss::predictions(logits)?;
+        for (&p, &a) in preds.iter().zip(labels) {
+            m.record(a, p)?;
+        }
+        Ok(m)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) -> Result<()> {
+        if actual >= self.classes || predicted >= self.classes {
+            return Err(NnError::BadLabels {
+                reason: format!(
+                    "({actual}, {predicted}) out of range for {} classes",
+                    self.classes
+                ),
+            });
+        }
+        self.counts[actual * self.classes + predicted] += 1;
+        Ok(())
+    }
+
+    /// The count at `(actual, predicted)` (0 when out of range).
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        if actual >= self.classes || predicted >= self.classes {
+            0
+        } else {
+            self.counts[actual * self.classes + predicted]
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass); 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of one class (`None` when the class never occurred).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Precision of one class (`None` when it was never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.classes).map(|a| self.count(a, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / col as f64)
+        }
+    }
+
+    /// Merges another matrix of the same size into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) -> Result<()> {
+        if self.classes != other.classes {
+            return Err(NnError::BadLabels {
+                reason: format!("cannot merge {}x vs {}x matrices", self.classes, other.classes),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "actual\\pred {}", (0..self.classes).map(|c| format!("{c:>6}")).collect::<String>())?;
+        for a in 0..self.classes {
+            write!(f, "{a:>11} ")?;
+            for p in 0..self.classes {
+                write!(f, "{:>6}", self.count(a, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_extremes() {
+        let logits =
+            Tensor::from_vec([2, 4], vec![4.0, 3.0, 2.0, 1.0, 1.0, 2.0, 3.0, 4.0]).unwrap();
+        // Row 0 label 1 is 2nd-best; row 1 label 0 is worst.
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 1).unwrap(), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 2).unwrap(), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 4).unwrap(), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 99).unwrap(), 1.0); // clamped
+        assert!(top_k_accuracy(&logits, &[1, 0], 0).is_err());
+        assert!(top_k_accuracy(&logits, &[1], 1).is_err());
+    }
+
+    #[test]
+    fn top1_matches_accuracy() {
+        let logits =
+            Tensor::from_vec([3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]).unwrap();
+        let labels = [0usize, 1, 1];
+        assert_eq!(
+            top_k_accuracy(&logits, &labels, 1).unwrap(),
+            crate::loss::accuracy(&logits, &labels).unwrap()
+        );
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0).unwrap();
+        m.record(0, 1).unwrap();
+        m.record(1, 1).unwrap();
+        m.record(2, 2).unwrap();
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(0, 1), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(m.recall(0), Some(0.5));
+        assert_eq!(m.recall(1), Some(1.0));
+        assert_eq!(m.precision(1), Some(0.5));
+        assert_eq!(m.precision(0), Some(1.0));
+        assert!(m.record(3, 0).is_err());
+    }
+
+    #[test]
+    fn from_logits_and_merge() {
+        let logits =
+            Tensor::from_vec([3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]).unwrap();
+        let m = ConfusionMatrix::from_logits(&logits, &[0, 1, 1]).unwrap();
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.count(1, 0), 1);
+        let mut acc = ConfusionMatrix::new(2);
+        acc.merge(&m).unwrap();
+        acc.merge(&m).unwrap();
+        assert_eq!(acc.total(), 6);
+        assert!(acc.merge(&ConfusionMatrix::new(3)).is_err());
+    }
+
+    #[test]
+    fn empty_class_is_none() {
+        let m = ConfusionMatrix::new(2);
+        assert_eq!(m.recall(0), None);
+        assert_eq!(m.precision(0), None);
+        assert_eq!(m.accuracy(), 0.0);
+        assert!(!m.to_string().is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! The model zoo: scaled-down counterparts of the CNNs the paper
+//! evaluates (AlexNet, GoogLeNet, VGGNet) plus the unsupervised jigsaw
+//! network, all sized for the 36×36 synthetic IoT imagery.
+//!
+//! The Mini-AlexNet keeps the paper-relevant skeleton — **five
+//! convolutional layers followed by three fully connected layers** — so
+//! every layer-indexed experiment (CONV-0 … CONV-5 locking, weight
+//! sharing of conv1–conv3) maps one-to-one onto the original. The trunk
+//! used by the jigsaw network has *identical filter shapes*, which is
+//! what makes transfer (and the WSS shared-weight buffers) possible.
+
+use crate::jigsaw::JigsawNet;
+use crate::layers::{Conv2d, Dropout, Flatten, Linear, MaxPool2d, Relu};
+use crate::net::Sequential;
+use crate::Result;
+use insitu_tensor::Rng;
+
+/// Edge length of the synthetic IoT images.
+pub const IMAGE_SIZE: usize = 36;
+/// Color channels of the synthetic IoT images.
+pub const CHANNELS: usize = 3;
+/// Edge length of one jigsaw patch (a 3×3 grid over the image).
+pub const PATCH_SIZE: usize = IMAGE_SIZE / 3;
+/// Number of jigsaw patches per image.
+pub const PATCHES: usize = 9;
+/// Convolution widths shared by Mini-AlexNet and the jigsaw trunk.
+pub const ALEXNET_WIDTHS: [usize; 5] = [16, 24, 32, 32, 24];
+/// Feature length the jigsaw trunk produces per 12×12 patch.
+pub const TRUNK_FEATURES: usize = ALEXNET_WIDTHS[4];
+
+/// Builds the five shared convolutional stages (+ activations/pools)
+/// for an input of edge `size`, returning the network and the flattened
+/// feature length.
+fn alexnet_conv_stack(
+    net: &mut Sequential,
+    size: usize,
+    rng: &mut Rng,
+) -> Result<usize> {
+    let w = ALEXNET_WIDTHS;
+    let mut s = size;
+    net.push(Conv2d::new("conv1", CHANNELS, s, s, w[0], 3, 1, 1, rng)?);
+    net.push(Relu::new("relu1"));
+    net.push(MaxPool2d::new("pool1", w[0], s, s, 2, 2)?);
+    s /= 2;
+    net.push(Conv2d::new("conv2", w[0], s, s, w[1], 3, 1, 1, rng)?);
+    net.push(Relu::new("relu2"));
+    net.push(MaxPool2d::new("pool2", w[1], s, s, 2, 2)?);
+    s /= 2;
+    net.push(Conv2d::new("conv3", w[1], s, s, w[2], 3, 1, 1, rng)?);
+    net.push(Relu::new("relu3"));
+    net.push(Conv2d::new("conv4", w[2], s, s, w[3], 3, 1, 1, rng)?);
+    net.push(Relu::new("relu4"));
+    net.push(Conv2d::new("conv5", w[3], s, s, w[4], 3, 1, 1, rng)?);
+    net.push(Relu::new("relu5"));
+    net.push(MaxPool2d::new("pool5", w[4], s, s, 2, 2)?);
+    s = (s - 2) / 2 + 1;
+    net.push(Flatten::new("flat"));
+    Ok(w[4] * s * s)
+}
+
+/// Mini-AlexNet: 5 conv + 3 FC layers over 36×36×3 inputs.
+///
+/// # Errors
+///
+/// Returns an error only if an internal geometry is invalid (which
+/// would be a bug, not a user error).
+///
+/// # Examples
+///
+/// ```
+/// use insitu_nn::models::mini_alexnet;
+/// use insitu_tensor::Rng;
+/// # fn main() -> Result<(), insitu_nn::NnError> {
+/// let mut rng = Rng::seed_from(0);
+/// let net = mini_alexnet(10, &mut rng)?;
+/// assert_eq!(net.conv_count(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mini_alexnet(classes: usize, rng: &mut Rng) -> Result<Sequential> {
+    let mut net = Sequential::new("mini-alexnet");
+    let feat = alexnet_conv_stack(&mut net, IMAGE_SIZE, rng)?;
+    net.push(Linear::new("fc6", feat, 128, rng));
+    net.push(Relu::new("relu6"));
+    net.push(Dropout::new("drop6", 0.3, rng));
+    net.push(Linear::new("fc7", 128, 64, rng));
+    net.push(Relu::new("relu7"));
+    net.push(Linear::new("fc8", 64, classes, rng));
+    Ok(net)
+}
+
+/// The unsupervised trunk: the same five convolutional stages as
+/// [`mini_alexnet`] (identical filter shapes) applied to one 12×12
+/// patch, ending in a [`TRUNK_FEATURES`]-dimensional feature vector.
+///
+/// # Errors
+///
+/// Returns an error only if an internal geometry is invalid.
+pub fn alexnet_trunk(rng: &mut Rng) -> Result<Sequential> {
+    let mut net = Sequential::new("jigsaw-trunk");
+    let feat = alexnet_conv_stack(&mut net, PATCH_SIZE, rng)?;
+    debug_assert_eq!(feat, TRUNK_FEATURES);
+    Ok(net)
+}
+
+/// The full jigsaw context-prediction network: shared trunk over the 9
+/// patches plus a 2-layer head classifying among `permutations` classes.
+///
+/// # Errors
+///
+/// Returns an error only if an internal geometry is invalid.
+pub fn jigsaw_network(permutations: usize, rng: &mut Rng) -> Result<JigsawNet> {
+    let trunk = alexnet_trunk(rng)?;
+    let mut head = Sequential::new("jigsaw-head");
+    head.push(Linear::new("jfc1", PATCHES * TRUNK_FEATURES, 96, rng));
+    head.push(Relu::new("jrelu1"));
+    head.push(Linear::new("jfc2", 96, permutations, rng));
+    JigsawNet::new(trunk, head, PATCHES, TRUNK_FEATURES)
+}
+
+/// Mini-VGG: 8 conv + 3 FC layers, all 3×3 kernels — deeper and wider
+/// than Mini-AlexNet, mirroring VGGNet's position in the paper's
+/// Table I.
+///
+/// # Errors
+///
+/// Returns an error only if an internal geometry is invalid.
+pub fn mini_vgg(classes: usize, rng: &mut Rng) -> Result<Sequential> {
+    let mut net = Sequential::new("mini-vgg");
+    let s0 = IMAGE_SIZE; // 36
+    net.push(Conv2d::new("conv1_1", CHANNELS, s0, s0, 16, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu1_1"));
+    net.push(Conv2d::new("conv1_2", 16, s0, s0, 16, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu1_2"));
+    net.push(MaxPool2d::new("pool1", 16, s0, s0, 2, 2)?);
+    let s1 = s0 / 2; // 18
+    net.push(Conv2d::new("conv2_1", 16, s1, s1, 24, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu2_1"));
+    net.push(Conv2d::new("conv2_2", 24, s1, s1, 24, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu2_2"));
+    net.push(MaxPool2d::new("pool2", 24, s1, s1, 2, 2)?);
+    let s2 = s1 / 2; // 9
+    net.push(Conv2d::new("conv3_1", 24, s2, s2, 32, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu3_1"));
+    net.push(Conv2d::new("conv3_2", 32, s2, s2, 32, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu3_2"));
+    net.push(MaxPool2d::new("pool3", 32, s2, s2, 2, 2)?);
+    let s3 = (s2 - 2) / 2 + 1; // 4
+    net.push(Conv2d::new("conv4_1", 32, s3, s3, 40, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu4_1"));
+    net.push(Conv2d::new("conv4_2", 40, s3, s3, 40, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu4_2"));
+    net.push(MaxPool2d::new("pool4", 40, s3, s3, 2, 2)?);
+    let s4 = s3 / 2; // 2
+    net.push(Flatten::new("flat"));
+    let feat = 40 * s4 * s4;
+    net.push(Linear::new("fc6", feat, 160, rng));
+    net.push(Relu::new("relu6"));
+    net.push(Dropout::new("drop6", 0.3, rng));
+    net.push(Linear::new("fc7", 160, 96, rng));
+    net.push(Relu::new("relu7"));
+    net.push(Linear::new("fc8", 96, classes, rng));
+    Ok(net)
+}
+
+/// Mini-GoogLeNet: 7 conv layers mixing 1×1 and 3×3 kernels with a
+/// single FC classifier, mirroring GoogLeNet's "deep but FC-light"
+/// character.
+///
+/// # Errors
+///
+/// Returns an error only if an internal geometry is invalid.
+pub fn mini_googlenet(classes: usize, rng: &mut Rng) -> Result<Sequential> {
+    let mut net = Sequential::new("mini-googlenet");
+    let s0 = IMAGE_SIZE; // 36
+    net.push(Conv2d::new("conv1", CHANNELS, s0, s0, 16, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu1"));
+    net.push(MaxPool2d::new("pool1", 16, s0, s0, 2, 2)?);
+    let s1 = s0 / 2; // 18
+    net.push(Conv2d::new("conv2_reduce", 16, s1, s1, 16, 1, 1, 0, rng)?);
+    net.push(Relu::new("relu2r"));
+    net.push(Conv2d::new("conv2", 16, s1, s1, 24, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu2"));
+    net.push(MaxPool2d::new("pool2", 24, s1, s1, 2, 2)?);
+    let s2 = s1 / 2; // 9
+    net.push(Conv2d::new("conv3_reduce", 24, s2, s2, 24, 1, 1, 0, rng)?);
+    net.push(Relu::new("relu3r"));
+    net.push(Conv2d::new("conv3", 24, s2, s2, 32, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu3"));
+    net.push(Conv2d::new("conv4", 32, s2, s2, 40, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu4"));
+    net.push(Conv2d::new("conv5", 40, s2, s2, 40, 3, 1, 1, rng)?);
+    net.push(Relu::new("relu5"));
+    net.push(MaxPool2d::new("pool5", 40, s2, s2, 2, 2)?);
+    let s3 = (s2 - 2) / 2 + 1; // 4
+    net.push(Flatten::new("flat"));
+    net.push(Linear::new("fc", 40 * s3 * s3, classes, rng));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::net::Network;
+    use insitu_tensor::Tensor;
+
+    #[test]
+    fn alexnet_structure() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = mini_alexnet(10, &mut rng).unwrap();
+        assert_eq!(net.conv_count(), 5);
+        assert_eq!(net.describe().fc_layers().len(), 3);
+        let x = Tensor::zeros([2, CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn vgg_structure() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = mini_vgg(10, &mut rng).unwrap();
+        assert_eq!(net.conv_count(), 8);
+        assert_eq!(net.describe().fc_layers().len(), 3);
+        let x = Tensor::zeros([1, CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
+        assert_eq!(net.forward(&x, Mode::Eval).unwrap().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn googlenet_structure() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = mini_googlenet(10, &mut rng).unwrap();
+        assert_eq!(net.conv_count(), 7);
+        assert_eq!(net.describe().fc_layers().len(), 1);
+        let x = Tensor::zeros([1, CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
+        assert_eq!(net.forward(&x, Mode::Eval).unwrap().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn trunk_feature_len_is_constant() {
+        let mut rng = Rng::seed_from(4);
+        let mut trunk = alexnet_trunk(&mut rng).unwrap();
+        let x = Tensor::zeros([3, CHANNELS, PATCH_SIZE, PATCH_SIZE]);
+        let f = trunk.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(f.dims(), &[3, TRUNK_FEATURES]);
+    }
+
+    #[test]
+    fn trunk_matches_alexnet_conv_shapes() {
+        let mut rng = Rng::seed_from(5);
+        let alex = mini_alexnet(10, &mut rng).unwrap();
+        let mut alex2 = mini_alexnet(10, &mut rng).unwrap();
+        let trunk = alexnet_trunk(&mut rng).unwrap();
+        // All 5 conv layers transferable in both directions.
+        assert_eq!(crate::transfer::copy_conv_prefix(&trunk, &mut alex2, 5).unwrap(), 5);
+        assert_eq!(alex.conv_count(), trunk.conv_count());
+    }
+
+    #[test]
+    fn jigsaw_network_runs() {
+        let mut rng = Rng::seed_from(6);
+        let mut net = jigsaw_network(24, &mut rng).unwrap();
+        let x = Tensor::zeros([2, PATCHES, CHANNELS, PATCH_SIZE, PATCH_SIZE]);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 24]);
+    }
+
+    #[test]
+    fn capacity_ordering_matches_table1_expectation() {
+        // VGG > GoogLeNet > AlexNet in parameters-in-conv or total ops,
+        // mirroring the accuracy ordering of the paper's Table I.
+        let mut rng = Rng::seed_from(7);
+        let a = mini_alexnet(10, &mut rng).unwrap().describe().total_ops();
+        let g = mini_googlenet(10, &mut rng).unwrap().describe().total_ops();
+        let v = mini_vgg(10, &mut rng).unwrap().describe().total_ops();
+        assert!(v > g, "vgg {v} vs googlenet {g}");
+        assert!(g > a, "googlenet {g} vs alexnet {a}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the NN framework: randomized gradient
+//! checks and structural invariants.
+
+use insitu_nn::layers::{Conv2d, Dropout, Flatten, Linear, MaxPool2d, Relu};
+use insitu_nn::{softmax, softmax_cross_entropy, Layer, Mode, Network, Sequential};
+use insitu_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+/// Central-difference gradient check of `layer` at a random input.
+fn grad_check(layer: &mut dyn Layer, input: &Tensor, tolerance: f32) -> Result<(), String> {
+    let out = layer.forward(input, Mode::Train).map_err(|e| e.to_string())?;
+    let dout = Tensor::filled(out.shape().clone(), 1.0);
+    let dx = layer.backward(&dout).map_err(|e| e.to_string())?;
+    let eps = 5e-3f32;
+    // Check a handful of coordinates.
+    let stride = (input.len() / 6).max(1);
+    for idx in (0..input.len()).step_by(stride) {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[idx] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[idx] -= eps;
+        let f_plus = layer.forward(&plus, Mode::Eval).map_err(|e| e.to_string())?.sum();
+        let f_minus = layer.forward(&minus, Mode::Eval).map_err(|e| e.to_string())?.sum();
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        let analytic = dx.as_slice()[idx];
+        if (numeric - analytic).abs() > tolerance * (1.0 + numeric.abs()) {
+            return Err(format!("coord {idx}: numeric {numeric} vs analytic {analytic}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_gradients_correct(
+        in_ch in 1usize..3, out_ch in 1usize..4, size in 3usize..7,
+        kernel in 1usize..4, seed in 0u64..1000
+    ) {
+        prop_assume!(kernel <= size);
+        let mut rng = Rng::seed_from(seed);
+        let mut layer =
+            Conv2d::new("c", in_ch, size, size, out_ch, kernel, 1, kernel / 2, &mut rng)
+                .unwrap();
+        let x = Tensor::rand_uniform([1, in_ch, size, size], -1.0, 1.0, &mut rng);
+        prop_assert!(grad_check(&mut layer, &x, 0.05).is_ok());
+    }
+
+    #[test]
+    fn linear_gradients_correct(
+        inputs in 1usize..10, outputs in 1usize..8, batch in 1usize..4, seed in 0u64..1000
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut layer = Linear::new("fc", inputs, outputs, &mut rng);
+        let x = Tensor::rand_uniform([batch, inputs], -1.0, 1.0, &mut rng);
+        prop_assert!(grad_check(&mut layer, &x, 0.03).is_ok());
+    }
+
+    #[test]
+    fn relu_flatten_shape_preserving(
+        dims in proptest::collection::vec(1usize..5, 2..4), seed in 0u64..500
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::rand_uniform(dims.as_slice(), -1.0, 1.0, &mut rng);
+        let mut relu = Relu::new("r");
+        let y = relu.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(y.dims(), x.dims());
+        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        let mut flat = Flatten::new("f");
+        let z = flat.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(z.len(), x.len());
+        prop_assert_eq!(z.dims()[0], x.dims()[0]);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(rows in 1usize..6, cols in 1usize..9, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = Tensor::rand_uniform([rows, cols], -20.0, 20.0, &mut rng);
+        let p = softmax(&logits).unwrap();
+        for row in p.as_slice().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_sums_to_zero(
+        rows in 1usize..5, cols in 2usize..6, seed in 0u64..500
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = Tensor::rand_uniform([rows, cols], -5.0, 5.0, &mut rng);
+        let labels: Vec<usize> = (0..rows).map(|_| rng.below(cols)).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        // Each row's gradient sums to zero (softmax minus one-hot).
+        for row in grad.as_slice().chunks(cols) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dropout_eval_identity_train_unbiased(p in 0.0f32..0.9, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let mut layer = Dropout::new("d", p, &mut rng);
+        let x = Tensor::filled([4096], 1.0);
+        let eval = layer.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(eval, x.clone());
+        let train = layer.forward(&x, Mode::Train).unwrap();
+        // Empirical mean stays near 1 (inverted dropout).
+        prop_assert!((train.mean() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn pooling_never_increases_max(size in 2usize..8, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let mut layer = MaxPool2d::new("p", 1, size, size, 2.min(size), 2).unwrap();
+        let x = Tensor::rand_uniform([1, 1, size, size], -1.0, 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        prop_assert!(y.max().unwrap() <= x.max().unwrap() + 1e-7);
+        prop_assert!(y.len() <= x.len());
+    }
+
+    #[test]
+    fn freezing_preserves_frozen_weights_under_training(seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = Sequential::new("n");
+        net.push(Conv2d::new("c1", 1, 6, 6, 2, 3, 1, 1, &mut rng).unwrap());
+        net.push(Relu::new("r"));
+        net.push(Conv2d::new("c2", 2, 6, 6, 2, 3, 1, 1, &mut rng).unwrap());
+        net.push(Flatten::new("f"));
+        net.push(Linear::new("fc", 72, 2, &mut rng));
+        net.freeze_first_convs(1).unwrap();
+        let frozen_before: Vec<Tensor> = {
+            let mut v = Vec::new();
+            net.visit_all(&mut |p| v.push(p.clone()));
+            v
+        };
+        // A few optimizer steps.
+        let mut opt = insitu_nn::Sgd::new(0.1).momentum(0.9);
+        let x = Tensor::rand_uniform([2, 1, 6, 6], -1.0, 1.0, &mut rng);
+        for _ in 0..3 {
+            net.zero_grads();
+            let y = net.forward(&x, Mode::Train).unwrap();
+            let (_, d) = softmax_cross_entropy(&y, &[0, 1]).unwrap();
+            net.backward(&d).unwrap();
+            opt.step(&mut net);
+        }
+        let after: Vec<Tensor> = {
+            let mut v = Vec::new();
+            net.visit_all(&mut |p| v.push(p.clone()));
+            v
+        };
+        // First two tensors (conv1 weight+bias) unchanged; the last two
+        // (fc weight+bias) must have moved.
+        prop_assert_eq!(&after[0], &frozen_before[0]);
+        prop_assert_eq!(&after[1], &frozen_before[1]);
+        let moved = after[4] != frozen_before[4] || after[5] != frozen_before[5];
+        prop_assert!(moved);
+    }
+
+    #[test]
+    fn clone_is_deep(seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let mut a = Sequential::new("a");
+        a.push(Linear::new("fc", 4, 3, &mut rng));
+        let mut b = a.clone();
+        // Train only the clone; the original must not move.
+        let x = Tensor::rand_uniform([2, 4], -1.0, 1.0, &mut rng);
+        let mut opt = insitu_nn::Sgd::new(0.5);
+        b.zero_grads();
+        let y = b.forward(&x, Mode::Train).unwrap();
+        let (_, d) = softmax_cross_entropy(&y, &[0, 1]).unwrap();
+        b.backward(&d).unwrap();
+        opt.step(&mut b);
+        let mut pa = Vec::new();
+        a.visit_all(&mut |p| pa.push(p.clone()));
+        let mut pb = Vec::new();
+        b.visit_all(&mut |p| pb.push(p.clone()));
+        prop_assert_ne!(pa, pb);
+    }
+}

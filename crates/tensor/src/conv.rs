@@ -1,0 +1,511 @@
+//! 2-D convolution via im2col lowering.
+//!
+//! This is the same lowering the paper describes for GPU execution
+//! (its Fig. 8): `im2col` stretches local input regions into the columns
+//! of a data matrix `Dm`, the filters are flattened into a filter matrix
+//! `Fm`, and the convolution becomes the GEMM `Fm × Dm`. The backward
+//! pass uses the adjoint scatter [`col2im`].
+
+use crate::error::TensorError;
+use crate::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Static description of one 2-D convolution: input geometry, kernel,
+/// stride and zero padding.
+///
+/// # Examples
+///
+/// ```
+/// use insitu_tensor::ConvGeometry;
+/// # fn main() -> Result<(), insitu_tensor::TensorError> {
+/// let g = ConvGeometry::new(3, 36, 36, 8, 3, 1, 1)?; // 3→8 channels, 3x3 kernel
+/// assert_eq!((g.out_h, g.out_w), (36, 36));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels (the paper's `N`).
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels / number of filters (the paper's `M`).
+    pub out_channels: usize,
+    /// Square kernel edge (the paper's `K`).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every edge.
+    pub pad: usize,
+    /// Output height (the paper's `R`).
+    pub out_h: usize,
+    /// Output width (the paper's `C`).
+    pub out_w: usize,
+}
+
+impl ConvGeometry {
+    /// Computes output geometry, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the stride is zero or
+    /// the kernel does not fit in the padded input.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry { reason: "stride must be nonzero".into() });
+        }
+        if kernel == 0 || in_channels == 0 || out_channels == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "channels and kernel must be nonzero".into(),
+            });
+        }
+        let padded_h = in_h + 2 * pad;
+        let padded_w = in_w + 2 * pad;
+        if kernel > padded_h || kernel > padded_w {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!(
+                    "kernel {kernel} larger than padded input {padded_h}x{padded_w}"
+                ),
+            });
+        }
+        Ok(ConvGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            out_h: (padded_h - kernel) / stride + 1,
+            out_w: (padded_w - kernel) / stride + 1,
+        })
+    }
+
+    /// Rows of the im2col matrix: `N·K²`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix: `R·C` output positions.
+    pub fn col_cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Multiply-accumulate operation count for one sample, following the
+    /// paper's Eq. (1): `CONVops = 2·M·N·K²·R·C`.
+    pub fn ops(&self) -> u64 {
+        2 * self.out_channels as u64
+            * self.in_channels as u64
+            * (self.kernel * self.kernel) as u64
+            * self.out_h as u64
+            * self.out_w as u64
+    }
+}
+
+/// Stretches one `(C, H, W)` sample into the `(N·K², R·C)` data matrix.
+///
+/// # Errors
+///
+/// Returns an error if `input` does not have shape `(C, H, W)` matching
+/// the geometry.
+pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
+    let expected = [g.in_channels, g.in_h, g.in_w];
+    if input.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            actual: input.dims().to_vec(),
+            op: "im2col",
+        });
+    }
+    let (rows, cols) = (g.col_rows(), g.col_cols());
+    let mut out = vec![0.0f32; rows * cols];
+    let x = input.as_slice();
+    let (h, w, k) = (g.in_h, g.in_w, g.kernel);
+    for c in 0..g.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..g.out_h {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..g.out_w {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * g.out_w + ox] =
+                            x[(c * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Adjoint of [`im2col`]: scatters a `(N·K², R·C)` matrix back into a
+/// `(C, H, W)` tensor, *accumulating* values that came from the same
+/// input element.
+///
+/// # Errors
+///
+/// Returns an error if `col` does not match the geometry's im2col shape.
+pub fn col2im(col: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
+    let expected = [g.col_rows(), g.col_cols()];
+    if col.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            actual: col.dims().to_vec(),
+            op: "col2im",
+        });
+    }
+    let mut out = Tensor::zeros([g.in_channels, g.in_h, g.in_w]);
+    let o = out.as_mut_slice();
+    let c_ = col.as_slice();
+    let (h, w, k, cols) = (g.in_h, g.in_w, g.kernel, g.col_cols());
+    for c in 0..g.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let col_row = &c_[row * cols..(row + 1) * cols];
+                for oy in 0..g.out_h {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..g.out_w {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        o[(c * h + iy as usize) * w + ix as usize] +=
+                            col_row[oy * g.out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Batched convolution forward pass.
+///
+/// * `input`: `(B, C, H, W)`
+/// * `weight`: `(M, C, K, K)`
+/// * `bias`: `(M,)`
+///
+/// Returns the output `(B, M, R, C)` together with the per-sample im2col
+/// matrices, which the backward pass reuses (C-INTERMEDIATE).
+///
+/// # Errors
+///
+/// Returns an error on any shape disagreement with the geometry.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+) -> Result<(Tensor, Vec<Tensor>)> {
+    let b = batch_of(input, g)?;
+    check_weight_bias(weight, bias, g)?;
+    let wmat = weight.reshape([g.out_channels, g.col_rows()])?;
+    let sample_len = g.in_channels * g.in_h * g.in_w;
+    let out_len = g.out_channels * g.out_h * g.out_w;
+    let mut out = Tensor::zeros([b, g.out_channels, g.out_h, g.out_w]);
+    let mut cols = Vec::with_capacity(b);
+    for s in 0..b {
+        let sample = Tensor::from_vec(
+            [g.in_channels, g.in_h, g.in_w],
+            input.as_slice()[s * sample_len..(s + 1) * sample_len].to_vec(),
+        )?;
+        let col = im2col(&sample, g)?;
+        let y = matmul(&wmat, &col)?; // (M, R*C)
+        let dst = &mut out.as_mut_slice()[s * out_len..(s + 1) * out_len];
+        let positions = g.col_cols();
+        for m in 0..g.out_channels {
+            let bm = bias.as_slice()[m];
+            let src = &y.as_slice()[m * positions..(m + 1) * positions];
+            let d = &mut dst[m * positions..(m + 1) * positions];
+            for (di, &si) in d.iter_mut().zip(src) {
+                *di = si + bm;
+            }
+        }
+        cols.push(col);
+    }
+    Ok((out, cols))
+}
+
+/// Gradients of a batched convolution.
+///
+/// Given the upstream gradient `dout: (B, M, R, C)` and the im2col
+/// matrices saved by [`conv2d_forward`], returns
+/// `(dinput, dweight, dbias)`.
+///
+/// # Errors
+///
+/// Returns an error on any shape disagreement with the geometry.
+pub fn conv2d_backward(
+    dout: &Tensor,
+    weight: &Tensor,
+    cols: &[Tensor],
+    g: &ConvGeometry,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let b = cols.len();
+    let expected = [b, g.out_channels, g.out_h, g.out_w];
+    if dout.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            actual: dout.dims().to_vec(),
+            op: "conv2d_backward",
+        });
+    }
+    let wmat = weight.reshape([g.out_channels, g.col_rows()])?;
+    let positions = g.col_cols();
+    let out_len = g.out_channels * positions;
+    let sample_len = g.in_channels * g.in_h * g.in_w;
+
+    let mut dinput = Tensor::zeros([b, g.in_channels, g.in_h, g.in_w]);
+    let mut dwmat = Tensor::zeros([g.out_channels, g.col_rows()]);
+    let mut dbias = Tensor::zeros([g.out_channels]);
+
+    for (s, col) in cols.iter().enumerate() {
+        let dy = Tensor::from_vec(
+            [g.out_channels, positions],
+            dout.as_slice()[s * out_len..(s + 1) * out_len].to_vec(),
+        )?;
+        // dW += dY · colᵀ ; col: (N·K², P), dY: (M, P) → (M, N·K²)
+        dwmat.axpy(1.0, &matmul_nt(&dy, col)?)?;
+        // db += row sums of dY
+        for m in 0..g.out_channels {
+            let row = &dy.as_slice()[m * positions..(m + 1) * positions];
+            dbias.as_mut_slice()[m] += row.iter().sum::<f32>();
+        }
+        // dX = col2im(Wᵀ · dY)
+        let dcol = matmul_tn(&wmat, &dy)?; // (N·K², P)
+        let dx = col2im(&dcol, g)?;
+        dinput.as_mut_slice()[s * sample_len..(s + 1) * sample_len]
+            .copy_from_slice(dx.as_slice());
+    }
+    let dweight = dwmat.reshape([g.out_channels, g.in_channels, g.kernel, g.kernel])?;
+    Ok((dinput, dweight, dbias))
+}
+
+fn batch_of(input: &Tensor, g: &ConvGeometry) -> Result<usize> {
+    let d = input.dims();
+    if d.len() != 4 || d[1] != g.in_channels || d[2] != g.in_h || d[3] != g.in_w {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![0, g.in_channels, g.in_h, g.in_w],
+            actual: d.to_vec(),
+            op: "conv2d",
+        });
+    }
+    Ok(d[0])
+}
+
+fn check_weight_bias(weight: &Tensor, bias: &Tensor, g: &ConvGeometry) -> Result<()> {
+    let expected = [g.out_channels, g.in_channels, g.kernel, g.kernel];
+    if weight.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            actual: weight.dims().to_vec(),
+            op: "conv2d(weight)",
+        });
+    }
+    if bias.dims() != [g.out_channels] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![g.out_channels],
+            actual: bias.dims().to_vec(),
+            op: "conv2d(bias)",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn small_geom() -> ConvGeometry {
+        ConvGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn geometry_math() {
+        let g = ConvGeometry::new(3, 36, 36, 8, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (36, 36));
+        let g2 = ConvGeometry::new(3, 227, 227, 96, 11, 4, 0).unwrap();
+        assert_eq!((g2.out_h, g2.out_w), (55, 55)); // AlexNet conv1
+        assert!(ConvGeometry::new(1, 4, 4, 1, 3, 0, 0).is_err());
+        assert!(ConvGeometry::new(1, 2, 2, 1, 5, 1, 0).is_err());
+    }
+
+    #[test]
+    fn ops_matches_eq1() {
+        // AlexNet conv1: 2*96*3*11^2*55*55 = 210,830,400 ops
+        let g = ConvGeometry::new(3, 227, 227, 96, 11, 4, 0).unwrap();
+        assert_eq!(g.ops(), 2 * 96 * 3 * 121 * 55 * 55);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: col matrix equals input flattened.
+        let g = ConvGeometry::new(2, 3, 3, 1, 1, 1, 0).unwrap();
+        let x = Tensor::from_vec([2, 3, 3], (0..18).map(|i| i as f32).collect()).unwrap();
+        let col = im2col(&x, &g).unwrap();
+        assert_eq!(col.dims(), &[2, 9]);
+        assert_eq!(col.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // 1 channel, 3x3 input, 2x2 kernel, stride 1, no pad.
+        let g = ConvGeometry::new(1, 3, 3, 1, 2, 1, 0).unwrap();
+        let x = Tensor::from_vec([1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let col = im2col(&x, &g).unwrap();
+        // Rows: k-position; cols: 4 output positions (2x2).
+        assert_eq!(col.dims(), &[4, 4]);
+        assert_eq!(col.row(0).unwrap().as_slice(), &[1.0, 2.0, 4.0, 5.0]); // top-left taps
+        assert_eq!(col.row(3).unwrap().as_slice(), &[5.0, 6.0, 8.0, 9.0]); // bottom-right taps
+    }
+
+    #[test]
+    fn conv_forward_known_values() {
+        // Sum filter over 2x2 windows.
+        let g = ConvGeometry::new(1, 3, 3, 1, 2, 1, 0).unwrap();
+        let x = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let w = Tensor::filled([1, 1, 2, 2], 1.0);
+        let bias = Tensor::zeros([1]);
+        let (y, _) = conv2d_forward(&x, &w, &bias, &g).unwrap();
+        assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_filter() {
+        let g = ConvGeometry::new(1, 2, 2, 2, 1, 1, 0).unwrap();
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let w = Tensor::zeros([2, 1, 1, 1]);
+        let bias = Tensor::from_vec([2], vec![0.5, -1.5]).unwrap();
+        let (y, _) = conv2d_forward(&x, &w, &bias, &g).unwrap();
+        assert_eq!(&y.as_slice()[0..4], &[0.5; 4]);
+        assert_eq!(&y.as_slice()[4..8], &[-1.5; 4]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let g = small_geom();
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::rand_uniform([2, 5, 5], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform([g.col_rows(), g.col_cols()], -1.0, 1.0, &mut rng);
+        let lhs: f32 = im2col(&x, &g)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(col2im(&y, &g).unwrap().as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        // Central finite differences against analytic gradients on a tiny conv.
+        let g = ConvGeometry::new(2, 4, 4, 2, 3, 1, 1).unwrap();
+        let mut rng = Rng::seed_from(7);
+        let x = Tensor::rand_uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([2, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let bias = Tensor::rand_uniform([2], -0.1, 0.1, &mut rng);
+        // Loss = sum(output); so dout = ones.
+        let (_, cols) = conv2d_forward(&x, &w, &bias, &g).unwrap();
+        let dout = Tensor::filled([1, 2, g.out_h, g.out_w], 1.0);
+        let (dx, dw, db) = conv2d_backward(&dout, &w, &cols, &g).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d_forward(x, w, b, &g).unwrap().0.sum()
+        };
+        // Check a scattering of weight coordinates.
+        for idx in [0usize, 5, 17, 35] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &wp, &bias) - loss(&x, &wm, &bias)) / (2.0 * eps);
+            let ana = dw.as_slice()[idx];
+            assert!((num - ana).abs() < 2e-2, "dW[{idx}]: num {num} vs ana {ana}");
+        }
+        for idx in [0usize, 9, 20, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&xp, &w, &bias) - loss(&xm, &w, &bias)) / (2.0 * eps);
+            let ana = dx.as_slice()[idx];
+            assert!((num - ana).abs() < 2e-2, "dX[{idx}]: num {num} vs ana {ana}");
+        }
+        for idx in [0usize, 1] {
+            let mut bp = bias.clone();
+            bp.as_mut_slice()[idx] += eps;
+            let mut bm = bias.clone();
+            bm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            let ana = db.as_slice()[idx];
+            assert!((num - ana).abs() < 2e-1, "db[{idx}]: num {num} vs ana {ana}");
+        }
+    }
+
+    #[test]
+    fn batch_independence() {
+        // Convolving a batch equals convolving each sample separately.
+        let g = small_geom();
+        let mut rng = Rng::seed_from(8);
+        let x = Tensor::rand_uniform([3, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([3, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let bias = Tensor::rand_uniform([3], -0.1, 0.1, &mut rng);
+        let (y, _) = conv2d_forward(&x, &w, &bias, &g).unwrap();
+        let sample_len = 2 * 5 * 5;
+        let out_len = 3 * g.out_h * g.out_w;
+        for s in 0..3 {
+            let xs = Tensor::from_vec(
+                [1, 2, 5, 5],
+                x.as_slice()[s * sample_len..(s + 1) * sample_len].to_vec(),
+            )
+            .unwrap();
+            let (ys, _) = conv2d_forward(&xs, &w, &bias, &g).unwrap();
+            assert_eq!(&y.as_slice()[s * out_len..(s + 1) * out_len], ys.as_slice());
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let g = small_geom();
+        let bad_x = Tensor::zeros([1, 3, 5, 5]);
+        let w = Tensor::zeros([3, 2, 3, 3]);
+        let bias = Tensor::zeros([3]);
+        assert!(conv2d_forward(&bad_x, &w, &bias, &g).is_err());
+        let x = Tensor::zeros([1, 2, 5, 5]);
+        assert!(conv2d_forward(&x, &Tensor::zeros([3, 2, 2, 2]), &bias, &g).is_err());
+        assert!(conv2d_forward(&x, &w, &Tensor::zeros([4]), &g).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Error produced by shape-checked tensor operations.
+///
+/// All fallible public functions in this crate return
+/// [`Result<T, TensorError>`](crate::Result). The error carries enough
+/// context (the offending shapes or indices) to diagnose the call site
+/// without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Element count implied by the shape.
+        expected: usize,
+        /// Element count actually supplied.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A multi-dimensional index is out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: Vec<usize>,
+        /// Shape of the indexed tensor.
+        shape: Vec<usize>,
+    },
+    /// A convolution/pooling geometry is impossible (e.g. kernel larger
+    /// than padded input, or zero stride).
+    InvalidGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual, op } => write!(
+                f,
+                "shape mismatch in `{op}`: expected {expected:?}, got {actual:?}"
+            ),
+            TensorError::LengthMismatch { expected, actual, op } => write!(
+                f,
+                "length mismatch in `{op}`: shape implies {expected} elements, got {actual}"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            expected: vec![2, 3],
+            actual: vec![3, 2],
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn invalid_geometry_display() {
+        let e = TensorError::InvalidGeometry { reason: "stride must be nonzero".into() };
+        assert!(e.to_string().contains("stride"));
+    }
+}

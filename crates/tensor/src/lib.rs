@@ -1,0 +1,45 @@
+//! # insitu-tensor
+//!
+//! Dense `f32` tensors and the numeric kernels used by the In-situ AI
+//! reproduction: blocked GEMM, im2col convolution (the exact lowering the
+//! paper's Fig. 8 describes for GPU execution), max pooling, and a
+//! deterministic PCG32 random number generator so every experiment is
+//! reproducible from a single seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use insitu_tensor::{matmul, ConvGeometry, Rng, Tensor};
+//!
+//! # fn main() -> Result<(), insitu_tensor::TensorError> {
+//! let mut rng = Rng::seed_from(42);
+//! let x = Tensor::randn([1, 3, 8, 8], 0.0, 1.0, &mut rng);
+//! let w = Tensor::randn([4, 3, 3, 3], 0.0, 0.1, &mut rng);
+//! let b = Tensor::zeros([4]);
+//! let g = ConvGeometry::new(3, 8, 8, 4, 3, 1, 1)?;
+//! let (y, _) = insitu_tensor::conv2d_forward(&x, &w, &b, &g)?;
+//! assert_eq!(y.dims(), &[1, 4, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod matmul;
+mod pool;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d_backward, conv2d_forward, im2col, ConvGeometry};
+pub use error::TensorError;
+pub use matmul::{matmul, matmul_naive, matmul_nt, matmul_tn, matvec};
+pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolGeometry};
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,283 @@
+//! Matrix multiplication kernels.
+//!
+//! The convolution layers lower to GEMM via im2col (exactly the lowering
+//! the paper describes for GPU execution in its Fig. 8), so GEMM is the
+//! hot kernel of the whole reproduction. [`matmul`] uses a cache-blocked
+//! kernel; [`matmul_naive`] is the trivially-correct reference used by the
+//! property tests.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Cache block edge for the tiled GEMM kernel.
+const BLOCK: usize = 64;
+
+fn check_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.shape().ndim() != 2 {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("`{op}` requires 2-D operands, got {}", t.shape()),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Reference `O(M·N·K)` triple-loop matrix product, `C = A·B`.
+///
+/// Use [`matmul`] in production code; this exists as the oracle for
+/// property tests and for readability.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not 2-D or the inner dimensions
+/// disagree.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_2d(a, "matmul_naive")?;
+    let (kb, n) = check_2d(b, "matmul_naive")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, ka],
+            actual: vec![kb, n],
+            op: "matmul_naive",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for k in 0..ka {
+            let aik = av[i * ka + k];
+            for j in 0..n {
+                out[i * n + j] += aik * bv[k * n + j];
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Cache-blocked matrix product, `C = A·B`.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not 2-D or the inner dimensions
+/// disagree.
+///
+/// # Examples
+///
+/// ```
+/// use insitu_tensor::{matmul, Tensor};
+/// # fn main() -> Result<(), insitu_tensor::TensorError> {
+/// let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let i = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0])?;
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_2d(a, "matmul")?;
+    let (kb, n) = check_2d(b, "matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, ka],
+            actual: vec![kb, n],
+            op: "matmul",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for ib in (0..m).step_by(BLOCK) {
+        let imax = (ib + BLOCK).min(m);
+        for kb_ in (0..ka).step_by(BLOCK) {
+            let kmax = (kb_ + BLOCK).min(ka);
+            for jb in (0..n).step_by(BLOCK) {
+                let jmax = (jb + BLOCK).min(n);
+                for i in ib..imax {
+                    let arow = &av[i * ka..(i + 1) * ka];
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    for k in kb_..kmax {
+                        let aik = arow[k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &bv[k * n..(k + 1) * n];
+                        for j in jb..jmax {
+                            orow[j] += aik * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `C = Aᵀ·B` without materializing the transpose.
+///
+/// With `A: (K, M)` and `B: (K, N)`, the result is `(M, N)`. This is the
+/// shape that appears in weight-gradient computations
+/// (`dW = dYᵀ·X` style products).
+///
+/// # Errors
+///
+/// Returns an error if either operand is not 2-D or the shared leading
+/// dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = check_2d(a, "matmul_tn")?;
+    let (kb, n) = check_2d(b, "matmul_tn")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![ka, m],
+            actual: vec![kb, n],
+            op: "matmul_tn",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        let brow = &bv[k * n..(k + 1) * n];
+        for i in 0..m {
+            let aki = arow[i];
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += aki * brow[j];
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `C = A·Bᵀ` without materializing the transpose.
+///
+/// With `A: (M, K)` and `B: (N, K)`, the result is `(M, N)`. This is the
+/// shape that appears in input-gradient computations.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not 2-D or the trailing
+/// dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_2d(a, "matmul_nt")?;
+    let (n, kb) = check_2d(b, "matmul_nt")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, ka],
+            actual: vec![n, kb],
+            op: "matmul_nt",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bv[j * kb..(j + 1) * kb];
+            let mut acc = 0.0;
+            for k in 0..ka {
+                acc += arow[k] * brow[k];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Matrix-vector product `y = A·x` for `A: (M, N)`, `x: (N,)`.
+///
+/// # Errors
+///
+/// Returns an error if `a` is not 2-D, `x` is not 1-D, or sizes disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, n) = check_2d(a, "matvec")?;
+    if x.shape().ndim() != 1 || x.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n],
+            actual: x.dims().to_vec(),
+            op: "matvec",
+        });
+    }
+    let (av, xv) = (a.as_slice(), x.as_slice());
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let arow = &av[i * n..(i + 1) * n];
+        out[i] = arow.iter().zip(xv).map(|(&a, &b)| a * b).sum();
+    }
+    Tensor::from_vec([m], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn identity_product() {
+        let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec([2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular_matches_naive() {
+        let mut rng = Rng::seed_from(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (70, 65, 130), (128, 64, 1)] {
+            let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::rand_uniform([7, 4], -1.0, 1.0, &mut rng); // (K, M)
+        let b = Tensor::rand_uniform([7, 5], -1.0, 1.0, &mut rng); // (K, N)
+        let via_tn = matmul_tn(&a, &b).unwrap();
+        let via_t = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+        assert!(via_tn.max_abs_diff(&via_t).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from(4);
+        let a = Tensor::rand_uniform([4, 7], -1.0, 1.0, &mut rng); // (M, K)
+        let b = Tensor::rand_uniform([5, 7], -1.0, 1.0, &mut rng); // (N, K)
+        let via_nt = matmul_nt(&a, &b).unwrap();
+        let via_t = matmul(&a, &b.transpose2d().unwrap()).unwrap();
+        assert!(via_nt.max_abs_diff(&via_t).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Rng::seed_from(5);
+        let a = Tensor::rand_uniform([6, 9], -1.0, 1.0, &mut rng);
+        let x = Tensor::rand_uniform([9], -1.0, 1.0, &mut rng);
+        let y = matvec(&a, &x).unwrap();
+        let xm = x.reshape([9, 1]).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        assert!(y.max_abs_diff(&ym.reshape([6]).unwrap()).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 3]);
+        assert!(matmul(&a, &b).is_err()); // inner dims 3 vs 2
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err()); // not 2-D
+        assert!(matvec(&a, &Tensor::zeros([2])).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the tensor kernels.
+
+use insitu_tensor::{
+    col2im, im2col, matmul, matmul_naive, matmul_nt, matmul_tn, ConvGeometry, Rng, Shape, Tensor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_gemm_matches_naive(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_naive(&a, &b).unwrap();
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform([5, 7], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([7, 3], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform([7, 3], -1.0, 1.0, &mut rng);
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn tn_and_nt_consistent_with_plain(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform([6, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([6, 5], -1.0, 1.0, &mut rng);
+        let tn = matmul_tn(&a, &b).unwrap(); // (4, 5)
+        let direct = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+        prop_assert!(tn.max_abs_diff(&direct).unwrap() < 1e-4);
+        let nt = matmul_nt(&tn, &b).unwrap(); // (4,5)x(6,5)ᵀ = (4,6)
+        let direct2 = matmul(&tn, &b.transpose2d().unwrap()).unwrap();
+        prop_assert!(nt.max_abs_diff(&direct2).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..4, h in 3usize..8, k in 1usize..4, pad in 0usize..2, seed in 0u64..500
+    ) {
+        prop_assume!(k <= h + 2 * pad);
+        let g = ConvGeometry::new(c, h, h, 1, k, 1, pad).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::rand_uniform([c, h, h], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform([g.col_rows(), g.col_cols()], -1.0, 1.0, &mut rng);
+        let lhs: f32 = im2col(&x, &g).unwrap().as_slice().iter()
+            .zip(y.as_slice()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter()
+            .zip(col2im(&y, &g).unwrap().as_slice()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn shape_offset_unravel_roundtrip(dims in proptest::collection::vec(1usize..6, 1..4)) {
+        let s = Shape::new(dims);
+        for lin in 0..s.len() {
+            let idx = s.unravel(lin);
+            prop_assert_eq!(s.offset(&idx).unwrap(), lin);
+        }
+    }
+
+    #[test]
+    fn rng_below_in_range(seed in 0u64..10_000, n in 1usize..1000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops_commute_and_associate(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform([4, 4], -5.0, 5.0, &mut rng);
+        let b = Tensor::rand_uniform([4, 4], -5.0, 5.0, &mut rng);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        prop_assert_eq!(a.mul(&b).unwrap(), b.mul(&a).unwrap());
+    }
+
+    #[test]
+    fn argmax_is_maximal(v in proptest::collection::vec(-100f32..100.0, 1..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec([n], v.clone()).unwrap();
+        let idx = t.argmax().unwrap();
+        let max = t.max().unwrap();
+        prop_assert_eq!(v[idx], max);
+        prop_assert!(v.iter().all(|&x| x <= max));
+    }
+}

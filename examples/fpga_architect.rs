@@ -1,0 +1,70 @@
+//! FPGA architect: explore the co-running design space.
+//!
+//! Compares the three CONV architectures (NWS / WS / WSS) at equal PE
+//! count under each weight-sharing strategy, then sweeps the WSS
+//! group size for the full WSS-NWS pipeline under the Eq. 10 DSP
+//! constraint.
+//!
+//! Run with: `cargo run --release --example fpga_architect`
+
+use insitu::devices::{FpgaSpec, NetworkShapes};
+use insitu::fpga::{ArchKind, CorunConfig, Design, WssNwsPipeline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = NetworkShapes::alexnet();
+    let convs = net.convs();
+    let fcs = net.fcs();
+
+    println!("== CONV co-run at 2628 PEs (inference + 9-patch diagnosis) ==");
+    println!(
+        "{:<8} {:<6} {:>12} {:>12} {:>12} {:>10}",
+        "sharing", "arch", "compute", "access", "total", "diag idle"
+    );
+    for shared in [0usize, 3, 5] {
+        let cfg = CorunConfig::paper(shared);
+        for arch in ArchKind::all() {
+            let r = cfg.run(arch, &convs);
+            println!(
+                "CONV-{:<3} {:<6} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>9.0}%",
+                shared,
+                arch.name(),
+                r.compute_s * 1e3,
+                r.data_access_s * 1e3,
+                r.total_s() * 1e3,
+                r.diagnosis_idle_fraction * 100.0
+            );
+        }
+    }
+
+    let spec = FpgaSpec::vx690t();
+    println!("\n== WSS group-size sweep (Eq. 10: G x 637 PEs + NWS <= {}) ==", spec.dsp_total);
+    let auto = WssNwsPipeline::configure(spec, &convs, &fcs);
+    for group in 1..=6 {
+        match WssNwsPipeline::configure_fixed_group(spec, &fcs, group) {
+            Some(pipe) => {
+                let marker = if group == auto.group_size { "  <= auto pick" } else { "" };
+                println!(
+                    "group {group}: conv stage {:>6.2} ms/img, throughput(b=8) {:>6.1} img/s{marker}",
+                    pipe.conv_stage_s(&convs) * 1e3,
+                    pipe.throughput(&convs, &fcs, 8),
+                );
+            }
+            None => println!("group {group}: exceeds the DSP budget"),
+        }
+    }
+
+    println!("\n== end-to-end designs under a 100 ms latency bound ==");
+    for design in Design::all() {
+        match insitu::fpga::design_throughput(design, spec, &net, 0.1, 256) {
+            Some(p) => println!(
+                "{:<10} batch {:>3} -> {:>6.1} img/s (latency {:.1} ms)",
+                design.name(),
+                p.batch,
+                p.throughput,
+                p.latency_s * 1e3
+            ),
+            None => println!("{:<10} infeasible at 100 ms", design.name()),
+        }
+    }
+    Ok(())
+}

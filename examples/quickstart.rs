@@ -1,0 +1,86 @@
+//! Quickstart: build a full In-situ AI deployment and run one
+//! acquisition round.
+//!
+//! The flow mirrors the paper's Fig. 4:
+//! 1. the Cloud pre-trains the unsupervised jigsaw network on raw data;
+//! 2. transfer learning builds the inference network (conv1–3 shared
+//!    and locked);
+//! 3. both models deploy to an edge node;
+//! 4. the node infers + diagnoses a drifted stream, uploading only the
+//!    valuable samples;
+//! 5. the Cloud fine-tunes on the upload and ships a model update.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use insitu::cloud::{
+    build_inference, pretrain, Cloud, DeployConfig, IncrementalConfig, PretrainConfig,
+};
+use insitu::core::{CloudEndpoint, DiagnosisPolicy, InsituNode};
+use insitu::data::{Condition, Dataset};
+use insitu::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(2018);
+    let classes = 6;
+
+    println!("[1/5] unsupervised pre-training on raw IoT data …");
+    let raw = Dataset::generate(600, classes, &Condition::ideal(), &mut rng)?;
+    let pre = pretrain(
+        &raw,
+        &PretrainConfig { permutations: 8, epochs: 12, batch_size: 16, lr: 0.015 },
+        &mut rng,
+    )?;
+    println!("      jigsaw task accuracy: {:.1}%", pre.task_accuracy * 100.0);
+
+    println!("[2/5] transfer learning the inference network (share conv1-3) …");
+    let labeled = Dataset::generate(240, classes, &Condition::ideal(), &mut rng)?;
+    let (inference, report) = build_inference(
+        &pre,
+        &labeled,
+        &DeployConfig { epochs: 10, ..Default::default() },
+        &mut rng,
+    )?;
+    println!("      trained {} steps, final loss {:.3}", report.steps, report.final_loss());
+
+    println!("[3/5] deploying to the edge node …");
+    let mut node = InsituNode::new(
+        inference.clone(), // the node's copy; the Cloud keeps the master
+        pre.jigsaw.clone(),
+        pre.set.clone(),
+        DiagnosisPolicy::JigsawProbe { probes: 3 },
+        3,
+        7,
+    )?;
+    let mut cloud = Cloud::new(
+        inference,
+        pre,
+        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.005 },
+        99,
+    );
+
+    println!("[4/5] processing a drifted in-situ stream …");
+    let stream = Dataset::generate(200, classes, &Condition::in_situ(), &mut rng)?;
+    let eval = Dataset::generate(150, classes, &Condition::in_situ(), &mut rng)?;
+    let before = node.accuracy_on(&eval, 32)?;
+    let outcome = node.process_stage(&stream, 32)?;
+    println!(
+        "      {} of {} images flagged valuable ({:.0}% upload, {} bytes)",
+        outcome.valuable.len(),
+        stream.len(),
+        outcome.upload_fraction() * 100.0,
+        outcome.uploaded_bytes
+    );
+
+    println!("[5/5] incremental Cloud update on the valuable data …");
+    let payload = node.upload_payload(&stream, &outcome)?;
+    let update = cloud.incremental_update(&payload)?;
+    node.install_update(&update)?;
+    let after = node.accuracy_on(&eval, 32)?;
+    println!(
+        "      in-situ accuracy {:.1}% -> {:.1}% (model v{})",
+        before * 100.0,
+        after * 100.0,
+        node.version()
+    );
+    Ok(())
+}

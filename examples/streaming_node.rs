@@ -1,0 +1,81 @@
+//! Streaming deployment: the node and the Cloud as live threads.
+//!
+//! Uses [`insitu::core::run_streaming_session`] to run the node on a
+//! simulated sensor stream while a concurrent Cloud thread consumes
+//! the valuable uploads and pushes model updates back mid-stream.
+//!
+//! Run with: `cargo run --release -p insitu --example streaming_node`
+
+use insitu::cloud::{
+    build_inference, pretrain, Cloud, DeployConfig, IncrementalConfig, PretrainConfig,
+};
+use insitu::core::{run_streaming_session, DiagnosisPolicy, InsituNode};
+use insitu::data::{Condition, Dataset};
+use insitu::tensor::Rng;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(31);
+    let classes = 6;
+
+    println!("preparing deployment (pre-train + transfer) …");
+    let raw = Dataset::generate(400, classes, &Condition::ideal(), &mut rng)?;
+    let pre = pretrain(
+        &raw,
+        &PretrainConfig { permutations: 8, epochs: 8, batch_size: 16, lr: 0.015 },
+        &mut rng,
+    )?;
+    let labeled = Dataset::generate(200, classes, &Condition::ideal(), &mut rng)?;
+    let (inference, _) = build_inference(
+        &pre,
+        &labeled,
+        &DeployConfig { epochs: 8, ..Default::default() },
+        &mut rng,
+    )?;
+    let node = InsituNode::new(
+        inference.clone(),
+        pre.jigsaw.clone(),
+        pre.set.clone(),
+        DiagnosisPolicy::Oracle,
+        3,
+        77,
+    )?;
+    let cloud = Arc::new(Mutex::new(Cloud::new(
+        inference,
+        pre,
+        IncrementalConfig { epochs: 3, batch_size: 16, lr: 0.002 },
+        78,
+    )));
+
+    // Ten bursts from a drifting camera.
+    println!("streaming 10 bursts of 40 drifted images through the node …");
+    let stream: Vec<Dataset> = (0..10)
+        .map(|i| {
+            let severity = 0.5 + 0.03 * i as f32;
+            Dataset::generate(
+                40,
+                classes,
+                &Condition::with_severity(severity).expect("valid severity"),
+                &mut rng,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let eval = Dataset::generate(200, classes, &Condition::with_severity(0.65)?, &mut rng)?;
+
+    let (mut node, stats) = run_streaming_session(node, cloud, stream, 16)?;
+    println!(
+        "session: {} batches, {}/{} images uploaded ({:.0}%), {} live updates installed",
+        stats.batches,
+        stats.images_uploaded,
+        stats.images_seen,
+        stats.images_uploaded as f64 / stats.images_seen as f64 * 100.0,
+        stats.updates_installed
+    );
+    println!(
+        "node ended at model v{} with {:.1}% accuracy on the drifted environment",
+        node.version(),
+        node.accuracy_on(&eval, 32)? * 100.0
+    );
+    Ok(())
+}

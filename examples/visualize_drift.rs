@@ -1,0 +1,55 @@
+//! Visualize the synthetic IoT data and the drift model.
+//!
+//! Writes PPM contact sheets to `./drift_gallery/`:
+//! * `classes.ppm` — one row per class, instances across columns;
+//! * `severity.ppm` — one class under increasing drift severity;
+//! * `jigsaw.ppm` — a shuffled 3×3 jigsaw next to the original.
+//!
+//! Run with: `cargo run --release -p insitu --example visualize_drift`
+
+use insitu::data::{
+    assemble, contact_sheet, jigsaw::permute_tiles, patchify, save_ppm, Concept, Condition,
+    PermutationSet,
+};
+use insitu::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::path::Path::new("drift_gallery");
+    std::fs::create_dir_all(out)?;
+    let mut rng = Rng::seed_from(6);
+    let classes = 6;
+
+    // One row per class, 8 instances each.
+    let mut tiles = Vec::new();
+    for class in 0..classes {
+        let concept = Concept::for_class(class, classes)?;
+        for _ in 0..8 {
+            tiles.push(concept.render(&mut rng));
+        }
+    }
+    save_ppm(&contact_sheet(&tiles, 8)?, out.join("classes.ppm"))?;
+    println!("wrote {}", out.join("classes.ppm").display());
+
+    // One concept under rising severity.
+    let concept = Concept::for_class(0, classes)?;
+    let mut drifted = Vec::new();
+    for step in 0..8 {
+        let severity = step as f32 / 7.0;
+        let cond = Condition::with_severity(severity)?;
+        let img = concept.render(&mut rng);
+        drifted.push(cond.apply(&img, &mut rng)?);
+    }
+    save_ppm(&contact_sheet(&drifted, 8)?, out.join("severity.ppm"))?;
+    println!("wrote {} (severity 0.0 -> 1.0)", out.join("severity.ppm").display());
+
+    // Jigsaw: original | shuffled | reassembled.
+    let img = Concept::for_class(2, classes)?.render(&mut rng);
+    let set = PermutationSet::generate(16, &mut rng)?;
+    let tiles = patchify(&img)?;
+    let perm = set.permutation(rng.below(set.len()));
+    let shuffled = permute_tiles(&tiles, perm)?;
+    let strip = contact_sheet(&[img.clone(), assemble(&shuffled)?, img], 3)?;
+    save_ppm(&strip, out.join("jigsaw.ppm"))?;
+    println!("wrote {} (original | shuffled | original)", out.join("jigsaw.ppm").display());
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! configurations.
+
+use insitu::core::IMAGE_BYTES;
+use insitu::data::{Campaign, Condition, Dataset, PermutationSet};
+use insitu::devices::{ConvShape, FcShape, GpuModel, LayerShape, NetworkShapes};
+use insitu::fpga::{corun_traffic, DotProductEngine, PeArrayEngine, SharingLevel};
+use insitu::tensor::Rng;
+use proptest::prelude::*;
+
+fn conv_strategy() -> impl Strategy<Value = ConvShape> {
+    (1usize..512, 1usize..512, 1usize..8, 1usize..64, 1usize..64)
+        .prop_map(|(m, n, k, r, c)| ConvShape { m, n, k, r, c })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gpu_utilization_is_in_unit_interval(grid in 1u64..100_000) {
+        let gpu = GpuModel::tx1();
+        let u = gpu.utilization(grid);
+        prop_assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn gpu_times_are_positive_and_finite(shape in conv_strategy(), batch in 1usize..64) {
+        let gpu = GpuModel::tx1();
+        let t = gpu.conv_time(&shape, batch);
+        prop_assert!(t.is_finite() && t > 0.0);
+        let u = gpu.conv_utilization(&shape, batch);
+        prop_assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn fc_roofline_never_beats_pure_compute_or_memory(
+        input in 1usize..8192, output in 1usize..8192, batch in 1usize..64
+    ) {
+        let gpu = GpuModel::tx1();
+        let fc = FcShape { input, output };
+        let t = gpu.fc_time(&fc, batch);
+        // At least as slow as the pure-bandwidth floor on the weights.
+        let floor = (fc.dw_elems() * 4) as f64 / gpu.spec().mem_bw;
+        prop_assert!(t >= floor * 0.999);
+    }
+
+    #[test]
+    fn optimal_batch_is_feasible_and_maximal(
+        t_user_ms in 10.0f64..2000.0
+    ) {
+        let gpu = GpuModel::tx1();
+        let net = NetworkShapes::alexnet();
+        let t_user = t_user_ms / 1e3;
+        if let Some(b) = gpu.optimal_batch(&net, t_user, 128) {
+            prop_assert!(gpu.batch_latency(&net, b) <= t_user);
+            if b < 128 {
+                prop_assert!(gpu.batch_latency(&net, b + 1) > t_user);
+            }
+        } else {
+            prop_assert!(gpu.batch_latency(&net, 1) > t_user);
+        }
+    }
+
+    #[test]
+    fn dot_product_engine_cycles_consistent(shape in conv_strategy(), tm in 1u32..128, tn in 1u32..64) {
+        let e = DotProductEngine { tm, tn };
+        let cycles = e.conv_cycles(&shape);
+        // Work conservation: cycles x PEs >= total MACs x utilization-free bound.
+        let macs = (shape.m * shape.n * shape.k * shape.k * shape.r * shape.c) as u64;
+        prop_assert!(cycles * e.pe_count() as u64 >= macs);
+        let u = e.utilization(&shape);
+        prop_assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn pe_array_group_scaling_never_increases_cycles(
+        shape in conv_strategy(), g1 in 1usize..8, g2 in 1usize..8
+    ) {
+        let e = PeArrayEngine { tr: 14, tc: 14 };
+        let (small, large) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        prop_assert!(e.conv_cycles(&shape, large) <= e.conv_cycles(&shape, small));
+    }
+
+    #[test]
+    fn traffic_monotone_in_sharing_depth(depth in 0usize..6) {
+        let convs = NetworkShapes::alexnet().convs();
+        let d = depth.min(convs.len());
+        let t_d = corun_traffic(&convs, d, 9, SharingLevel::TwoLevel).total_bytes();
+        let t_full = corun_traffic(&convs, convs.len(), 9, SharingLevel::TwoLevel).total_bytes();
+        let t_none = corun_traffic(&convs, 0, 9, SharingLevel::TwoLevel).total_bytes();
+        prop_assert!(t_full <= t_d && t_d <= t_none);
+    }
+
+    #[test]
+    fn permutation_sets_always_valid(count in 1usize..40, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let set = PermutationSet::generate(count, &mut rng).unwrap();
+        prop_assert_eq!(set.len(), count);
+        for i in 0..count {
+            let mut p = *set.permutation(i);
+            p.sort_unstable();
+            prop_assert_eq!(p, [0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        }
+    }
+
+    #[test]
+    fn dataset_generation_deterministic(seed in 0u64..200, n in 1usize..12) {
+        let a = Dataset::generate(n, 3, &Condition::in_situ(), &mut Rng::seed_from(seed)).unwrap();
+        let b = Dataset::generate(n, 3, &Condition::in_situ(), &mut Rng::seed_from(seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_stage_counts_scale(scale in 1usize..5, classes in 1usize..6, seed in 0u64..100) {
+        let c = Campaign::paper_schedule(scale, classes, seed).unwrap();
+        prop_assert_eq!(c.total_images(), 1200 * scale);
+        prop_assert_eq!(c.stages().len(), 5);
+    }
+
+    #[test]
+    fn layer_shape_ops_additive(shape in conv_strategy()) {
+        let l = LayerShape::Conv(shape);
+        let net = NetworkShapes::new("t", vec![l, l]);
+        prop_assert_eq!(net.total_ops(), 2 * l.ops());
+    }
+
+    #[test]
+    fn image_bytes_matches_image_geometry(n in 1u64..100) {
+        // Uploading n images always costs exactly n x IMAGE_BYTES.
+        prop_assert_eq!(n * IMAGE_BYTES, n * 3 * 36 * 36 * 4);
+    }
+}
