@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: release build, full test suite, zero clippy warnings.
+set -eu
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

@@ -1,10 +1,20 @@
 //! Criterion micro-benchmarks of the numeric kernels.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use insitu_nn::models::{jigsaw_network, mini_alexnet};
 use insitu_nn::{Mode, Network};
-use insitu_tensor::{conv2d_forward, matmul, ConvGeometry, Rng, Tensor};
+use insitu_tensor::{conv2d_forward, matmul, set_num_threads, ConvGeometry, Rng, Tensor};
 use std::hint::black_box;
+
+/// The GEMM shapes the lowered convolutions actually run (Eq. 1's
+/// `Fm × Dm` per sample): M = out_channels, K = in_channels·K²,
+/// N = out_h·out_w·batch. Square GEMMs flatter the cache; these
+/// rectangles are what im2col hands the kernel.
+const PAPER_GEMM_SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("alex_conv2_b8 24x144x2592", 24, 144, 324 * 8),
+    ("alex_conv3_b8 32x216x648", 32, 216, 81 * 8),
+    ("jigsaw_conv2_b8 24x144x128", 24, 144, 16 * 8),
+];
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -12,10 +22,40 @@ fn bench_gemm(c: &mut Criterion) {
     for &n in &[32usize, 128] {
         let a = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
         group.bench_function(format!("{n}x{n}"), |bench| {
             bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
         });
     }
+    for &(name, m, k, n) in PAPER_GEMM_SHAPES {
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_function(name, |bench| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The same paper-shape GEMMs swept across worker-pool sizes. On a
+/// multi-core host the bands scale; on a single-core host (like the
+/// reproduction container) this instead measures pool overhead — which
+/// is the number worth watching there.
+fn bench_gemm_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_parallel");
+    let mut rng = Rng::seed_from(4);
+    let (_, m, k, n) = PAPER_GEMM_SHAPES[0];
+    let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        group.bench_function(format!("alex_conv2_b8 t{threads}"), |bench| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    set_num_threads(1);
     group.finish();
 }
 
@@ -101,6 +141,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_gemm, bench_conv, bench_networks, bench_device_models, bench_fpga_sim
+    targets = bench_gemm, bench_gemm_parallel, bench_conv, bench_networks, bench_device_models, bench_fpga_sim
 }
 criterion_main!(benches);

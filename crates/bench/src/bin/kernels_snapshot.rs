@@ -1,0 +1,77 @@
+//! Emits a machine-readable timing snapshot of the parallel GEMM
+//! kernels as JSON on stdout: one record per (shape, thread-count)
+//! pair, in nanoseconds per iteration.
+//!
+//! ```text
+//! cargo run --release -p insitu-bench --bin kernels_snapshot > BENCH_kernels.json
+//! ```
+//!
+//! Criterion's reports are for humans; this snapshot is for diffing
+//! across commits. The host core count is recorded because the thread
+//! sweep is only meaningful relative to it — on a single-core host the
+//! t2/t4 rows measure pool overhead, not speedup.
+
+use insitu_tensor::{matmul, set_num_threads, Rng, Tensor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// im2col GEMM shapes of the reproduction's networks (per-sample
+/// position count × batch 8), plus one square control.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("alex_conv2_b8", 24, 144, 324 * 8),
+    ("alex_conv3_b8", 32, 216, 81 * 8),
+    ("jigsaw_conv2_b8", 24, 144, 16 * 8),
+    ("square_128", 128, 128, 128),
+];
+
+const THREADS: &[usize] = &[1, 2, 4];
+
+/// Median-of-reps wall time per call, in nanoseconds.
+fn time_matmul(a: &Tensor, b: &Tensor) -> u128 {
+    // Warm-up: touches the buffers and spins up any pool workers.
+    for _ in 0..3 {
+        std::hint::black_box(matmul(a, b).unwrap());
+    }
+    let mut reps: Vec<u128> = (0..7)
+        .map(|_| {
+            let iters = 10u32;
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(matmul(a, b).unwrap());
+            }
+            start.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    reps.sort_unstable();
+    reps[reps.len() / 2]
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rng = Rng::seed_from(7);
+    let mut rows = String::new();
+    for &(name, m, k, n) in SHAPES {
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        for &t in THREADS {
+            set_num_threads(t);
+            let ns = time_matmul(&a, &b);
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                "    {{\"shape\": \"{name}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+                 \"threads\": {t}, \"ns_per_iter\": {ns}}}"
+            );
+        }
+    }
+    set_num_threads(1);
+    // Plain write, not println!: a downstream `head` closing the pipe
+    // early is not worth a panic.
+    use std::io::Write as _;
+    let _ = writeln!(
+        std::io::stdout(),
+        "{{\n  \"bench\": \"parallel_gemm\",\n  \"host_cores\": {cores},\n  \"results\": [\n{rows}\n  ]\n}}"
+    );
+}

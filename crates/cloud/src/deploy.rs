@@ -102,7 +102,7 @@ mod tests {
         let raw = Dataset::generate(60, 4, &Condition::ideal(), &mut rng).unwrap();
         let pre = pretrain(
             &raw,
-            &PretrainConfig { permutations: 4, epochs: 2, batch_size: 8, lr: 0.015 },
+            &PretrainConfig { permutations: 4, epochs: 2, batch_size: 8, lr: 0.015, threads: None },
             &mut rng,
         )
         .unwrap();
@@ -130,7 +130,7 @@ mod tests {
         let raw = Dataset::generate(50, 4, &Condition::ideal(), &mut rng).unwrap();
         let pre = pretrain(
             &raw,
-            &PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.015 },
+            &PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.015, threads: None },
             &mut rng,
         )
         .unwrap();

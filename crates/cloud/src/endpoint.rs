@@ -139,7 +139,7 @@ mod tests {
         let raw = Dataset::generate(30, 4, &Condition::ideal(), &mut rng).unwrap();
         let pre = pretrain(
             &raw,
-            &PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.02 },
+            &PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.02, threads: None },
             &mut rng,
         )
         .unwrap();
@@ -147,7 +147,7 @@ mod tests {
         Cloud::new(
             inference,
             pre,
-            IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01 },
+            IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None },
             5,
         )
     }

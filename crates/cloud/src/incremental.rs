@@ -14,11 +14,15 @@ pub struct IncrementalConfig {
     pub batch_size: usize,
     /// Learning rate (typically lower than initial training).
     pub lr: f32,
+    /// Kernel threads for the fine-tuning loop (`None` keeps the
+    /// process-wide setting; see [`insitu_tensor::set_num_threads`]).
+    /// Never affects results.
+    pub threads: Option<usize>,
 }
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
-        IncrementalConfig { epochs: 6, batch_size: 16, lr: 0.005 }
+        IncrementalConfig { epochs: 6, batch_size: 16, lr: 0.005, threads: None }
     }
 }
 
@@ -40,6 +44,7 @@ pub fn fine_tune(
         epochs: cfg.epochs,
         batch_size: cfg.batch_size,
         lr: cfg.lr,
+        threads: cfg.threads,
         ..Default::default()
     };
     Ok(train(
@@ -63,7 +68,7 @@ mod tests {
         let mut rng = Rng::seed_from(41);
         let mut net = mini_alexnet(4, &mut rng).unwrap();
         let data = Dataset::generate(24, 4, &Condition::in_situ(), &mut rng).unwrap();
-        let cfg = IncrementalConfig { epochs: 2, batch_size: 8, lr: 0.01 };
+        let cfg = IncrementalConfig { epochs: 2, batch_size: 8, lr: 0.01, threads: None };
         let report = fine_tune(&mut net, &data, &cfg, &mut rng).unwrap();
         assert_eq!(report.history.len(), 2);
         assert!(report.total_ops > 0);
@@ -79,7 +84,7 @@ mod tests {
         shared.freeze_first_convs(3).unwrap();
         assert!(shared.training_ops_per_sample() < full.training_ops_per_sample());
         let data = Dataset::generate(16, 4, &Condition::in_situ(), &mut rng).unwrap();
-        let cfg = IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01 };
+        let cfg = IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None };
         let r_full = fine_tune(&mut full, &data, &cfg, &mut rng).unwrap();
         let r_shared = fine_tune(&mut shared, &data, &cfg, &mut rng).unwrap();
         assert!(r_shared.total_ops < r_full.total_ops);

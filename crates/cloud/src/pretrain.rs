@@ -24,11 +24,16 @@ pub struct PretrainConfig {
     pub batch_size: usize,
     /// Learning rate.
     pub lr: f32,
+    /// Kernel threads for the training loop (`None` keeps the
+    /// process-wide setting; see [`insitu_tensor::set_num_threads`]).
+    /// The Cloud models abundant compute, so pre-training is the main
+    /// beneficiary of the parallel kernels. Never affects results.
+    pub threads: Option<usize>,
 }
 
 impl Default for PretrainConfig {
     fn default() -> Self {
-        PretrainConfig { permutations: 16, epochs: 15, batch_size: 16, lr: 0.015 }
+        PretrainConfig { permutations: 16, epochs: 15, batch_size: 16, lr: 0.015, threads: None }
     }
 }
 
@@ -66,6 +71,7 @@ pub fn pretrain(raw: &Dataset, cfg: &PretrainConfig, rng: &mut Rng) -> Result<Pr
         epochs: cfg.epochs,
         batch_size: cfg.batch_size,
         lr: cfg.lr,
+        threads: cfg.threads,
         ..Default::default()
     };
     let report = train(
@@ -110,7 +116,7 @@ mod tests {
     fn pretraining_learns_the_jigsaw_task() {
         let mut rng = Rng::seed_from(21);
         let raw = Dataset::generate(120, 4, &Condition::ideal(), &mut rng).unwrap();
-        let cfg = PretrainConfig { permutations: 4, epochs: 12, batch_size: 16, lr: 0.015 };
+        let cfg = PretrainConfig { permutations: 4, epochs: 12, batch_size: 16, lr: 0.015, threads: None };
         let out = pretrain(&raw, &cfg, &mut rng).unwrap();
         // 4 classes → chance is 25%; the trained net must beat it well.
         assert!(out.task_accuracy > 0.5, "jigsaw accuracy {}", out.task_accuracy);
@@ -122,7 +128,7 @@ mod tests {
     fn continue_pretrain_accumulates_ops() {
         let mut rng = Rng::seed_from(22);
         let raw = Dataset::generate(40, 4, &Condition::ideal(), &mut rng).unwrap();
-        let cfg = PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.02 };
+        let cfg = PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.02, threads: None };
         let mut out = pretrain(&raw, &cfg, &mut rng).unwrap();
         let before = out.ops;
         let more = Dataset::generate(16, 4, &Condition::in_situ(), &mut rng).unwrap();

@@ -60,6 +60,12 @@ pub fn run_streaming_session<C>(
 where
     C: CloudEndpoint + Send + 'static,
 {
+    // Resolve the kernel thread count (INSITU_THREADS / core count) up
+    // front, on the session thread: both actors' tensor work — node
+    // inference and Cloud incremental training — then shares one
+    // already-configured worker pool instead of racing to create it
+    // under the first batch.
+    let _kernel_threads = insitu_tensor::num_threads();
     let (up_tx, up_rx): (Sender<Uplink>, Receiver<Uplink>) = bounded(4);
     // The downlink must never apply backpressure: if it were bounded,
     // a full downlink would block the Cloud while the node is blocked

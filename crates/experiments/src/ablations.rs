@@ -89,6 +89,7 @@ pub fn diagnosis_policy(scale: Scale, seed: u64) -> Result<PolicyOutput> {
             epochs: scale.pick(2, 10, 14),
             batch_size: 16,
             lr: 0.015,
+            threads: None,
         },
         &mut rng,
     )?;
@@ -228,7 +229,7 @@ pub fn share_depth(scale: Scale, seed: u64) -> Result<ShareDepthOutput> {
         let mut net = base_net;
         insitu_nn::serialize::state_dict(&mut net)
     };
-    let inc = IncrementalConfig { epochs: scale.fine_tune_epochs(), batch_size: 16, lr: 0.01 };
+    let inc = IncrementalConfig { epochs: scale.fine_tune_epochs(), batch_size: 16, lr: 0.01, threads: None };
     let mut rows = Vec::new();
     for depth in [0usize, 1, 3, 5] {
         let mut net = insitu_nn::models::mini_alexnet(classes, &mut rng)?;
@@ -365,6 +366,7 @@ pub fn permutation_set(scale: Scale, seed: u64) -> Result<PermSetOutput> {
                 epochs: scale.pick(2, 10, 14),
                 batch_size: 16,
                 lr: 0.015,
+                threads: None,
             },
             &mut rng,
         )?;

@@ -34,8 +34,9 @@ pub fn run(scale: Scale, seed: u64) -> Result<Output> {
             epochs: scale.fine_tune_epochs(),
             batch_size: 16,
             lr: 0.005,
+            threads: None,
         },
-        bootstrap: IncrementalConfig { epochs: scale.epochs(), batch_size: 16, lr: 0.005 },
+        bootstrap: IncrementalConfig { epochs: scale.epochs(), batch_size: 16, lr: 0.005, threads: None },
         eval_per_stage: scale.eval_images(),
         seed,
         ..Default::default()

@@ -81,6 +81,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Output> {
             epochs: 1,
             batch_size: 16,
             lr: 0.01,
+            threads: None,
         },
         &mut rng,
     )?;
@@ -91,6 +92,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Output> {
             epochs: scale.pick(2, 12, 20),
             batch_size: 16,
             lr: 0.015,
+            threads: None,
         },
         &mut rng,
     )?;

@@ -92,6 +92,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Output> {
             epochs: scale.pick(2, 10, 16),
             batch_size: 16,
             lr: 0.015,
+            threads: None,
         },
         &mut rng,
     )?;

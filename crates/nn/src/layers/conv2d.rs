@@ -4,7 +4,7 @@ use crate::describe::LayerDesc;
 use crate::error::NnError;
 use crate::layer::{Layer, LayerKind, Mode};
 use crate::Result;
-use insitu_tensor::{conv2d_backward, conv2d_forward, ConvGeometry, Rng, Tensor};
+use insitu_tensor::{conv2d_backward_ws, conv2d_forward_ws, ConvGeometry, ConvWorkspace, Rng, Tensor};
 
 /// A 2-D convolution with bias, square kernel, uniform stride and zero
 /// padding.
@@ -12,6 +12,10 @@ use insitu_tensor::{conv2d_backward, conv2d_forward, ConvGeometry, Rng, Tensor};
 /// Weight layout is `(M, N, K, K)`; initialization is He-normal
 /// (`std = sqrt(2 / fan_in)`), appropriate for the ReLU networks used
 /// throughout the reproduction.
+///
+/// The layer owns a [`ConvWorkspace`], so its im2col and gradient
+/// scratch buffers are allocated once and reused across steps; the
+/// forward pass stores the im2col matrices there for the backward pass.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     name: String,
@@ -20,13 +24,9 @@ pub struct Conv2d {
     bias: Tensor,
     dweight: Tensor,
     dbias: Tensor,
-    cache: Option<Cache>,
-}
-
-#[derive(Debug, Clone)]
-struct Cache {
-    cols: Vec<Tensor>,
-    batch: usize,
+    ws: ConvWorkspace,
+    /// True after a Train-mode forward, until consumed by `backward`.
+    has_cache: bool,
 }
 
 impl Conv2d {
@@ -59,7 +59,8 @@ impl Conv2d {
             bias: Tensor::zeros([out_channels]),
             dweight: Tensor::zeros([out_channels, in_channels, kernel, kernel]),
             dbias: Tensor::zeros([out_channels]),
-            cache: None,
+            ws: ConvWorkspace::new(),
+            has_cache: false,
         })
     }
 
@@ -100,21 +101,17 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let (out, cols) = conv2d_forward(input, &self.weight, &self.bias, &self.geom)?;
-        if mode == Mode::Train {
-            self.cache = Some(Cache { cols, batch: input.dims()[0] });
-        } else {
-            self.cache = None;
-        }
+        let out = conv2d_forward_ws(input, &self.weight, &self.bias, &self.geom, &mut self.ws)?;
+        self.has_cache = mode == Mode::Train;
         Ok(out)
     }
 
     fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name.clone(),
-        })?;
-        debug_assert_eq!(cache.cols.len(), cache.batch);
-        let (dx, dw, db) = conv2d_backward(dout, &self.weight, &cache.cols, &self.geom)?;
+        if !self.has_cache {
+            return Err(NnError::NoForwardCache { layer: self.name.clone() });
+        }
+        self.has_cache = false;
+        let (dx, dw, db) = conv2d_backward_ws(dout, &self.weight, &self.geom, &mut self.ws)?;
         self.dweight.axpy(1.0, &dw)?;
         self.dbias.axpy(1.0, &db)?;
         Ok(dx)

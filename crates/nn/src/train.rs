@@ -6,7 +6,7 @@ use crate::loss::{accuracy, softmax_cross_entropy};
 use crate::net::Network;
 use crate::optim::Sgd;
 use crate::Result;
-use insitu_tensor::{Rng, Tensor};
+use insitu_tensor::{par_chunks_mut, Rng, Tensor};
 
 /// Hyperparameters for [`train`].
 #[derive(Debug, Clone)]
@@ -25,6 +25,12 @@ pub struct TrainConfig {
     pub lr_decay: f32,
     /// Shuffle the data each epoch.
     pub shuffle: bool,
+    /// Kernel threads for this run: `Some(n)` calls
+    /// [`insitu_tensor::set_num_threads`] before the loop starts
+    /// (`Some(1)` forces pure sequential kernels); `None` leaves the
+    /// process-wide setting untouched. Never affects results, only
+    /// speed.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -37,6 +43,7 @@ impl Default for TrainConfig {
             weight_decay: 1e-4,
             lr_decay: 1.0,
             shuffle: true,
+            threads: None,
         }
     }
 }
@@ -132,12 +139,20 @@ pub fn gather_samples(inputs: &Tensor, indices: &[usize]) -> Result<Tensor> {
     let sample_len: usize = dims[1..].iter().product();
     let mut out_dims = dims.to_vec();
     out_dims[0] = indices.len();
-    let mut data = Vec::with_capacity(indices.len() * sample_len);
     for &i in indices {
         if i >= n {
             return Err(NnError::BadLabels { reason: format!("index {i} out of {n}") });
         }
-        data.extend_from_slice(&inputs.as_slice()[i * sample_len..(i + 1) * sample_len]);
+    }
+    let src = inputs.as_slice();
+    let mut data = vec![0.0f32; indices.len() * sample_len];
+    if sample_len > 0 {
+        // Per-sample copies are independent; batch assembly runs on the
+        // shared kernel pool (a no-op sequential loop at 1 thread).
+        par_chunks_mut(&mut data, sample_len, |c, chunk| {
+            let i = indices[c];
+            chunk.copy_from_slice(&src[i * sample_len..(i + 1) * sample_len]);
+        });
     }
     Ok(Tensor::from_vec(out_dims.as_slice(), data)?)
 }
@@ -159,6 +174,9 @@ pub fn train(
     rng: &mut Rng,
 ) -> Result<TrainReport> {
     let start = std::time::Instant::now();
+    if let Some(t) = cfg.threads {
+        insitu_tensor::set_num_threads(t);
+    }
     let n = data.len();
     let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum).weight_decay(cfg.weight_decay);
     let mut order: Vec<usize> = (0..n).collect();

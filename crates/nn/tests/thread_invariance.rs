@@ -1,0 +1,48 @@
+//! End-to-end determinism of the parallel kernels: a full seeded
+//! training run must produce bitwise-identical weights, losses and
+//! logits no matter how many kernel threads are configured. This is
+//! the contract that lets `INSITU_THREADS=1` exactly reproduce any
+//! multi-threaded run.
+
+use insitu_nn::models::mini_alexnet;
+use insitu_nn::{LabeledBatch, Mode, Network, TrainConfig};
+use insitu_tensor::{Rng, Tensor};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Trains a freshly seeded Mini-AlexNet and returns (per-epoch loss
+/// bits, post-training logits bits on a held-out probe).
+fn train_once(threads: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = Rng::seed_from(404);
+    let mut net = mini_alexnet(4, &mut rng).unwrap();
+    let n = 16;
+    let x = Tensor::rand_uniform([n, 3, 36, 36], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        lr: 0.01,
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let report =
+        insitu_nn::train(&mut net, LabeledBatch::new(&x, &labels).unwrap(), None, &cfg, &mut rng)
+            .unwrap();
+    let probe = Tensor::rand_uniform([2, 3, 36, 36], -1.0, 1.0, &mut rng);
+    let logits = net.forward(&probe, Mode::Eval).unwrap();
+    let loss_bits = report.history.iter().map(|e| e.loss.to_bits()).collect();
+    (loss_bits, bits(&logits))
+}
+
+#[test]
+fn training_is_bitwise_invariant_to_thread_count() {
+    let (ref_loss, ref_logits) = train_once(1);
+    assert!(ref_loss.iter().all(|&b| f32::from_bits(b).is_finite()));
+    for threads in [2usize, 4] {
+        let (loss, logits) = train_once(threads);
+        assert_eq!(loss, ref_loss, "loss diverged at {threads} threads");
+        assert_eq!(logits, ref_logits, "logits diverged at {threads} threads");
+    }
+}

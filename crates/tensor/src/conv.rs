@@ -5,9 +5,18 @@
 //! of a data matrix `Dm`, the filters are flattened into a filter matrix
 //! `Fm`, and the convolution becomes the GEMM `Fm × Dm`. The backward
 //! pass uses the adjoint scatter [`col2im`].
+//!
+//! Batched passes parallelize over the batch dimension on the shared
+//! worker pool (see [`crate::parallel`]): samples are independent, and
+//! the per-sample gradients are reduced in ascending sample order, so
+//! results are bitwise identical for any thread count. The
+//! [`ConvWorkspace`] variants ([`conv2d_forward_ws`] /
+//! [`conv2d_backward_ws`]) additionally reuse the im2col and scratch
+//! buffers across calls, eliminating steady-state allocations.
 
 use crate::error::TensorError;
-use crate::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::matmul::{gemm_nn_rows, gemm_nt_rows, gemm_tn_rows};
+use crate::parallel::{parallel_for, plan_parts, SendPtr};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -130,7 +139,16 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
     }
     let (rows, cols) = (g.col_rows(), g.col_cols());
     let mut out = vec![0.0f32; rows * cols];
-    let x = input.as_slice();
+    im2col_into(input.as_slice(), g, &mut out);
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Core of [`im2col`]: stretches one flattened `(C, H, W)` sample into
+/// `out`. Only the taps that land inside the input are written — padding
+/// positions are left untouched, so `out` must hold zeros there (a fresh
+/// zeroed buffer, or a workspace last used with the same geometry).
+fn im2col_into(x: &[f32], g: &ConvGeometry, out: &mut [f32]) {
+    let cols = g.col_cols();
     let (h, w, k) = (g.in_h, g.in_w, g.kernel);
     for c in 0..g.in_channels {
         for ky in 0..k {
@@ -154,7 +172,6 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec([rows, cols], out)
 }
 
 /// Adjoint of [`im2col`]: scatters a `(N·K², R·C)` matrix back into a
@@ -174,8 +191,13 @@ pub fn col2im(col: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros([g.in_channels, g.in_h, g.in_w]);
-    let o = out.as_mut_slice();
-    let c_ = col.as_slice();
+    col2im_into(col.as_slice(), g, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Core of [`col2im`]: scatters a flattened `(N·K², R·C)` matrix into
+/// the flattened `(C, H, W)` buffer `o`, accumulating into it.
+fn col2im_into(c_: &[f32], g: &ConvGeometry, o: &mut [f32]) {
     let (h, w, k, cols) = (g.in_h, g.in_w, g.kernel, g.col_cols());
     for c in 0..g.in_channels {
         for ky in 0..k {
@@ -199,7 +221,62 @@ pub fn col2im(col: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
+}
+
+/// Reusable scratch buffers for batched convolution passes.
+///
+/// A fresh workspace allocates on first use; subsequent passes with the
+/// same batch size and geometry reuse every buffer, so the steady-state
+/// training loop performs no per-call conv allocations beyond the output
+/// tensors themselves. The forward pass also records its im2col matrices
+/// here, which the backward pass consumes (the paper's C-INTERMEDIATE
+/// reuse) — call [`conv2d_forward_ws`] before [`conv2d_backward_ws`].
+///
+/// Workspaces are cheap to create (`Default`) and independent; use one
+/// per layer (or per thread when running models concurrently).
+#[derive(Debug, Clone, Default)]
+pub struct ConvWorkspace {
+    /// Batched im2col matrices, `b × (N·K² · R·C)`. Padding positions
+    /// are zeroed on (re)allocation and never dirtied afterwards, since
+    /// under a fixed geometry `im2col_into` writes only valid taps.
+    cols: Vec<f32>,
+    /// Batch size and geometry `cols` currently holds, if any.
+    key: Option<(usize, ConvGeometry)>,
+    /// Per-sample `dcol` scratch; re-zeroed per use (the tn GEMM
+    /// accumulates).
+    dcols: Vec<f32>,
+    /// Per-sample flattened weight-gradient partials (fully overwritten
+    /// each backward pass, then reduced in sample order).
+    dw_parts: Vec<f32>,
+    /// Per-sample bias-gradient partials (fully overwritten each pass).
+    db_parts: Vec<f32>,
+}
+
+impl ConvWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Readies `cols` for `b` samples of geometry `g`, zeroing it only
+    /// when the batch size or geometry changed since the last pass.
+    fn prepare_forward(&mut self, b: usize, g: &ConvGeometry) {
+        let want = Some((b, *g));
+        if self.key != want {
+            let len = b * g.col_rows() * g.col_cols();
+            self.cols.clear();
+            self.cols.resize(len, 0.0);
+            self.key = want;
+        }
+    }
+
+    /// Sizes the backward scratch buffers (contents need no zeroing:
+    /// `dcols` is re-zeroed per sample and the partials are assigned).
+    fn prepare_backward(&mut self, b: usize, g: &ConvGeometry) {
+        self.dcols.resize(b * g.col_rows() * g.col_cols(), 0.0);
+        self.dw_parts.resize(b * g.out_channels * g.col_rows(), 0.0);
+        self.db_parts.resize(b * g.out_channels, 0.0);
+    }
 }
 
 /// Batched convolution forward pass.
@@ -220,33 +297,85 @@ pub fn conv2d_forward(
     bias: &Tensor,
     g: &ConvGeometry,
 ) -> Result<(Tensor, Vec<Tensor>)> {
+    let mut ws = ConvWorkspace::new();
+    let out = conv2d_forward_ws(input, weight, bias, g, &mut ws)?;
+    let b = input.dims()[0];
+    let col_len = g.col_rows() * g.col_cols();
+    let cols = (0..b)
+        .map(|s| {
+            Tensor::from_vec(
+                [g.col_rows(), g.col_cols()],
+                ws.cols[s * col_len..(s + 1) * col_len].to_vec(),
+            )
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((out, cols))
+}
+
+/// Batched convolution forward pass into a reusable [`ConvWorkspace`].
+///
+/// Same computation as [`conv2d_forward`] — bitwise identical output for
+/// any thread count — but the im2col matrices live in `ws` instead of
+/// per-sample tensors, so repeated calls with a stable batch size and
+/// geometry do not allocate. Samples are processed in parallel on the
+/// shared worker pool when the batch is large enough.
+///
+/// # Errors
+///
+/// Returns an error on any shape disagreement with the geometry.
+pub fn conv2d_forward_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+    ws: &mut ConvWorkspace,
+) -> Result<Tensor> {
     let b = batch_of(input, g)?;
     check_weight_bias(weight, bias, g)?;
-    let wmat = weight.reshape([g.out_channels, g.col_rows()])?;
+    ws.prepare_forward(b, g);
     let sample_len = g.in_channels * g.in_h * g.in_w;
     let out_len = g.out_channels * g.out_h * g.out_w;
+    let positions = g.col_cols();
+    let col_len = g.col_rows() * positions;
     let mut out = Tensor::zeros([b, g.out_channels, g.out_h, g.out_w]);
-    let mut cols = Vec::with_capacity(b);
-    for s in 0..b {
-        let sample = Tensor::from_vec(
-            [g.in_channels, g.in_h, g.in_w],
-            input.as_slice()[s * sample_len..(s + 1) * sample_len].to_vec(),
-        )?;
-        let col = im2col(&sample, g)?;
-        let y = matmul(&wmat, &col)?; // (M, R*C)
-        let dst = &mut out.as_mut_slice()[s * out_len..(s + 1) * out_len];
-        let positions = g.col_cols();
-        for m in 0..g.out_channels {
-            let bm = bias.as_slice()[m];
-            let src = &y.as_slice()[m * positions..(m + 1) * positions];
-            let d = &mut dst[m * positions..(m + 1) * positions];
-            for (di, &si) in d.iter_mut().zip(src) {
-                *di = si + bm;
+    let xv = input.as_slice();
+    // (M, N, K, K) weights are row-major, so the flat slice *is* the
+    // (M, N·K²) filter matrix Fm.
+    let wv = weight.as_slice();
+    let bv = bias.as_slice();
+    let parts = plan_parts(b, b as u64 * g.ops());
+    {
+        let out_base = SendPtr(out.as_mut_slice().as_mut_ptr());
+        let cols_base = SendPtr(ws.cols.as_mut_ptr());
+        let run = |s: usize| {
+            // SAFETY: task `s` touches only sample `s`'s slice of each
+            // buffer; samples are disjoint.
+            let col = unsafe {
+                std::slice::from_raw_parts_mut(cols_base.get().add(s * col_len), col_len)
+            };
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(out_base.get().add(s * out_len), out_len)
+            };
+            let xs = &xv[s * sample_len..(s + 1) * sample_len];
+            im2col_into(xs, g, col);
+            // Fm × Dm into the zeroed output slice, then the bias.
+            gemm_nn_rows(wv, col, dst, 0..g.out_channels, g.col_rows(), positions);
+            for m in 0..g.out_channels {
+                let bm = bv[m];
+                for v in &mut dst[m * positions..(m + 1) * positions] {
+                    *v += bm;
+                }
             }
+        };
+        if parts == 1 {
+            for s in 0..b {
+                run(s);
+            }
+        } else {
+            parallel_for(b, run);
         }
-        cols.push(col);
     }
-    Ok((out, cols))
+    Ok(out)
 }
 
 /// Gradients of a batched convolution.
@@ -265,6 +394,50 @@ pub fn conv2d_backward(
     g: &ConvGeometry,
 ) -> Result<(Tensor, Tensor, Tensor)> {
     let b = cols.len();
+    let col_len = g.col_rows() * g.col_cols();
+    let mut ws = ConvWorkspace::new();
+    ws.prepare_forward(b, g);
+    for (s, col) in cols.iter().enumerate() {
+        let expected = [g.col_rows(), g.col_cols()];
+        if col.dims() != expected {
+            return Err(TensorError::ShapeMismatch {
+                expected: expected.to_vec(),
+                actual: col.dims().to_vec(),
+                op: "conv2d_backward",
+            });
+        }
+        ws.cols[s * col_len..(s + 1) * col_len].copy_from_slice(col.as_slice());
+    }
+    conv2d_backward_ws(dout, weight, g, &mut ws)
+}
+
+/// Gradients of a batched convolution, reading the im2col matrices that
+/// [`conv2d_forward_ws`] saved in `ws`.
+///
+/// Same computation as [`conv2d_backward`] — bitwise identical gradients
+/// for any thread count: samples run in parallel into per-sample partial
+/// buffers, which are then reduced in ascending sample order exactly as
+/// the sequential loop accumulates them.
+///
+/// # Errors
+///
+/// Returns an error if `ws` holds no forward pass for this geometry, or
+/// on any shape disagreement with the geometry.
+pub fn conv2d_backward_ws(
+    dout: &Tensor,
+    weight: &Tensor,
+    g: &ConvGeometry,
+    ws: &mut ConvWorkspace,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let b = match ws.key {
+        Some((b, key_g)) if key_g == *g => b,
+        _ => {
+            return Err(TensorError::InvalidGeometry {
+                reason: "conv2d_backward_ws: workspace holds no forward pass for this geometry"
+                    .into(),
+            })
+        }
+    };
     let expected = [b, g.out_channels, g.out_h, g.out_w];
     if dout.dims() != expected {
         return Err(TensorError::ShapeMismatch {
@@ -273,34 +446,84 @@ pub fn conv2d_backward(
             op: "conv2d_backward",
         });
     }
-    let wmat = weight.reshape([g.out_channels, g.col_rows()])?;
+    let nk2 = g.col_rows();
+    if weight.len() != g.out_channels * nk2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![g.out_channels, g.in_channels, g.kernel, g.kernel],
+            actual: weight.dims().to_vec(),
+            op: "conv2d_backward(weight)",
+        });
+    }
+    ws.prepare_backward(b, g);
     let positions = g.col_cols();
     let out_len = g.out_channels * positions;
     let sample_len = g.in_channels * g.in_h * g.in_w;
+    let col_len = nk2 * positions;
+    let dw_len = g.out_channels * nk2;
 
     let mut dinput = Tensor::zeros([b, g.in_channels, g.in_h, g.in_w]);
-    let mut dwmat = Tensor::zeros([g.out_channels, g.col_rows()]);
-    let mut dbias = Tensor::zeros([g.out_channels]);
-
-    for (s, col) in cols.iter().enumerate() {
-        let dy = Tensor::from_vec(
-            [g.out_channels, positions],
-            dout.as_slice()[s * out_len..(s + 1) * out_len].to_vec(),
-        )?;
-        // dW += dY · colᵀ ; col: (N·K², P), dY: (M, P) → (M, N·K²)
-        dwmat.axpy(1.0, &matmul_nt(&dy, col)?)?;
-        // db += row sums of dY
-        for m in 0..g.out_channels {
-            let row = &dy.as_slice()[m * positions..(m + 1) * positions];
-            dbias.as_mut_slice()[m] += row.iter().sum::<f32>();
+    let dv = dout.as_slice();
+    let wv = weight.as_slice(); // flat (M, N·K²), see conv2d_forward_ws
+    let parts = plan_parts(b, 2 * b as u64 * g.ops());
+    {
+        let din_base = SendPtr(dinput.as_mut_slice().as_mut_ptr());
+        let dcol_base = SendPtr(ws.dcols.as_mut_ptr());
+        let dw_base = SendPtr(ws.dw_parts.as_mut_ptr());
+        let db_base = SendPtr(ws.db_parts.as_mut_ptr());
+        let cols = &ws.cols;
+        let run = |s: usize| {
+            let dy = &dv[s * out_len..(s + 1) * out_len]; // (M, P)
+            let col = &cols[s * col_len..(s + 1) * col_len]; // (N·K², P)
+            // SAFETY: task `s` touches only sample `s`'s slice of each
+            // scratch/output buffer; samples are disjoint.
+            let dw = unsafe { std::slice::from_raw_parts_mut(dw_base.get().add(s * dw_len), dw_len) };
+            // dW_s = dY · colᵀ → (M, N·K²); the nt kernel assigns every
+            // element, so `dw` needs no pre-zeroing.
+            gemm_nt_rows(dy, col, dw, 0..g.out_channels, positions, nk2);
+            // db_s = row sums of dY.
+            let db = unsafe {
+                std::slice::from_raw_parts_mut(db_base.get().add(s * g.out_channels), g.out_channels)
+            };
+            for m in 0..g.out_channels {
+                db[m] = dy[m * positions..(m + 1) * positions].iter().sum::<f32>();
+            }
+            // dX_s = col2im(Wᵀ · dY); the tn kernel accumulates, so the
+            // scratch is re-zeroed first.
+            let dcol =
+                unsafe { std::slice::from_raw_parts_mut(dcol_base.get().add(s * col_len), col_len) };
+            dcol.fill(0.0);
+            gemm_tn_rows(wv, dy, dcol, 0..nk2, g.out_channels, nk2, positions);
+            let dx = unsafe {
+                std::slice::from_raw_parts_mut(din_base.get().add(s * sample_len), sample_len)
+            };
+            col2im_into(dcol, g, dx);
+        };
+        if parts == 1 {
+            for s in 0..b {
+                run(s);
+            }
+        } else {
+            parallel_for(b, run);
         }
-        // dX = col2im(Wᵀ · dY)
-        let dcol = matmul_tn(&wmat, &dy)?; // (N·K², P)
-        let dx = col2im(&dcol, g)?;
-        dinput.as_mut_slice()[s * sample_len..(s + 1) * sample_len]
-            .copy_from_slice(dx.as_slice());
     }
-    let dweight = dwmat.reshape([g.out_channels, g.in_channels, g.kernel, g.kernel])?;
+
+    // Deterministic reduction: ascending sample order, independent of
+    // which worker produced each partial — the same fold the sequential
+    // loop performs.
+    let mut dwmat = vec![0.0f32; dw_len];
+    let mut dbias = Tensor::zeros([g.out_channels]);
+    let dbv = dbias.as_mut_slice();
+    for s in 0..b {
+        for (acc, &p) in dwmat.iter_mut().zip(&ws.dw_parts[s * dw_len..(s + 1) * dw_len]) {
+            *acc += p;
+        }
+        let db = &ws.db_parts[s * g.out_channels..(s + 1) * g.out_channels];
+        for (acc, &p) in dbv.iter_mut().zip(db) {
+            *acc += p;
+        }
+    }
+    let dweight =
+        Tensor::from_vec([g.out_channels, g.in_channels, g.kernel, g.kernel], dwmat)?;
     Ok((dinput, dweight, dbias))
 }
 
@@ -507,5 +730,67 @@ mod tests {
         let x = Tensor::zeros([1, 2, 5, 5]);
         assert!(conv2d_forward(&x, &Tensor::zeros([3, 2, 2, 2]), &bias, &g).is_err());
         assert!(conv2d_forward(&x, &w, &Tensor::zeros([4]), &g).is_err());
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh() {
+        // The whole point of the workspace is that reusing it across
+        // passes — same geometry, different inputs — changes nothing.
+        let g = small_geom();
+        let mut rng = Rng::seed_from(31);
+        let w = Tensor::rand_uniform([3, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let bias = Tensor::rand_uniform([3], -0.1, 0.1, &mut rng);
+        let mut ws = ConvWorkspace::new();
+        for _ in 0..4 {
+            let x = Tensor::rand_uniform([2, 2, 5, 5], -1.0, 1.0, &mut rng);
+            let dout = Tensor::rand_uniform([2, 3, g.out_h, g.out_w], -1.0, 1.0, &mut rng);
+            let y = conv2d_forward_ws(&x, &w, &bias, &g, &mut ws).unwrap();
+            let (dx, dw, db) = conv2d_backward_ws(&dout, &w, &g, &mut ws).unwrap();
+            let (y2, cols) = conv2d_forward(&x, &w, &bias, &g).unwrap();
+            let (dx2, dw2, db2) = conv2d_backward(&dout, &w, &cols, &g).unwrap();
+            assert_eq!(bits(&y), bits(&y2));
+            assert_eq!(bits(&dx), bits(&dx2));
+            assert_eq!(bits(&dw), bits(&dw2));
+            assert_eq!(bits(&db), bits(&db2));
+        }
+    }
+
+    #[test]
+    fn workspace_survives_geometry_switch() {
+        // Switching batch size or geometry must re-zero the column
+        // buffer; stale padding taps from the previous shape would
+        // otherwise leak into the new pass.
+        let g1 = small_geom();
+        let g2 = ConvGeometry::new(2, 7, 7, 4, 3, 1, 1).unwrap();
+        let mut rng = Rng::seed_from(32);
+        let mut ws = ConvWorkspace::new();
+        for (g, b, m) in [(&g1, 3usize, 3usize), (&g2, 2, 4), (&g1, 1, 3), (&g1, 3, 3)] {
+            let x = Tensor::rand_uniform([b, 2, g.in_h, g.in_w], -1.0, 1.0, &mut rng);
+            let w = Tensor::rand_uniform([m, 2, 3, 3], -0.5, 0.5, &mut rng);
+            let bias = Tensor::rand_uniform([m], -0.1, 0.1, &mut rng);
+            let y = conv2d_forward_ws(&x, &w, &bias, g, &mut ws).unwrap();
+            let (y2, _) = conv2d_forward(&x, &w, &bias, g).unwrap();
+            assert_eq!(bits(&y), bits(&y2));
+        }
+    }
+
+    #[test]
+    fn workspace_backward_needs_matching_forward() {
+        let g = small_geom();
+        let mut rng = Rng::seed_from(33);
+        let w = Tensor::rand_uniform([3, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let dout = Tensor::rand_uniform([2, 3, g.out_h, g.out_w], -1.0, 1.0, &mut rng);
+        // No forward pass at all.
+        let mut ws = ConvWorkspace::new();
+        assert!(conv2d_backward_ws(&dout, &w, &g, &mut ws).is_err());
+        // Forward ran, but with a different batch size than dout claims.
+        let x = Tensor::rand_uniform([1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let bias = Tensor::zeros([3]);
+        conv2d_forward_ws(&x, &w, &bias, &g, &mut ws).unwrap();
+        assert!(conv2d_backward_ws(&dout, &w, &g, &mut ws).is_err());
     }
 }

@@ -6,6 +6,11 @@
 //! deterministic PCG32 random number generator so every experiment is
 //! reproducible from a single seed.
 //!
+//! Large GEMMs and batched convolutions run on a shared worker pool (see
+//! [`parallel`]); thread count comes from [`set_num_threads`] or the
+//! `INSITU_THREADS` environment variable, and results are bitwise
+//! identical for any setting.
+//!
 //! ## Example
 //!
 //! ```
@@ -28,14 +33,19 @@
 mod conv;
 mod error;
 mod matmul;
+pub mod parallel;
 mod pool;
 mod rng;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, conv2d_backward, conv2d_forward, im2col, ConvGeometry};
+pub use conv::{
+    col2im, conv2d_backward, conv2d_backward_ws, conv2d_forward, conv2d_forward_ws, im2col,
+    ConvGeometry, ConvWorkspace,
+};
 pub use error::TensorError;
 pub use matmul::{matmul, matmul_naive, matmul_nt, matmul_tn, matvec};
+pub use parallel::{num_threads, par_chunks_mut, parallel_for, set_num_threads};
 pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolGeometry};
 pub use rng::Rng;
 pub use shape::Shape;

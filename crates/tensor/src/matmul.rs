@@ -5,10 +5,17 @@
 //! hot kernel of the whole reproduction. [`matmul`] uses a cache-blocked
 //! kernel; [`matmul_naive`] is the trivially-correct reference used by the
 //! property tests.
+//!
+//! Large products are split over output-row bands and run on the shared
+//! worker pool (see [`crate::parallel`]). Each output element is always
+//! accumulated in the same order as the sequential kernel, so results are
+//! bitwise identical for any thread count.
 
 use crate::error::TensorError;
+use crate::parallel::{par_row_chunks, plan_parts};
 use crate::tensor::Tensor;
 use crate::Result;
+use std::ops::Range;
 
 /// Cache block edge for the tiled GEMM kernel.
 const BLOCK: usize = 64;
@@ -84,15 +91,37 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
-    for ib in (0..m).step_by(BLOCK) {
-        let imax = (ib + BLOCK).min(m);
+    let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
+    par_row_chunks(&mut out, m, n, parts, |rows, band| {
+        gemm_nn_rows(av, bv, band, rows, ka, n);
+    });
+    Tensor::from_vec([m, n], out)
+}
+
+/// Cache-blocked `C[rows] = A[rows]·B` into `band` (the rows' sub-slice
+/// of the output, pre-zeroed).
+///
+/// For a fixed output element, the k-blocks and the k values inside each
+/// block are visited in ascending order regardless of `rows`, so row
+/// partitioning never changes the accumulation order.
+pub(crate) fn gemm_nn_rows(
+    av: &[f32],
+    bv: &[f32],
+    band: &mut [f32],
+    rows: Range<usize>,
+    ka: usize,
+    n: usize,
+) {
+    let r0 = rows.start;
+    for ib in (rows.start..rows.end).step_by(BLOCK) {
+        let imax = (ib + BLOCK).min(rows.end);
         for kb_ in (0..ka).step_by(BLOCK) {
             let kmax = (kb_ + BLOCK).min(ka);
             for jb in (0..n).step_by(BLOCK) {
                 let jmax = (jb + BLOCK).min(n);
                 for i in ib..imax {
                     let arow = &av[i * ka..(i + 1) * ka];
-                    let orow = &mut out[i * n..(i + 1) * n];
+                    let orow = &mut band[(i - r0) * n..(i - r0 + 1) * n];
                     for k in kb_..kmax {
                         let aik = arow[k];
                         if aik == 0.0 {
@@ -107,7 +136,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec([m, n], out)
 }
 
 /// Computes `C = Aᵀ·B` without materializing the transpose.
@@ -132,21 +160,40 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
+    let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
+    par_row_chunks(&mut out, m, n, parts, |rows, band| {
+        gemm_tn_rows(av, bv, band, rows, ka, m, n);
+    });
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C[rows] = Aᵀ·B` restricted to output rows `rows`, into `band`
+/// (pre-zeroed). Keeps the k-outer loop of the sequential kernel, so each
+/// element accumulates over k in ascending order for any row partition.
+pub(crate) fn gemm_tn_rows(
+    av: &[f32],
+    bv: &[f32],
+    band: &mut [f32],
+    rows: Range<usize>,
+    ka: usize,
+    m: usize,
+    n: usize,
+) {
+    let r0 = rows.start;
     for k in 0..ka {
         let arow = &av[k * m..(k + 1) * m];
         let brow = &bv[k * n..(k + 1) * n];
-        for i in 0..m {
+        for i in rows.clone() {
             let aki = arow[i];
             if aki == 0.0 {
                 continue;
             }
-            let orow = &mut out[i * n..(i + 1) * n];
+            let orow = &mut band[(i - r0) * n..(i - r0 + 1) * n];
             for j in 0..n {
                 orow[j] += aki * brow[j];
             }
         }
     }
-    Tensor::from_vec([m, n], out)
 }
 
 /// Computes `C = A·Bᵀ` without materializing the transpose.
@@ -170,18 +217,36 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
+    let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
+    par_row_chunks(&mut out, m, n, parts, |rows, band| {
+        gemm_nt_rows(av, bv, band, rows, ka, n);
+    });
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C[rows] = A·Bᵀ` restricted to output rows `rows`, into `band`. Every
+/// element is an independent assigned dot product, so any partition is
+/// trivially order-preserving.
+pub(crate) fn gemm_nt_rows(
+    av: &[f32],
+    bv: &[f32],
+    band: &mut [f32],
+    rows: Range<usize>,
+    ka: usize,
+    n: usize,
+) {
+    let r0 = rows.start;
+    for i in rows.clone() {
         let arow = &av[i * ka..(i + 1) * ka];
         for j in 0..n {
-            let brow = &bv[j * kb..(j + 1) * kb];
+            let brow = &bv[j * ka..(j + 1) * ka];
             let mut acc = 0.0;
             for k in 0..ka {
                 acc += arow[k] * brow[k];
             }
-            out[i * n + j] = acc;
+            band[(i - r0) * n + j] = acc;
         }
     }
-    Tensor::from_vec([m, n], out)
 }
 
 /// Matrix-vector product `y = A·x` for `A: (M, N)`, `x: (N,)`.
@@ -200,10 +265,14 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     }
     let (av, xv) = (a.as_slice(), x.as_slice());
     let mut out = vec![0.0f32; m];
-    for i in 0..m {
-        let arow = &av[i * n..(i + 1) * n];
-        out[i] = arow.iter().zip(xv).map(|(&a, &b)| a * b).sum();
-    }
+    let parts = plan_parts(m, 2 * m as u64 * n as u64);
+    par_row_chunks(&mut out, m, 1, parts, |rows, band| {
+        let r0 = rows.start;
+        for i in rows.clone() {
+            let arow = &av[i * n..(i + 1) * n];
+            band[i - r0] = arow.iter().zip(xv).map(|(&a, &b)| a * b).sum();
+        }
+    });
     Tensor::from_vec([m], out)
 }
 

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = Dataset::generate(600, classes, &Condition::ideal(), &mut rng)?;
     let pre = pretrain(
         &raw,
-        &PretrainConfig { permutations: 8, epochs: 12, batch_size: 16, lr: 0.015 },
+        &PretrainConfig { permutations: 8, epochs: 12, batch_size: 16, lr: 0.015, threads: None },
         &mut rng,
     )?;
     println!("      jigsaw task accuracy: {:.1}%", pre.task_accuracy * 100.0);
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cloud = Cloud::new(
         inference,
         pre,
-        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.005 },
+        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.005, threads: None },
         99,
     );
 

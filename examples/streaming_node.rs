@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = Dataset::generate(400, classes, &Condition::ideal(), &mut rng)?;
     let pre = pretrain(
         &raw,
-        &PretrainConfig { permutations: 8, epochs: 8, batch_size: 16, lr: 0.015 },
+        &PretrainConfig { permutations: 8, epochs: 8, batch_size: 16, lr: 0.015, threads: None },
         &mut rng,
     )?;
     let labeled = Dataset::generate(200, classes, &Condition::ideal(), &mut rng)?;
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cloud = Arc::new(Mutex::new(Cloud::new(
         inference,
         pre,
-        IncrementalConfig { epochs: 3, batch_size: 16, lr: 0.002 },
+        IncrementalConfig { epochs: 3, batch_size: 16, lr: 0.002, threads: None },
         78,
     )));
 

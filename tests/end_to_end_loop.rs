@@ -21,7 +21,7 @@ fn deploy(seed: u64, classes: usize) -> Deployment {
     let raw = Dataset::generate(240, classes, &Condition::ideal(), &mut rng).unwrap();
     let pre = pretrain(
         &raw,
-        &PretrainConfig { permutations: 8, epochs: 6, batch_size: 16, lr: 0.015 },
+        &PretrainConfig { permutations: 8, epochs: 6, batch_size: 16, lr: 0.015, threads: None },
         &mut rng,
     )
     .unwrap();
@@ -47,7 +47,7 @@ fn deploy(seed: u64, classes: usize) -> Deployment {
     let cloud = Cloud::new(
         inference,
         pre,
-        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.002 },
+        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.002, threads: None },
         seed ^ 2,
     );
     Deployment { node, cloud, rng }

@@ -1,0 +1,301 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! A wall-clock micro-benchmark harness with criterion's API shape:
+//! warm-up, fixed sample count, median/min/max ns-per-iter reporting,
+//! and element throughput. It has no plotting, no statistical
+//! regression analysis, and no saved baselines — it prints one summary
+//! line per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (all variants behave the
+/// same here: setup runs per batch and is excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per sample.
+    SmallInput,
+    /// Large inputs: few per sample.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many elements (reported as Melem/s).
+    Elements(u64),
+    /// Iteration processes this many bytes (reported as MiB/s).
+    Bytes(u64),
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One benchmark's collected timings, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+struct Samples {
+    ns_per_iter: Vec<f64>,
+}
+
+impl Samples {
+    fn median(&self) -> f64 {
+        let mut v = self.ns_per_iter.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    }
+
+    fn min(&self) -> f64 {
+        self.ns_per_iter.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn max(&self) -> f64 {
+        self.ns_per_iter.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(id: &str, samples: &Samples, throughput: Option<Throughput>) {
+    let median = samples.median();
+    let mut line = format!(
+        "{:<44} time: [{} {} {}]",
+        id,
+        fmt_time(samples.min()),
+        fmt_time(median),
+        fmt_time(samples.max()),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let elem_per_s = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {:.2} Melem/s", elem_per_s / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let bytes_per_s = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {:.2} MiB/s", bytes_per_s / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets how long each benchmark warms up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the time budget spread across a benchmark's samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.as_ref(), f, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F, throughput: Option<Throughput>)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: how long does one iteration take?
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+
+        // Warm-up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+        }
+
+        // Sampling: split the measurement budget across samples.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (budget / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+        let mut samples = Samples { ns_per_iter: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.ns_per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        report(id, &samples, throughput);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work one iteration performs for the following
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, f, throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration inputs built by `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares a benchmark harness entry point (criterion-compatible
+/// syntax, with or without a `config = ..` line).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_prefix_and_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("add", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(12.0), "12.0 ns");
+        assert_eq!(fmt_time(1_500.0), "1.50 µs");
+        assert_eq!(fmt_time(2_500_000.0), "2.50 ms");
+    }
+}

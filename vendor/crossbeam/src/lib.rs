@@ -1,0 +1,94 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`): only the
+//! `channel` module surface this workspace uses, backed by
+//! `std::sync::mpsc`.
+
+/// MPSC channels with the `crossbeam::channel` API shape.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a channel (bounded or unbounded).
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Backed by a rendezvous/bounded std channel.
+        Bounded(mpsc::SyncSender<T>),
+        /// Backed by an unbounded std channel.
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        /// Errors only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Bounded(s) => s.send(value),
+                Sender::Unbounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates over messages until every sender is gone.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_roundtrip() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn unbounded_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types but
+//! never serializes through serde (weight snapshots use the codec in
+//! `insitu-nn::serialize`), so marker traits plus no-op derives cover
+//! the whole used surface.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

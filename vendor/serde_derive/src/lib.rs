@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! build (see `vendor/README.md`). The workspace only uses the derives
+//! as markers — nothing is ever serialized through serde — so deriving
+//! nothing is behaviour-preserving.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
