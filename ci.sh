@@ -7,4 +7,14 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Telemetry gates: the end-to-end trace test, then a smoke of the
+# Chrome-trace exporter through the bench bin (trace goes to stderr,
+# snapshot JSON to stdout — both must stay well-formed).
+cargo test -q --test telemetry_trace
+INSITU_TRACE=1 cargo run --release -q -p insitu-bench --bin kernels_snapshot \
+    >/tmp/ci_kernels.json 2>/tmp/ci_trace.json
+grep -q '"ns_per_iter"' /tmp/ci_kernels.json
+grep -q '"traceEvents"' /tmp/ci_trace.json
+rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
+
 echo "ci: all gates passed"

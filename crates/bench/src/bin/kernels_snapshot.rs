@@ -10,7 +10,14 @@
 //! across commits. The host core count is recorded because the thread
 //! sweep is only meaningful relative to it — on a single-core host the
 //! t2/t4 rows measure pool overhead, not speedup.
+//!
+//! Each row also carries telemetry counter totals (GEMM calls, bytes
+//! per iteration, pool jobs) from a separate *counted* pass — the timed
+//! loop always runs with telemetry disabled, so the ns/iter numbers
+//! stay comparable to earlier snapshots. With `INSITU_TRACE=1` the
+//! final counted pass's Chrome trace is written to stderr.
 
+use insitu_telemetry as telemetry;
 use insitu_tensor::{matmul, set_num_threads, Rng, Tensor};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -46,27 +53,62 @@ fn time_matmul(a: &Tensor, b: &Tensor) -> u128 {
     reps[reps.len() / 2]
 }
 
+/// Iterations of the separately-counted (telemetry-enabled) pass.
+const COUNT_ITERS: u64 = 10;
+
+/// Runs a telemetry-enabled pass over the same GEMM and returns its
+/// snapshot. Kept apart from [`time_matmul`] so tracing overhead never
+/// touches the timed numbers.
+fn counted_pass(a: &Tensor, b: &Tensor) -> telemetry::TelemetrySnapshot {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    for _ in 0..COUNT_ITERS {
+        std::hint::black_box(matmul(a, b).unwrap());
+    }
+    let snap = telemetry::snapshot();
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    snap
+}
+
 fn main() {
+    let want_trace = telemetry::init_from_env();
+    telemetry::set_enabled(false); // the counted passes open their own windows
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rng = Rng::seed_from(7);
     let mut rows = String::new();
+    let mut last_snap = telemetry::TelemetrySnapshot::default();
     for &(name, m, k, n) in SHAPES {
         let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
         for &t in THREADS {
             set_num_threads(t);
             let ns = time_matmul(&a, &b);
+            let snap = counted_pass(&a, &b);
+            let gemm_calls = snap
+                .counter("tensor.gemm_nn", &format!("{m}x{k}x{n}"))
+                .map_or(0, |c| c.calls);
+            let bytes_per_iter =
+                snap.counter("tensor.bytes", "gemm_nn").map_or(0, |c| c.total / COUNT_ITERS);
+            let pool_jobs = snap.counter("pool.jobs", "").map_or(0, |c| c.calls);
+            last_snap = snap;
             if !rows.is_empty() {
                 rows.push_str(",\n");
             }
             let _ = write!(
                 rows,
                 "    {{\"shape\": \"{name}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
-                 \"threads\": {t}, \"ns_per_iter\": {ns}}}"
+                 \"threads\": {t}, \"ns_per_iter\": {ns}, \"gemm_calls\": {gemm_calls}, \
+                 \"bytes_per_iter\": {bytes_per_iter}, \"pool_jobs\": {pool_jobs}}}"
             );
         }
     }
     set_num_threads(1);
+    if want_trace {
+        // Smoke for the exporter pipeline: the last counted pass as a
+        // Chrome trace on stderr (stdout stays pure snapshot JSON).
+        eprintln!("{}", last_snap.chrome_trace_json());
+    }
     // Plain write, not println!: a downstream `head` closing the pipe
     // early is not worth a panic.
     use std::io::Write as _;

@@ -9,6 +9,7 @@ use insitu_data::Dataset;
 use insitu_nn::serialize::state_dict;
 use insitu_nn::Sequential;
 use insitu_tensor::Rng;
+use insitu_telemetry as telemetry;
 
 /// The Cloud side of an In-situ AI deployment.
 #[derive(Debug)]
@@ -72,6 +73,9 @@ impl Cloud {
 
 impl CloudEndpoint for Cloud {
     fn incremental_update(&mut self, uploaded: &Dataset) -> insitu_core::Result<ModelUpdate> {
+        let _t = telemetry::span_with("cloud.update_cycle", || {
+            format!("v{} +{} uploaded", self.version, uploaded.len())
+        });
         let mut ops = 0u64;
         let train_set = match self.archive.take() {
             Some(archive) if !uploaded.is_empty() => {

@@ -4,6 +4,7 @@ use crate::Result;
 use insitu_data::Dataset;
 use insitu_nn::{train, LabeledBatch, Sequential, TrainConfig, TrainReport};
 use insitu_tensor::Rng;
+use insitu_telemetry as telemetry;
 
 /// Configuration of one incremental update.
 #[derive(Debug, Clone)]
@@ -40,6 +41,9 @@ pub fn fine_tune(
     cfg: &IncrementalConfig,
     rng: &mut Rng,
 ) -> Result<TrainReport> {
+    let _t = telemetry::span_with("cloud.fine_tune", || {
+        format!("{} uploaded samples x{} epochs", uploaded.len(), cfg.epochs)
+    });
     let train_cfg = TrainConfig {
         epochs: cfg.epochs,
         batch_size: cfg.batch_size,

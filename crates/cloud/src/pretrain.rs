@@ -11,6 +11,7 @@ use insitu_data::{jigsaw_batch, Dataset, PermutationSet};
 use insitu_nn::models::jigsaw_network;
 use insitu_nn::{evaluate, train, JigsawNet, LabeledBatch, TrainConfig};
 use insitu_tensor::Rng;
+use insitu_telemetry as telemetry;
 
 /// Configuration of the unsupervised pre-training job.
 #[derive(Debug, Clone)]
@@ -59,6 +60,9 @@ pub struct Pretrained {
 /// Returns an error if the configuration is degenerate or shapes
 /// disagree.
 pub fn pretrain(raw: &Dataset, cfg: &PretrainConfig, rng: &mut Rng) -> Result<Pretrained> {
+    let _t = telemetry::span_with("cloud.pretrain", || {
+        format!("{} raw samples, {} perms", raw.len(), cfg.permutations)
+    });
     let set = PermutationSet::generate(cfg.permutations, rng)?;
     let mut jigsaw = jigsaw_network(cfg.permutations, rng)?;
     // Hold out ~20% of the raw data (as jigsaw samples) for the task
@@ -100,6 +104,8 @@ pub fn continue_pretrain(
     lr: f32,
     rng: &mut Rng,
 ) -> Result<u64> {
+    let _t =
+        telemetry::span_with("cloud.continue_pretrain", || format!("{} raw samples", raw.len()));
     let (x, y) = jigsaw_batch(raw, &pretrained.set, rng)?;
     let cfg = TrainConfig { epochs, batch_size, lr, ..Default::default() };
     let report = train(&mut pretrained.jigsaw, LabeledBatch::new(&x, &y)?, None, &cfg, rng)?;

@@ -22,6 +22,13 @@ pub enum CoreError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A runtime actor thread panicked instead of returning an error.
+    ActorPanicked {
+        /// Which actor died ("node" or "cloud").
+        actor: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +38,9 @@ impl fmt::Display for CoreError {
             CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
             CoreError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            CoreError::ActorPanicked { actor, message } => {
+                write!(f, "{actor} actor panicked: {message}")
+            }
         }
     }
 }

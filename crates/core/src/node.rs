@@ -10,6 +10,7 @@ use insitu_nn::serialize::load_state_dict;
 use insitu_nn::transfer::conv_prefix_identical;
 use insitu_nn::{evaluate, JigsawNet, LabeledBatch, Sequential};
 use insitu_tensor::Rng;
+use insitu_telemetry as telemetry;
 
 /// The outcome of processing one acquisition stage on the node.
 #[derive(Debug, Clone)]
@@ -152,15 +153,21 @@ impl InsituNode {
     ///
     /// Returns an error on shape disagreements.
     pub fn process_stage(&mut self, data: &Dataset, batch: usize) -> Result<StageOutcome> {
+        let _t =
+            telemetry::span_with("node.stage", || format!("{} images @bs{batch}", data.len()));
         // Inference task: predictions for the end application.
         let mut predictions = Vec::with_capacity(data.len());
         let indices: Vec<usize> = (0..data.len()).collect();
-        for chunk in indices.chunks(batch.max(1)) {
-            let sub = data.subset(chunk)?;
-            let logits = self.inference.predict(sub.images())?;
-            predictions.extend(insitu_nn::predictions(&logits)?);
+        {
+            let _inf = telemetry::span("node.inference");
+            for chunk in indices.chunks(batch.max(1)) {
+                let sub = data.subset(chunk)?;
+                let logits = self.inference.predict(sub.images())?;
+                predictions.extend(insitu_nn::predictions(&logits)?);
+            }
         }
         // Diagnosis task: select valuable data.
+        let _diag = telemetry::span("node.diagnosis");
         let verdicts = diagnose(
             self.policy,
             &mut self.inference,

@@ -14,7 +14,10 @@ use crate::update::CloudEndpoint;
 use crate::Result;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use insitu_data::Dataset;
+use insitu_telemetry as telemetry;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -28,7 +31,7 @@ enum Uplink {
 }
 
 /// Statistics of one completed streaming session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SessionStats {
     /// Batches the node processed.
     pub batches: u64,
@@ -38,6 +41,9 @@ pub struct SessionStats {
     pub images_uploaded: u64,
     /// Model updates installed on the node.
     pub updates_installed: u64,
+    /// Telemetry captured over the session — empty unless tracing was
+    /// enabled (see [`insitu_telemetry::set_enabled`]).
+    pub telemetry: telemetry::TelemetrySnapshot,
 }
 
 /// Runs a live session: feeds every dataset from `stream` through the
@@ -48,11 +54,19 @@ pub struct SessionStats {
 /// The Cloud is shared behind a mutex so callers keep ownership of
 /// whatever state their [`CloudEndpoint`] carries.
 ///
+/// The Cloud thread is joined on **every** exit path — errors and node
+/// panics included — so no actor thread outlives the call. A panicking
+/// Cloud actor surfaces as [`CoreError::ActorPanicked`] (carrying the
+/// panic message); a node panic is re-raised here after the Cloud
+/// thread has shut down.
+///
 /// # Errors
 ///
-/// Returns the first error raised by either actor.
+/// Returns the first error raised by either actor; when both fail, the
+/// Cloud's failure wins (a node-side "cloud hung up" error is usually
+/// its symptom).
 pub fn run_streaming_session<C>(
-    mut node: InsituNode,
+    node: InsituNode,
     cloud: Arc<Mutex<C>>,
     stream: Vec<Dataset>,
     batch_size: usize,
@@ -66,79 +80,133 @@ where
     // already-configured worker pool instead of racing to create it
     // under the first batch.
     let _kernel_threads = insitu_tensor::num_threads();
+    let session_span = telemetry::span_with("runtime.session", || {
+        format!("{} stages @bs{batch_size}", stream.len())
+    });
     let (up_tx, up_rx): (Sender<Uplink>, Receiver<Uplink>) = bounded(4);
     // The downlink must never apply backpressure: if it were bounded,
     // a full downlink would block the Cloud while the node is blocked
     // on a full uplink — a circular wait. Updates are small snapshots
     // and the node drains them between batches, so unbounded is safe.
     let (down_tx, down_rx) = unbounded::<crate::update::ModelUpdate>();
+    // Uploads sent but not yet consumed by the Cloud; the node samples
+    // it at each send as the uplink queue-depth telemetry.
+    let in_flight = Arc::new(AtomicU64::new(0));
 
     // Cloud actor: train on whatever arrives, ship updates back.
-    let cloud_thread = thread::spawn(move || -> Result<u64> {
-        let mut served = 0u64;
-        while let Ok(msg) = up_rx.recv() {
-            match msg {
-                Uplink::Shutdown => break,
-                Uplink::Valuable(data) => {
-                    let update = cloud.lock().incremental_update(&data)?;
-                    served += 1;
-                    // The node may have exited; a closed channel is fine.
-                    if down_tx.send(update).is_err() {
-                        break;
+    let cloud_thread = {
+        let in_flight = Arc::clone(&in_flight);
+        thread::spawn(move || -> Result<u64> {
+            let mut served = 0u64;
+            while let Ok(msg) = up_rx.recv() {
+                match msg {
+                    Uplink::Shutdown => break,
+                    Uplink::Valuable(data) => {
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                        let update = cloud.lock().incremental_update(&data)?;
+                        served += 1;
+                        // The node may have exited; a closed channel is fine.
+                        if down_tx.send(update).is_err() {
+                            break;
+                        }
                     }
                 }
             }
-        }
-        Ok(served)
-    });
+            Ok(served)
+        })
+    };
 
     // Node actor (this thread): process the stream, install updates
-    // opportunistically between batches.
-    let mut stats = SessionStats {
-        batches: 0,
-        images_seen: 0,
-        images_uploaded: 0,
-        updates_installed: 0,
-    };
-    let mut first_error: Option<CoreError> = None;
-    for data in stream {
-        // Install any updates that arrived while we were busy.
-        while let Ok(update) = down_rx.try_recv() {
-            node.install_update(&update)?;
+    // opportunistically between batches. The loop runs under
+    // `catch_unwind` so that even a panic still shuts the Cloud actor
+    // down and joins it before propagating.
+    let mut stats = SessionStats::default();
+    let node_run = catch_unwind(AssertUnwindSafe(|| {
+        let mut node = node;
+        let install = |node: &mut InsituNode,
+                           stats: &mut SessionStats,
+                           update: &crate::update::ModelUpdate|
+         -> Result<()> {
+            node.install_update(update)?;
+            telemetry::instant_with("runtime.model_swap", || format!("v{}", update.version));
             stats.updates_installed += 1;
-        }
-        let outcome = node.process_stage(&data, batch_size)?;
-        stats.batches += 1;
-        stats.images_seen += data.len() as u64;
-        stats.images_uploaded += outcome.valuable.len() as u64;
-        if !outcome.valuable.is_empty() {
-            let payload = node.upload_payload(&data, &outcome)?;
-            if up_tx.send(Uplink::Valuable(payload)).is_err() {
-                first_error = Some(CoreError::BadConfig {
-                    reason: "cloud thread hung up early".into(),
-                });
-                break;
+            Ok(())
+        };
+        for data in stream {
+            // Install any updates that arrived while we were busy.
+            while let Ok(update) = down_rx.try_recv() {
+                if let Err(e) = install(&mut node, &mut stats, &update) {
+                    return (node, Some(e));
+                }
+            }
+            let outcome = match node.process_stage(&data, batch_size) {
+                Ok(o) => o,
+                Err(e) => return (node, Some(e)),
+            };
+            stats.batches += 1;
+            stats.images_seen += data.len() as u64;
+            stats.images_uploaded += outcome.valuable.len() as u64;
+            if !outcome.valuable.is_empty() {
+                let payload = match node.upload_payload(&data, &outcome) {
+                    Ok(p) => p,
+                    Err(e) => return (node, Some(e)),
+                };
+                let depth = in_flight.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("runtime.uplink_depth", "", depth);
+                if up_tx.send(Uplink::Valuable(payload)).is_err() {
+                    let e = CoreError::BadConfig { reason: "cloud thread hung up early".into() };
+                    return (node, Some(e));
+                }
             }
         }
-    }
+        (node, None)
+    }));
+
+    // Single shutdown path: whatever happened above, stop the Cloud
+    // actor and join its thread before reporting anything.
     let _ = up_tx.send(Uplink::Shutdown);
-    // Drain the final updates so the returned node is as fresh as
-    // possible.
-    match cloud_thread.join() {
-        Ok(Ok(_served)) => {}
-        Ok(Err(e)) => return Err(e),
-        Err(_) => {
-            return Err(CoreError::BadConfig { reason: "cloud thread panicked".into() })
+    let cloud_error = match cloud_thread.join() {
+        Ok(Ok(_served)) => None,
+        Ok(Err(e)) => Some(e),
+        Err(payload) => {
+            Some(CoreError::ActorPanicked { actor: "cloud", message: panic_message(&*payload) })
         }
-    }
-    while let Ok(update) = down_rx.try_recv() {
-        node.install_update(&update)?;
-        stats.updates_installed += 1;
-    }
-    if let Some(e) = first_error {
+    };
+    let (mut node, node_error) = match node_run {
+        Ok(pair) => pair,
+        // The Cloud thread is already joined; let the caller see the
+        // original node panic.
+        Err(payload) => resume_unwind(payload),
+    };
+    // The Cloud's failure wins: a node-side send error is usually just
+    // the symptom of the Cloud dying first.
+    if let Some(e) = cloud_error {
         return Err(e);
     }
+    if let Some(e) = node_error {
+        return Err(e);
+    }
+    // Drain the final updates so the returned node is as fresh as
+    // possible.
+    while let Ok(update) = down_rx.try_recv() {
+        node.install_update(&update)?;
+        telemetry::instant_with("runtime.model_swap", || format!("v{}", update.version));
+        stats.updates_installed += 1;
+    }
+    drop(session_span);
+    stats.telemetry = telemetry::snapshot();
     Ok((node, stats))
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +280,98 @@ mod tests {
             .collect();
         let (_, stats) = run_streaming_session(node, cloud, stream, 8).unwrap();
         assert_eq!(stats.batches, 12);
+    }
+
+    /// A Cloud double that panics on the first upload (injected fault).
+    #[derive(Debug)]
+    struct PanickingCloud;
+
+    impl CloudEndpoint for PanickingCloud {
+        fn incremental_update(&mut self, _uploaded: &Dataset) -> Result<ModelUpdate> {
+            panic!("injected cloud panic");
+        }
+    }
+
+    #[test]
+    fn cloud_panic_surfaces_as_error() {
+        // Regression test: a panicking Cloud actor must be joined and
+        // reported, not leave the session hanging or return a generic
+        // "hung up" error with the cause swallowed.
+        let node = make_node(11);
+        let cloud = Arc::new(Mutex::new(PanickingCloud));
+        let mut rng = Rng::seed_from(12);
+        let stream: Vec<Dataset> = (0..6)
+            .map(|_| Dataset::generate(8, 4, &Condition::in_situ(), &mut rng).unwrap())
+            .collect();
+        match run_streaming_session(node, cloud, stream, 8) {
+            Err(CoreError::ActorPanicked { actor, message }) => {
+                assert_eq!(actor, "cloud");
+                assert!(message.contains("injected cloud panic"), "{message}");
+            }
+            other => panic!("expected ActorPanicked, got {other:?}"),
+        }
+    }
+
+    /// A Cloud double that fails with a plain error on every upload.
+    #[derive(Debug)]
+    struct FailingCloud;
+
+    impl CloudEndpoint for FailingCloud {
+        fn incremental_update(&mut self, _uploaded: &Dataset) -> Result<ModelUpdate> {
+            Err(CoreError::BadConfig { reason: "cloud says no".into() })
+        }
+    }
+
+    #[test]
+    fn cloud_error_wins_over_node_send_failure() {
+        // When the Cloud dies first, the node's subsequent "hung up"
+        // send failure is a symptom; the session must report the cause.
+        let node = make_node(13);
+        let cloud = Arc::new(Mutex::new(FailingCloud));
+        let mut rng = Rng::seed_from(14);
+        let stream: Vec<Dataset> = (0..8)
+            .map(|_| Dataset::generate(8, 4, &Condition::in_situ(), &mut rng).unwrap())
+            .collect();
+        match run_streaming_session(node, cloud, stream, 8) {
+            Err(CoreError::BadConfig { reason }) => {
+                assert!(reason.contains("cloud says no"), "{reason}");
+            }
+            other => panic!("expected the cloud's error, got {other:?}"),
+        }
+    }
+
+    /// A Cloud double that ships back updates no node can install.
+    #[derive(Debug)]
+    struct BadUpdateCloud {
+        version: u32,
+    }
+
+    impl CloudEndpoint for BadUpdateCloud {
+        fn incremental_update(&mut self, _uploaded: &Dataset) -> Result<ModelUpdate> {
+            self.version += 1;
+            Ok(ModelUpdate {
+                version: self.version,
+                inference_params: vec![], // wrong arity: install must fail
+                jigsaw_params: None,
+                training_ops: 0,
+            })
+        }
+    }
+
+    #[test]
+    fn bad_update_surfaces_node_error_and_joins_cloud() {
+        // A node-side install failure must still shut the Cloud actor
+        // down (no leaked thread) and report the node's error.
+        let node = make_node(15);
+        let cloud = Arc::new(Mutex::new(BadUpdateCloud { version: 0 }));
+        let mut rng = Rng::seed_from(16);
+        let stream: Vec<Dataset> = (0..8)
+            .map(|_| Dataset::generate(8, 4, &Condition::in_situ(), &mut rng).unwrap())
+            .collect();
+        match run_streaming_session(node, cloud, stream, 8) {
+            Err(CoreError::Nn(_)) => {}
+            other => panic!("expected the node's install error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::net::Network;
 use crate::optim::Sgd;
 use crate::Result;
 use insitu_tensor::{par_chunks_mut, Rng, Tensor};
+use insitu_telemetry as telemetry;
 
 /// Hyperparameters for [`train`].
 #[derive(Debug, Clone)]
@@ -178,6 +179,9 @@ pub fn train(
         insitu_tensor::set_num_threads(t);
     }
     let n = data.len();
+    let _t = telemetry::span_with("nn.train", || {
+        format!("{n} samples x{} epochs @bs{}", cfg.epochs, cfg.batch_size)
+    });
     let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum).weight_decay(cfg.weight_decay);
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
@@ -186,6 +190,7 @@ pub fn train(
     let ops_per_sample = net.training_ops_per_sample();
 
     for epoch in 0..cfg.epochs {
+        let _e = telemetry::span_with("nn.epoch", || format!("epoch {epoch}"));
         if cfg.shuffle {
             rng.shuffle(&mut order);
         }
@@ -193,6 +198,7 @@ pub fn train(
         let mut acc_sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
+            telemetry::counter_add("nn.batches", "", 1);
             let xb = gather_samples(data.inputs, chunk)?;
             let yb: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
             net.zero_grads();
@@ -231,6 +237,7 @@ pub fn evaluate(net: &mut dyn Network, data: LabeledBatch<'_>, batch_size: usize
         return Ok(0.0);
     }
     let n = data.len();
+    let _t = telemetry::span_with("nn.evaluate", || format!("{n} samples @bs{batch_size}"));
     let mut correct = 0.0f64;
     let indices: Vec<usize> = (0..n).collect();
     for chunk in indices.chunks(batch_size.max(1)) {

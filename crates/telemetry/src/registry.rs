@@ -1,0 +1,190 @@
+//! Per-thread event buffers behind a process-wide registry.
+//!
+//! Each thread that records telemetry owns a [`ThreadBuf`] behind its
+//! own mutex; the thread-local handle makes recording a push under an
+//! uncontended lock, and the global registry keeps a second `Arc` to
+//! every buffer so a snapshot from any thread can see all of them —
+//! including live worker threads that never "finish" their buffers.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Cap on buffered raw events per thread (~4 MB worst case). Aggregated
+/// counters keep exact totals past the cap; overflowing raw events are
+/// counted in `dropped` instead of buffered.
+pub(crate) const MAX_EVENTS_PER_THREAD: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<ThreadBuf>>>>> = OnceLock::new();
+
+pub(crate) fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    if on {
+        // Anchor the time origin no later than the first recorded event.
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide time origin all span timestamps are relative to.
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One recorded span or instant.
+pub(crate) struct Event {
+    pub name: &'static str,
+    pub label: Option<Box<str>>,
+    /// Start time, nanoseconds since [`epoch`].
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = top level on its thread).
+    pub depth: u16,
+    pub instant: bool,
+}
+
+/// Aggregated counter cell.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct Counter {
+    pub calls: u64,
+    pub total: u64,
+    pub max: u64,
+}
+
+impl Counter {
+    fn add(&mut self, value: u64) {
+        self.calls += 1;
+        self.total += value;
+        self.max = self.max.max(value);
+    }
+}
+
+/// All telemetry recorded by one thread.
+pub(crate) struct ThreadBuf {
+    pub tid: u32,
+    pub thread_name: String,
+    pub events: Vec<Event>,
+    pub counters: HashMap<(&'static str, Box<str>), Counter>,
+    pub dropped: u64,
+}
+
+thread_local! {
+    /// This thread's buffer handle (also registered globally).
+    static LOCAL: RefCell<Option<Arc<Mutex<ThreadBuf>>>> = const { RefCell::new(None) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Opens a span: returns the current depth and increments it.
+pub(crate) fn push_depth() -> u16 {
+    DEPTH.with(|d| {
+        let cur = d.get();
+        d.set(cur.saturating_add(1));
+        cur
+    })
+}
+
+/// Restores the depth a closing span saved at open.
+pub(crate) fn set_depth(depth: u16) {
+    DEPTH.with(|d| d.set(depth));
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<ThreadBuf>>>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn local() -> Arc<Mutex<ThreadBuf>> {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(buf) = slot.as_ref() {
+            return Arc::clone(buf);
+        }
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let thread_name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{tid}"), str::to_owned);
+        let buf = Arc::new(Mutex::new(ThreadBuf {
+            tid,
+            thread_name,
+            events: Vec::new(),
+            counters: HashMap::new(),
+            dropped: 0,
+        }));
+        lock(registry()).push(Arc::clone(&buf));
+        *slot = Some(Arc::clone(&buf));
+        buf
+    })
+}
+
+/// Records a completed span: the raw event (subject to the per-thread
+/// cap) plus the exact `(name, label)` aggregate.
+pub(crate) fn record_span_close(
+    name: &'static str,
+    label: Option<Box<str>>,
+    ts_ns: u64,
+    dur_ns: u64,
+    depth: u16,
+) {
+    let buf = local();
+    let mut b = lock(&buf);
+    let key_label: Box<str> = label.as_deref().unwrap_or("").into();
+    b.counters.entry((name, key_label)).or_default().add(dur_ns);
+    if b.events.len() >= MAX_EVENTS_PER_THREAD {
+        b.dropped += 1;
+    } else {
+        b.events.push(Event { name, label, ts_ns, dur_ns, depth, instant: false });
+    }
+}
+
+/// Records a zero-duration point event at the current nesting depth.
+pub(crate) fn record_instant(name: &'static str, label: Option<Box<str>>) {
+    let ts_ns = u64::try_from(Instant::now().saturating_duration_since(epoch()).as_nanos())
+        .unwrap_or(u64::MAX);
+    let depth = DEPTH.with(Cell::get);
+    let buf = local();
+    let mut b = lock(&buf);
+    if b.events.len() >= MAX_EVENTS_PER_THREAD {
+        b.dropped += 1;
+    } else {
+        b.events.push(Event { name, label, ts_ns, dur_ns: 0, depth, instant: true });
+    }
+}
+
+/// Adds to an aggregate counter.
+pub(crate) fn record_counter(name: &'static str, label: &str, value: u64) {
+    let buf = local();
+    let mut b = lock(&buf);
+    b.counters.entry((name, Box::from(label))).or_default().add(value);
+}
+
+/// Runs `f` over every registered thread buffer, locking each in turn.
+pub(crate) fn for_each_buf(mut f: impl FnMut(&ThreadBuf)) {
+    let bufs: Vec<Arc<Mutex<ThreadBuf>>> = lock(registry()).iter().map(Arc::clone).collect();
+    for buf in bufs {
+        f(&lock(&buf));
+    }
+}
+
+/// Clears every thread's recorded data (registrations are kept).
+pub(crate) fn reset() {
+    let bufs: Vec<Arc<Mutex<ThreadBuf>>> = lock(registry()).iter().map(Arc::clone).collect();
+    for buf in bufs {
+        let mut b = lock(&buf);
+        b.events.clear();
+        b.counters.clear();
+        b.dropped = 0;
+    }
+}

@@ -1,0 +1,403 @@
+//! Snapshots and exporters: hierarchical text summary, Chrome
+//! `trace_event` JSON, and a machine-readable counter report.
+
+use crate::registry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded span (or instant) as exported in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, dot-prefixed by subsystem (e.g. `tensor.gemm_nn`).
+    pub name: String,
+    /// Free-form detail (kernel shape, batch size, …); empty if none.
+    pub label: String,
+    /// Small per-process thread id (dense, assigned on first record).
+    pub tid: u32,
+    /// OS thread name at first record (e.g. `insitu-worker-0`).
+    pub thread: String,
+    /// Start time, nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; 0 for instants.
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = top level on its thread).
+    pub depth: u16,
+    /// Whether this is a zero-duration point event.
+    pub instant: bool,
+}
+
+/// Aggregate totals for one `(name, label)` counter key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterTotal {
+    /// Counter name (span names double as counter names).
+    pub name: String,
+    /// Counter label (span label / shape key); empty if none.
+    pub label: String,
+    /// Number of additions (for spans: completed calls).
+    pub calls: u64,
+    /// Sum of added values (for spans: total nanoseconds).
+    pub total: u64,
+    /// Largest single added value.
+    pub max: u64,
+}
+
+/// A merged view of everything telemetry has recorded so far: raw span
+/// events per thread plus exact cross-thread counter aggregates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Spans and instants, ordered by `(tid, ts_ns)`.
+    pub spans: Vec<SpanRecord>,
+    /// Counter aggregates summed over threads, ordered by `(name, label)`.
+    pub counters: Vec<CounterTotal>,
+    /// Raw events discarded because a thread hit its buffer cap
+    /// (counters remain exact regardless).
+    pub dropped_events: u64,
+}
+
+/// Builds a snapshot from the live registry (see [`crate::snapshot`]).
+pub(crate) fn capture() -> TelemetrySnapshot {
+    let mut spans = Vec::new();
+    let mut counters: BTreeMap<(String, String), CounterTotal> = BTreeMap::new();
+    let mut dropped = 0u64;
+    registry::for_each_buf(|buf| {
+        dropped += buf.dropped;
+        for ev in &buf.events {
+            spans.push(SpanRecord {
+                name: ev.name.to_string(),
+                label: ev.label.as_deref().unwrap_or("").to_string(),
+                tid: buf.tid,
+                thread: buf.thread_name.clone(),
+                ts_ns: ev.ts_ns,
+                dur_ns: ev.dur_ns,
+                depth: ev.depth,
+                instant: ev.instant,
+            });
+        }
+        for ((name, label), c) in &buf.counters {
+            let e = counters
+                .entry((name.to_string(), label.to_string()))
+                .or_insert_with(|| CounterTotal {
+                    name: name.to_string(),
+                    label: label.to_string(),
+                    calls: 0,
+                    total: 0,
+                    max: 0,
+                });
+            e.calls += c.calls;
+            e.total += c.total;
+            e.max = e.max.max(c.max);
+        }
+    });
+    spans.sort_by_key(|s| (s.tid, s.ts_ns, std::cmp::Reverse(s.dur_ns)));
+    TelemetrySnapshot {
+        spans,
+        counters: counters.into_values().collect(),
+        dropped_events: dropped,
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+
+    /// Looks up a counter aggregate by exact `(name, label)` key.
+    pub fn counter(&self, name: &str, label: &str) -> Option<&CounterTotal> {
+        self.counters.iter().find(|c| c.name == name && c.label == label)
+    }
+
+    /// Whether any recorded span's name starts with `prefix`.
+    pub fn has_span(&self, prefix: &str) -> bool {
+        self.spans.iter().any(|s| s.name.starts_with(prefix))
+    }
+
+    /// Human-readable hierarchical summary: spans grouped by their
+    /// nesting path (aggregated across threads), then counter totals.
+    pub fn summary(&self) -> String {
+        // Rebuild each thread's nesting from start order + depth: a
+        // span's ancestors are exactly the spans currently open at
+        // depths 0..depth when it starts.
+        let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut stack: Vec<&str> = Vec::new();
+        let mut cur_tid = u32::MAX;
+        for s in &self.spans {
+            if s.instant {
+                continue;
+            }
+            if s.tid != cur_tid {
+                cur_tid = s.tid;
+                stack.clear();
+            }
+            stack.truncate(s.depth as usize);
+            stack.push(&s.name);
+            let path = stack.join("/");
+            let e = agg.entry(path).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        let mut out = String::from("telemetry summary\n  spans (calls, total, mean):\n");
+        if agg.is_empty() {
+            out.push_str("    (none)\n");
+        }
+        for (path, &(calls, total_ns)) in &agg {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let indent = "  ".repeat(depth);
+            let mean_ns = total_ns / calls.max(1);
+            let _ = writeln!(
+                out,
+                "    {indent}{name:<28} {calls:>7}  {:>12}  {:>10}",
+                fmt_ns(total_ns),
+                fmt_ns(mean_ns),
+            );
+        }
+        out.push_str("  counters (calls, total, max):\n");
+        if self.counters.is_empty() {
+            out.push_str("    (none)\n");
+        }
+        for c in &self.counters {
+            let key = if c.label.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{}[{}]", c.name, c.label)
+            };
+            let _ = writeln!(
+                out,
+                "    {key:<40} {:>9}  {:>14}  {:>12}",
+                c.calls, c.total, c.max
+            );
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(out, "  dropped raw events: {}", self.dropped_events);
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON: an object with a `traceEvents` array
+    /// of complete (`"ph":"X"`), instant (`"ph":"i"`) and thread-name
+    /// metadata (`"ph":"M"`) events. Load the output in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are
+    /// microseconds since the telemetry epoch.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(self.spans.len() + 8);
+        let mut named: BTreeMap<u32, &str> = BTreeMap::new();
+        for s in &self.spans {
+            named.entry(s.tid).or_insert(&s.thread);
+        }
+        for (tid, thread) in &named {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(thread)
+            ));
+        }
+        for s in &self.spans {
+            let cat = s.name.split('.').next().unwrap_or("insitu");
+            let common = format!(
+                "\"name\":{},\"cat\":{},\"pid\":1,\"tid\":{},\"ts\":{:.3},\
+                 \"args\":{{\"label\":{}}}",
+                json_string(&s.name),
+                json_string(cat),
+                s.tid,
+                s.ts_ns as f64 / 1e3,
+                json_string(&s.label),
+            );
+            if s.instant {
+                events.push(format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}"));
+            } else {
+                events.push(format!(
+                    "{{{common},\"ph\":\"X\",\"dur\":{:.3}}}",
+                    s.dur_ns as f64 / 1e3
+                ));
+            }
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}",
+            events.join(",\n")
+        )
+    }
+
+    /// Machine-readable report: dropped-event count, per-name span
+    /// totals, and every counter aggregate. This is what the bench
+    /// snapshot bin embeds next to its ns/iter numbers.
+    pub fn to_json(&self) -> String {
+        let mut span_totals: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            if !s.instant {
+                let e = span_totals.entry(&s.name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += s.dur_ns;
+            }
+        }
+        let spans: Vec<String> = span_totals
+            .iter()
+            .map(|(name, (calls, total_ns))| {
+                format!(
+                    "{{\"name\":{},\"calls\":{calls},\"total_ns\":{total_ns}}}",
+                    json_string(name)
+                )
+            })
+            .collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":{},\"label\":{},\"calls\":{},\"total\":{},\"max\":{}}}",
+                    json_string(&c.name),
+                    json_string(&c.label),
+                    c.calls,
+                    c.total,
+                    c.max
+                )
+            })
+            .collect();
+        format!(
+            "{{\"dropped_events\":{},\"span_totals\":[{}],\"counters\":[{}]}}",
+            self.dropped_events,
+            spans.join(","),
+            counters.join(",")
+        )
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            spans: vec![
+                SpanRecord {
+                    name: "a.outer".into(),
+                    label: String::new(),
+                    tid: 0,
+                    thread: "main".into(),
+                    ts_ns: 0,
+                    dur_ns: 3_000,
+                    depth: 0,
+                    instant: false,
+                },
+                SpanRecord {
+                    name: "a.inner".into(),
+                    label: "x\"y".into(),
+                    tid: 0,
+                    thread: "main".into(),
+                    ts_ns: 1_000,
+                    dur_ns: 1_000,
+                    depth: 1,
+                    instant: false,
+                },
+                SpanRecord {
+                    name: "a.mark".into(),
+                    label: String::new(),
+                    tid: 1,
+                    thread: "worker".into(),
+                    ts_ns: 500,
+                    dur_ns: 0,
+                    depth: 0,
+                    instant: true,
+                },
+            ],
+            counters: vec![CounterTotal {
+                name: "a.bytes".into(),
+                label: "k".into(),
+                calls: 2,
+                total: 64,
+                max: 48,
+            }],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn summary_nests_by_depth() {
+        let s = sample().summary();
+        assert!(s.contains("a.outer"), "{s}");
+        assert!(s.contains("  a.inner"), "inner indented under outer:\n{s}");
+        assert!(s.contains("a.bytes[k]"), "{s}");
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_escapes() {
+        let json = sample().chrome_trace_json();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        // 2 thread_name metadata + 2 spans + 1 instant.
+        assert_eq!(events.len(), 5);
+        let phases: Vec<&str> =
+            events.iter().filter_map(|e| e.get("ph").and_then(|p| p.as_str())).collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+        // The escaped label round-trips.
+        let inner = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("a.inner"))
+            .unwrap();
+        let label = inner.get("args").and_then(|a| a.get("label")).and_then(|l| l.as_str());
+        assert_eq!(label, Some("x\"y"));
+    }
+
+    #[test]
+    fn report_json_parses() {
+        let v = crate::json::parse(&sample().to_json()).unwrap();
+        assert_eq!(
+            v.get("counters").and_then(|c| c.as_array()).map(Vec::len),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("span_totals").and_then(|c| c.as_array()).map(Vec::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 us");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let snap = sample();
+        assert!(snap.has_span("a.out"));
+        assert!(!snap.has_span("zz"));
+        assert!(!snap.is_empty());
+        assert!(TelemetrySnapshot::default().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Span nesting, thread attribution, and exporter round-trips.
+//!
+//! All tests share one process-wide telemetry state, so everything
+//! lives in a single test function with sequential phases.
+
+use insitu_telemetry as telemetry;
+use insitu_telemetry::json::Value;
+
+#[test]
+fn nesting_threads_and_exporters() {
+    // --- Phase 1: disabled telemetry records exactly nothing. --------
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    {
+        let _a = telemetry::span("p1.a");
+        telemetry::counter_add("p1.c", "", 1);
+        telemetry::instant("p1.mark");
+    }
+    let snap = telemetry::snapshot();
+    assert!(snap.is_empty(), "disabled telemetry recorded events: {snap:?}");
+
+    // --- Phase 2: nesting depth and labels. ---------------------------
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    {
+        let _outer = telemetry::span("p2.outer");
+        {
+            let _mid = telemetry::span_with("p2.mid", || "first".into());
+            let _leaf = telemetry::span("p2.leaf");
+        }
+        {
+            let _mid = telemetry::span_with("p2.mid", || "second".into());
+        }
+        telemetry::instant_with("p2.mark", || "v3".into());
+    }
+    let snap = telemetry::snapshot();
+    let find = |name: &str, label: &str| {
+        snap.spans
+            .iter()
+            .find(|s| s.name == name && s.label == label)
+            .unwrap_or_else(|| panic!("missing span {name}[{label}]"))
+    };
+    let outer = find("p2.outer", "");
+    let mid1 = find("p2.mid", "first");
+    let mid2 = find("p2.mid", "second");
+    let leaf = find("p2.leaf", "");
+    let mark = find("p2.mark", "v3");
+    assert_eq!(outer.depth, 0);
+    assert_eq!(mid1.depth, 1);
+    assert_eq!(mid2.depth, 1);
+    assert_eq!(leaf.depth, 2);
+    assert!(mark.instant && mark.dur_ns == 0);
+    // Depth restored after the nested block: the instant fired inside
+    // `outer` only.
+    assert_eq!(mark.depth, 1);
+    // Same thread throughout, and children timed inside their parent.
+    for s in [mid1, mid2, leaf] {
+        assert_eq!(s.tid, outer.tid);
+        assert!(s.ts_ns >= outer.ts_ns);
+        assert!(s.ts_ns + s.dur_ns <= outer.ts_ns + outer.dur_ns);
+    }
+    assert!(mid1.ts_ns + mid1.dur_ns <= mid2.ts_ns, "siblings ordered");
+    // Span closes fed the aggregate counters: two `p2.mid` labels.
+    assert_eq!(snap.counter("p2.mid", "first").unwrap().calls, 1);
+    assert_eq!(snap.counter("p2.mid", "second").unwrap().calls, 1);
+    // The summary nests mid under outer.
+    let summary = snap.summary();
+    assert!(summary.contains("p2.outer"), "{summary}");
+    assert!(summary.contains("  p2.mid"), "{summary}");
+
+    // --- Phase 3: thread attribution. ---------------------------------
+    telemetry::reset();
+    let spawn = |tag: &'static str| {
+        std::thread::Builder::new()
+            .name(format!("spans-{tag}"))
+            .spawn(move || {
+                let _s = telemetry::span_with("p3.work", || tag.into());
+                telemetry::counter_add("p3.done", tag, 1);
+            })
+            .expect("spawn")
+    };
+    let (t1, t2) = (spawn("one"), spawn("two"));
+    t1.join().unwrap();
+    t2.join().unwrap();
+    {
+        let _s = telemetry::span_with("p3.work", || "main".into());
+    }
+    let snap = telemetry::snapshot();
+    let tids: std::collections::BTreeSet<u32> =
+        snap.spans.iter().filter(|s| s.name == "p3.work").map(|s| s.tid).collect();
+    assert_eq!(tids.len(), 3, "three distinct threads attributed: {snap:?}");
+    let one = snap.spans.iter().find(|s| s.label == "one").unwrap();
+    assert_eq!(one.thread, "spans-one");
+    assert_eq!(snap.counter("p3.done", "one").unwrap().calls, 1);
+    assert_eq!(snap.counter("p3.done", "two").unwrap().calls, 1);
+
+    // --- Phase 4: Chrome trace round-trips through the parser. --------
+    let json = snap.chrome_trace_json();
+    let doc = telemetry::json::parse(&json).expect("exporter emits valid JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+    // 3 spans + one thread_name metadata record per thread.
+    assert_eq!(events.len(), 3 + tids.len());
+    for ev in events {
+        assert!(ev.get("name").and_then(Value::as_str).is_some());
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap();
+        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+            assert!(ev.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+            assert_eq!(ev.get("cat").and_then(Value::as_str), Some("p3"));
+        }
+    }
+
+    // --- Phase 5: reset clears, disable stops. ------------------------
+    telemetry::reset();
+    assert!(telemetry::snapshot().is_empty());
+    telemetry::set_enabled(false);
+    assert!(!telemetry::enabled());
+}

@@ -19,6 +19,24 @@ use crate::matmul::{gemm_nn_rows, gemm_nt_rows, gemm_tn_rows};
 use crate::parallel::{parallel_for, plan_parts, SendPtr};
 use crate::tensor::Tensor;
 use crate::Result;
+use insitu_telemetry as telemetry;
+
+/// Opens the per-call telemetry span and bytes counter for one batched
+/// convolution pass (inert while telemetry is disabled). `bytes` counts
+/// the f32 traffic of the pass: activations, weights and outputs (the
+/// backward pass also reads the saved im2col matrices).
+fn conv_telemetry(kernel: &'static str, b: usize, g: &ConvGeometry, bytes: u64) -> telemetry::Span {
+    let span = telemetry::span_with(kernel, || {
+        format!(
+            "b{b} {}x{}x{} -> {}x{}x{} k{} s{} p{}",
+            g.in_channels, g.in_h, g.in_w, g.out_channels, g.out_h, g.out_w, g.kernel, g.stride,
+            g.pad
+        )
+    });
+    let short = kernel.rsplit('.').next().unwrap_or(kernel);
+    telemetry::counter_add("tensor.bytes", short, bytes);
+    span
+}
 
 /// Static description of one 2-D convolution: input geometry, kernel,
 /// stride and zero padding.
@@ -335,6 +353,12 @@ pub fn conv2d_forward_ws(
     ws.prepare_forward(b, g);
     let sample_len = g.in_channels * g.in_h * g.in_w;
     let out_len = g.out_channels * g.out_h * g.out_w;
+    let _t = conv_telemetry(
+        "tensor.conv2d_fwd",
+        b,
+        g,
+        4 * (b * sample_len + weight.len() + bias.len() + b * out_len) as u64,
+    );
     let positions = g.col_cols();
     let col_len = g.col_rows() * positions;
     let mut out = Tensor::zeros([b, g.out_channels, g.out_h, g.out_w]);
@@ -460,6 +484,12 @@ pub fn conv2d_backward_ws(
     let sample_len = g.in_channels * g.in_h * g.in_w;
     let col_len = nk2 * positions;
     let dw_len = g.out_channels * nk2;
+    let _t = conv_telemetry(
+        "tensor.conv2d_bwd",
+        b,
+        g,
+        4 * (b * (out_len + col_len + sample_len) + weight.len() + dw_len) as u64,
+    );
 
     let mut dinput = Tensor::zeros([b, g.in_channels, g.in_h, g.in_w]);
     let dv = dout.as_slice();

@@ -15,7 +15,19 @@ use crate::error::TensorError;
 use crate::parallel::{par_row_chunks, plan_parts};
 use crate::tensor::Tensor;
 use crate::Result;
+use insitu_telemetry as telemetry;
 use std::ops::Range;
+
+/// Opens the per-call telemetry span and bytes counter for one GEMM
+/// kernel (inert while telemetry is disabled). `m`/`k`/`n` describe the
+/// logical product; the bytes counter accounts both operands plus the
+/// output at `f32` width.
+fn gemm_telemetry(kernel: &'static str, m: usize, k: usize, n: usize) -> telemetry::Span {
+    let span = telemetry::span_with(kernel, || format!("{m}x{k}x{n}"));
+    let short = kernel.rsplit('.').next().unwrap_or(kernel);
+    telemetry::counter_add("tensor.bytes", short, 4 * (m * k + k * n + m * n) as u64);
+    span
+}
 
 /// Cache block edge for the tiled GEMM kernel.
 const BLOCK: usize = 64;
@@ -89,6 +101,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul",
         });
     }
+    let _t = gemm_telemetry("tensor.gemm_nn", m, ka, n);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
     let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
@@ -158,6 +171,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul_tn",
         });
     }
+    let _t = gemm_telemetry("tensor.gemm_tn", m, ka, n);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
     let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
@@ -215,6 +229,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul_nt",
         });
     }
+    let _t = gemm_telemetry("tensor.gemm_nt", m, ka, n);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
     let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
@@ -263,6 +278,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
             op: "matvec",
         });
     }
+    let _t = gemm_telemetry("tensor.matvec", m, n, 1);
     let (av, xv) = (a.as_slice(), x.as_slice());
     let mut out = vec![0.0f32; m];
     let parts = plan_parts(m, 2 * m as u64 * n as u64);

@@ -32,6 +32,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
+use insitu_telemetry as telemetry;
+
 /// Upper bound on pool threads; a safety valve against absurd
 /// `INSITU_THREADS` values, far above any realistic core count here.
 pub const MAX_THREADS: usize = 64;
@@ -188,6 +190,7 @@ fn worker_loop() {
             }
         };
         if job.joiners.fetch_add(1, Ordering::AcqRel) < job.helper_limit {
+            let _t = telemetry::span("pool.work");
             job.work();
         }
     }
@@ -221,6 +224,9 @@ where
 }
 
 fn run_pooled(tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
+    let _t = telemetry::span_with("pool.job", || format!("{tasks} tasks x{threads}"));
+    telemetry::counter_add("pool.jobs", "", 1);
+    telemetry::counter_add("pool.tasks", "", tasks as u64);
     // Erase the borrow lifetime so workers can hold the closure pointer.
     // SAFETY (of the lifetime, not a memory access): this function does
     // not return until `Job::wait` observes all tasks finished, so the
@@ -261,7 +267,13 @@ fn run_pooled(tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
     IN_PARALLEL.with(|c| c.set(true));
     job.work();
     IN_PARALLEL.with(|c| c.set(false));
+    // Time spent blocked on stragglers: the pool's queue/idle cost as
+    // seen by the submitter.
+    let wait_start = telemetry::enabled().then(std::time::Instant::now);
     job.wait();
+    if let Some(t0) = wait_start {
+        telemetry::counter_add("pool.wait_ns", "", t0.elapsed().as_nanos() as u64);
+    }
     // Retire the job so late-waking workers don't hold the (now dead)
     // closure pointer longer than needed.
     {

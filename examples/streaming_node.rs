@@ -5,6 +5,11 @@
 //! the valuable uploads and pushes model updates back mid-stream.
 //!
 //! Run with: `cargo run --release -p insitu --example streaming_node`
+//!
+//! Set `INSITU_TRACE=1` to trace the session: a hierarchical summary
+//! is printed and the full Chrome trace is written to
+//! `streaming_trace.json` (load it in chrome://tracing or
+//! <https://ui.perfetto.dev>).
 
 use insitu::cloud::{
     build_inference, pretrain, Cloud, DeployConfig, IncrementalConfig, PretrainConfig,
@@ -16,6 +21,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tracing = insitu::telemetry::init_from_env();
     let mut rng = Rng::seed_from(31);
     let classes = 6;
 
@@ -77,5 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         node.version(),
         node.accuracy_on(&eval, 32)? * 100.0
     );
+    if tracing {
+        println!("{}", stats.telemetry.summary());
+        std::fs::write("streaming_trace.json", stats.telemetry.chrome_trace_json())?;
+        println!("Chrome trace written to streaming_trace.json (open in ui.perfetto.dev)");
+    }
     Ok(())
 }

@@ -19,6 +19,8 @@
 //!   working modes, configuration planner, update protocol.
 //! * [`cloud`] — unsupervised pre-training, transfer, incremental
 //!   updates, and the four IoT system organizations.
+//! * [`telemetry`] — structured tracing: spans, per-kernel counters,
+//!   hierarchical summaries and Chrome-trace export.
 //!
 //! ## Quick start
 //!
@@ -51,4 +53,5 @@ pub use insitu_data as data;
 pub use insitu_devices as devices;
 pub use insitu_fpga as fpga;
 pub use insitu_nn as nn;
+pub use insitu_telemetry as telemetry;
 pub use insitu_tensor as tensor;

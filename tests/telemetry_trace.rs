@@ -1,0 +1,125 @@
+//! End-to-end telemetry: a traced streaming session produces a valid
+//! Chrome trace spanning every layer — tensor kernels, the worker
+//! pool, node stages and the Cloud's incremental-update cycles — and
+//! disabled telemetry records exactly nothing.
+//!
+//! Telemetry state is process-global, so the whole scenario lives in
+//! one test function (this file is its own test binary).
+
+use insitu::cloud::{pretrain, Cloud, IncrementalConfig, PretrainConfig};
+use insitu::core::{run_streaming_session, DiagnosisPolicy, InsituNode};
+use insitu::data::{Condition, Dataset};
+use insitu::nn::models::mini_alexnet;
+use insitu::nn::transfer::transfer_and_freeze;
+use insitu::telemetry;
+use insitu::telemetry::json::Value;
+use insitu::tensor::Rng;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const CLASSES: usize = 4;
+
+fn deployment(seed: u64) -> (InsituNode, Arc<Mutex<Cloud>>) {
+    let mut rng = Rng::seed_from(seed);
+    let raw = Dataset::generate(30, CLASSES, &Condition::ideal(), &mut rng).unwrap();
+    let pre = pretrain(
+        &raw,
+        &PretrainConfig { permutations: 4, epochs: 1, batch_size: 8, lr: 0.02, threads: None },
+        &mut rng,
+    )
+    .unwrap();
+    // An untrained inference net: the Oracle policy then uploads most
+    // of the stream, guaranteeing incremental-update traffic.
+    let mut inference = mini_alexnet(CLASSES, &mut rng).unwrap();
+    transfer_and_freeze(pre.jigsaw.trunk(), &mut inference, 3, 3).unwrap();
+    let node = InsituNode::new(
+        inference.clone(),
+        pre.jigsaw.clone(),
+        pre.set.clone(),
+        DiagnosisPolicy::Oracle,
+        3,
+        seed ^ 1,
+    )
+    .unwrap();
+    let cloud = Cloud::new(
+        inference,
+        pre,
+        IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None },
+        seed ^ 2,
+    );
+    (node, Arc::new(Mutex::new(cloud)))
+}
+
+fn stream(seed: u64) -> Vec<Dataset> {
+    let mut rng = Rng::seed_from(seed);
+    (0..3)
+        .map(|_| Dataset::generate(16, CLASSES, &Condition::in_situ(), &mut rng).unwrap())
+        .collect()
+}
+
+#[test]
+fn traced_session_exports_chrome_trace() {
+    // --- Disabled: a full session records zero events. ----------------
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    let (node, cloud) = deployment(61);
+    let (_, stats) = run_streaming_session(node, cloud, stream(62), 8).unwrap();
+    assert!(stats.images_uploaded > 0, "oracle policy should upload");
+    assert!(
+        stats.telemetry.is_empty(),
+        "disabled telemetry recorded events: {:?}",
+        stats.telemetry
+    );
+
+    // --- Enabled: the same session traces every layer. ----------------
+    // Two kernel threads so the conv batch loop engages the worker pool.
+    insitu::tensor::set_num_threads(2);
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let (node, cloud) = deployment(63);
+    let (_, stats) = run_streaming_session(node, cloud, stream(64), 8).unwrap();
+    telemetry::set_enabled(false);
+    insitu::tensor::set_num_threads(1);
+
+    let snap = &stats.telemetry;
+    for prefix in
+        ["tensor.", "pool.job", "node.stage", "cloud.update_cycle", "runtime.session"]
+    {
+        assert!(snap.has_span(prefix), "missing {prefix} spans:\n{}", snap.summary());
+    }
+    assert!(snap.counter("pool.jobs", "").unwrap().calls >= 1);
+    let gemm_bytes: u64 = snap
+        .counters
+        .iter()
+        .filter(|c| c.name == "tensor.bytes")
+        .map(|c| c.total)
+        .sum();
+    assert!(gemm_bytes > 0, "kernels should account bytes");
+    // Node and Cloud actors recorded on distinct threads.
+    let session_tid =
+        snap.spans.iter().find(|s| s.name == "runtime.session").unwrap().tid;
+    let cloud_tid =
+        snap.spans.iter().find(|s| s.name == "cloud.update_cycle").unwrap().tid;
+    assert_ne!(session_tid, cloud_tid);
+
+    // --- The Chrome trace round-trips through the JSON parser. --------
+    let json = snap.chrome_trace_json();
+    let doc = telemetry::json::parse(&json).expect("exporter emits valid JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Value::as_str)).collect();
+    for expected in ["node.stage", "cloud.update_cycle", "pool.job", "thread_name"] {
+        assert!(names.contains(&expected), "trace lacks {expected}");
+    }
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap();
+        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(ev.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+        }
+    }
+    // The machine-readable report is valid JSON too.
+    assert!(telemetry::json::parse(&snap.to_json()).is_ok());
+
+    telemetry::reset();
+}
