@@ -7,13 +7,21 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Packed-GEMM gate: the ragged-shape property suite, run explicitly so
+# a kernel regression names itself even if the workspace sweep is
+# trimmed later (bitwise-vs-naive across the tile-edge ladder at
+# 1/2/4 threads, plus the scratch-reuse allocation contract).
+cargo test -q -p insitu-tensor --test packed_gemm
+
 # Telemetry gates: the end-to-end trace test, then a smoke of the
 # Chrome-trace exporter through the bench bin (trace goes to stderr,
-# snapshot JSON to stdout — both must stay well-formed).
+# snapshot JSON to stdout — both must stay well-formed). --quick keeps
+# the timing sweep short; the fields are what CI checks, not the noise.
 cargo test -q --test telemetry_trace
-INSITU_TRACE=1 cargo run --release -q -p insitu-bench --bin kernels_snapshot \
+INSITU_TRACE=1 cargo run --release -q -p insitu-bench --bin kernels_snapshot -- --quick \
     >/tmp/ci_kernels.json 2>/tmp/ci_trace.json
 grep -q '"ns_per_iter"' /tmp/ci_kernels.json
+grep -q '"speedup_vs_baseline"' /tmp/ci_kernels.json
 grep -q '"traceEvents"' /tmp/ci_trace.json
 rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
 

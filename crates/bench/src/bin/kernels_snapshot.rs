@@ -1,4 +1,4 @@
-//! Emits a machine-readable timing snapshot of the parallel GEMM
+//! Emits a machine-readable timing snapshot of the packed GEMM
 //! kernels as JSON on stdout: one record per (shape, thread-count)
 //! pair, in nanoseconds per iteration.
 //!
@@ -7,18 +7,27 @@
 //! ```
 //!
 //! Criterion's reports are for humans; this snapshot is for diffing
-//! across commits. The host core count is recorded because the thread
-//! sweep is only meaningful relative to it — on a single-core host the
-//! t2/t4 rows measure pool overhead, not speedup.
+//! across commits. The host core count is recorded, and the thread
+//! sweep skips counts above it — on a single-core host a t2/t4 row
+//! would measure pool overhead, not speedup (and `plan_parts` caps
+//! kernel splits at the host cores anyway, so such rows would just
+//! duplicate t1).
 //!
-//! Each row also carries telemetry counter totals (GEMM calls, bytes
-//! per iteration, pool jobs) from a separate *counted* pass — the timed
-//! loop always runs with telemetry disabled, so the ns/iter numbers
-//! stay comparable to earlier snapshots. With `INSITU_TRACE=1` the
-//! final counted pass's Chrome trace is written to stderr.
+//! Each row carries `gflops` (2·M·K·N per iteration over the measured
+//! wall time) and, for the shapes with an embedded pre-packing
+//! baseline, `baseline_ns_per_iter` + `speedup_vs_baseline` — the
+//! before/after record of the packed-kernel rewrite. Rows also carry
+//! telemetry counter totals (GEMM calls, bytes per iteration, pool
+//! jobs) from a separate *counted* pass — the timed loop always runs
+//! with telemetry disabled, so the ns/iter numbers stay comparable to
+//! earlier snapshots. With `INSITU_TRACE=1` the final counted pass's
+//! Chrome trace is written to stderr.
+//!
+//! `--quick` runs a shortened sweep (fewer timing reps) for CI smoke:
+//! same fields, noisier numbers.
 
 use insitu_telemetry as telemetry;
-use insitu_tensor::{matmul, set_num_threads, Rng, Tensor};
+use insitu_tensor::{gemm_kernel_name, matmul, set_num_threads, Rng, Tensor};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -31,17 +40,28 @@ const SHAPES: &[(&str, usize, usize, usize)] = &[
     ("square_128", 128, 128, 128),
 ];
 
+/// Single-thread ns/iter of the pre-packing cache-blocked kernel on
+/// the reference host (commit 7dce89d), kept as the fixed "before" the
+/// `speedup_vs_baseline` field is measured against.
+const BASELINE_NS: &[(&str, u128)] = &[
+    ("alex_conv2_b8", 1_812_097),
+    ("alex_conv3_b8", 855_665),
+    ("jigsaw_conv2_b8", 89_263),
+    ("square_128", 404_629),
+];
+
 const THREADS: &[usize] = &[1, 2, 4];
 
 /// Median-of-reps wall time per call, in nanoseconds.
-fn time_matmul(a: &Tensor, b: &Tensor) -> u128 {
-    // Warm-up: touches the buffers and spins up any pool workers.
+fn time_matmul(a: &Tensor, b: &Tensor, quick: bool) -> u128 {
+    // Warm-up: touches the buffers, grows the packing scratch to its
+    // steady-state size and spins up any pool workers.
     for _ in 0..3 {
         std::hint::black_box(matmul(a, b).unwrap());
     }
-    let mut reps: Vec<u128> = (0..7)
+    let (reps, iters) = if quick { (3, 3u32) } else { (7, 10u32) };
+    let mut samples: Vec<u128> = (0..reps)
         .map(|_| {
-            let iters = 10u32;
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(matmul(a, b).unwrap());
@@ -49,8 +69,8 @@ fn time_matmul(a: &Tensor, b: &Tensor) -> u128 {
             start.elapsed().as_nanos() / u128::from(iters)
         })
         .collect();
-    reps.sort_unstable();
-    reps[reps.len() / 2]
+    samples.sort_unstable();
+    samples[samples.len() / 2]
 }
 
 /// Iterations of the separately-counted (telemetry-enabled) pass.
@@ -72,6 +92,7 @@ fn counted_pass(a: &Tensor, b: &Tensor) -> telemetry::TelemetrySnapshot {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let want_trace = telemetry::init_from_env();
     telemetry::set_enabled(false); // the counted passes open their own windows
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -81,9 +102,16 @@ fn main() {
     for &(name, m, k, n) in SHAPES {
         let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let baseline =
+            BASELINE_NS.iter().find(|(bn, _)| *bn == name).map(|&(_, ns)| ns);
         for &t in THREADS {
+            if t > cores {
+                continue; // the row would duplicate t1 (plan_parts caps at cores)
+            }
             set_num_threads(t);
-            let ns = time_matmul(&a, &b);
+            let ns = time_matmul(&a, &b, quick);
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+            let gflops = flops / ns.max(1) as f64;
             let snap = counted_pass(&a, &b);
             let gemm_calls = snap
                 .counter("tensor.gemm_nn", &format!("{m}x{k}x{n}"))
@@ -98,9 +126,19 @@ fn main() {
             let _ = write!(
                 rows,
                 "    {{\"shape\": \"{name}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
-                 \"threads\": {t}, \"ns_per_iter\": {ns}, \"gemm_calls\": {gemm_calls}, \
-                 \"bytes_per_iter\": {bytes_per_iter}, \"pool_jobs\": {pool_jobs}}}"
+                 \"threads\": {t}, \"ns_per_iter\": {ns}, \"gflops\": {gflops:.2}, \
+                 \"gemm_calls\": {gemm_calls}, \"bytes_per_iter\": {bytes_per_iter}, \
+                 \"pool_jobs\": {pool_jobs}"
             );
+            // The baseline is single-threaded; compare only t1 rows.
+            if let (Some(base), 1) = (baseline, t) {
+                let speedup = base as f64 / ns.max(1) as f64;
+                let _ = write!(
+                    rows,
+                    ", \"baseline_ns_per_iter\": {base}, \"speedup_vs_baseline\": {speedup:.2}"
+                );
+            }
+            rows.push('}');
         }
     }
     set_num_threads(1);
@@ -114,6 +152,8 @@ fn main() {
     use std::io::Write as _;
     let _ = writeln!(
         std::io::stdout(),
-        "{{\n  \"bench\": \"parallel_gemm\",\n  \"host_cores\": {cores},\n  \"results\": [\n{rows}\n  ]\n}}"
+        "{{\n  \"bench\": \"packed_gemm\",\n  \"host_cores\": {cores},\n  \
+         \"kernel\": \"{}\",\n  \"quick\": {quick},\n  \"results\": [\n{rows}\n  ]\n}}",
+        gemm_kernel_name()
     );
 }

@@ -9,7 +9,7 @@ use insitu_data::{Dataset, PermutationSet};
 use insitu_nn::serialize::load_state_dict;
 use insitu_nn::transfer::conv_prefix_identical;
 use insitu_nn::{evaluate, JigsawNet, LabeledBatch, Sequential};
-use insitu_tensor::Rng;
+use insitu_tensor::{Rng, Tensor};
 use insitu_telemetry as telemetry;
 
 /// The outcome of processing one acquisition stage on the node.
@@ -131,6 +131,26 @@ impl InsituNode {
     /// Borrow of the deployed diagnosis network.
     pub fn jigsaw(&self) -> &JigsawNet {
         &self.jigsaw
+    }
+
+    /// Warms every kernel workspace by pushing one zeroed batch through
+    /// the inference network in Eval mode (the prediction is discarded).
+    ///
+    /// The conv workspaces and GEMM packing arenas inside the layers
+    /// grow to their steady-state size on first use; running that first
+    /// use here — before the stream starts — means the session's real
+    /// batches hit the zero-allocation kernel path from image one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements (a network that cannot
+    /// consume the deployment's image shape).
+    pub fn prewarm(&mut self, batch: usize) -> Result<()> {
+        use insitu_nn::models::{CHANNELS, IMAGE_SIZE};
+        let _t = telemetry::span_with("node.prewarm", || format!("bs{batch}"));
+        let zeros = Tensor::zeros([batch.max(1), CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
+        self.inference.predict(&zeros)?;
+        Ok(())
     }
 
     /// Held-out accuracy of the deployed inference model.

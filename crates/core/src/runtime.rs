@@ -123,6 +123,12 @@ where
     let mut stats = SessionStats::default();
     let node_run = catch_unwind(AssertUnwindSafe(|| {
         let mut node = node;
+        // Size every conv workspace and GEMM packing arena before the
+        // stream starts: real batches then run the zero-allocation
+        // kernel path from the first image.
+        if let Err(e) = node.prewarm(batch_size) {
+            return (node, Some(e));
+        }
         let install = |node: &mut InsituNode,
                            stats: &mut SessionStats,
                            update: &crate::update::ModelUpdate|

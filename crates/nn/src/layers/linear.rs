@@ -4,11 +4,14 @@ use crate::describe::LayerDesc;
 use crate::error::NnError;
 use crate::layer::{Layer, LayerKind, Mode};
 use crate::Result;
-use insitu_tensor::{matmul, matmul_nt, matmul_tn, Rng, Tensor};
+use insitu_tensor::{matmul_nt_ws, matmul_tn_ws, matmul_ws, GemmScratch, Rng, Tensor};
 
 /// A fully connected (dense) layer: `y = x·Wᵀ + b`.
 ///
-/// Weight layout is `(out, in)`; initialization is He-normal.
+/// Weight layout is `(out, in)`; initialization is He-normal. The layer
+/// owns a [`GemmScratch`] packing arena, so once warmed up its
+/// forward/backward GEMMs perform zero kernel-path heap allocations
+/// (cloning resets the arena — scratch capacity is not model state).
 #[derive(Debug, Clone)]
 pub struct Linear {
     name: String,
@@ -19,6 +22,7 @@ pub struct Linear {
     dweight: Tensor,
     dbias: Tensor,
     input_cache: Option<Tensor>,
+    scratch: GemmScratch,
 }
 
 impl Linear {
@@ -39,6 +43,7 @@ impl Linear {
             dweight: Tensor::zeros([out_features, in_features]),
             dbias: Tensor::zeros([out_features]),
             input_cache: None,
+            scratch: GemmScratch::new(),
         }
     }
 
@@ -93,7 +98,7 @@ impl Layer for Linear {
             });
         }
         // y = x · Wᵀ : (B, in) x (out, in)ᵀ = (B, out)
-        let mut y = matmul_nt(input, &self.weight)?;
+        let mut y = matmul_nt_ws(input, &self.weight, &mut self.scratch)?;
         let b = d[0];
         let ys = y.as_mut_slice();
         let bs = self.bias.as_slice();
@@ -123,7 +128,7 @@ impl Layer for Linear {
             });
         }
         // dW = doutᵀ · x : (B, out)ᵀ x (B, in) = (out, in)
-        self.dweight.axpy(1.0, &matmul_tn(dout, &x)?)?;
+        self.dweight.axpy(1.0, &matmul_tn_ws(dout, &x, &mut self.scratch)?)?;
         // db = column sums of dout
         let (b, o) = (d[0], self.out_features);
         let ds = dout.as_slice();
@@ -134,7 +139,7 @@ impl Layer for Linear {
             }
         }
         // dx = dout · W : (B, out) x (out, in) = (B, in)
-        Ok(matmul(dout, &self.weight)?)
+        Ok(matmul_ws(dout, &self.weight, &mut self.scratch)?)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

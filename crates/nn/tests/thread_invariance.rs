@@ -5,7 +5,7 @@
 //! multi-threaded run.
 
 use insitu_nn::models::mini_alexnet;
-use insitu_nn::{LabeledBatch, Mode, Network, TrainConfig};
+use insitu_nn::{evaluate, LabeledBatch, Mode, Network, TrainConfig};
 use insitu_tensor::{Rng, Tensor};
 
 fn bits(t: &Tensor) -> Vec<u32> {
@@ -13,8 +13,9 @@ fn bits(t: &Tensor) -> Vec<u32> {
 }
 
 /// Trains a freshly seeded Mini-AlexNet and returns (per-epoch loss
-/// bits, post-training logits bits on a held-out probe).
-fn train_once(threads: usize) -> (Vec<u32>, Vec<u32>) {
+/// bits, post-training logits bits on a held-out probe, final held-out
+/// accuracy bits).
+fn train_once(threads: usize) -> (Vec<u32>, Vec<u32>, u32) {
     let mut rng = Rng::seed_from(404);
     let mut net = mini_alexnet(4, &mut rng).unwrap();
     let n = 16;
@@ -30,19 +31,23 @@ fn train_once(threads: usize) -> (Vec<u32>, Vec<u32>) {
     let report =
         insitu_nn::train(&mut net, LabeledBatch::new(&x, &labels).unwrap(), None, &cfg, &mut rng)
             .unwrap();
-    let probe = Tensor::rand_uniform([2, 3, 36, 36], -1.0, 1.0, &mut rng);
+    let probe = Tensor::rand_uniform([8, 3, 36, 36], -1.0, 1.0, &mut rng);
+    let probe_labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
     let logits = net.forward(&probe, Mode::Eval).unwrap();
+    let accuracy =
+        evaluate(&mut net, LabeledBatch::new(&probe, &probe_labels).unwrap(), 4).unwrap();
     let loss_bits = report.history.iter().map(|e| e.loss.to_bits()).collect();
-    (loss_bits, bits(&logits))
+    (loss_bits, bits(&logits), accuracy.to_bits())
 }
 
 #[test]
 fn training_is_bitwise_invariant_to_thread_count() {
-    let (ref_loss, ref_logits) = train_once(1);
+    let (ref_loss, ref_logits, ref_acc) = train_once(1);
     assert!(ref_loss.iter().all(|&b| f32::from_bits(b).is_finite()));
     for threads in [2usize, 4] {
-        let (loss, logits) = train_once(threads);
+        let (loss, logits, acc) = train_once(threads);
         assert_eq!(loss, ref_loss, "loss diverged at {threads} threads");
         assert_eq!(logits, ref_logits, "logits diverged at {threads} threads");
+        assert_eq!(acc, ref_acc, "final accuracy diverged at {threads} threads");
     }
 }

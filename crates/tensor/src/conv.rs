@@ -15,7 +15,8 @@
 //! buffers across calls, eliminating steady-state allocations.
 
 use crate::error::TensorError;
-use crate::matmul::{gemm_nn_rows, gemm_nt_rows, gemm_tn_rows};
+use crate::microkernel::Kernel;
+use crate::pack::{grow_scratch, pack_a, pack_b, packed_a_len, packed_b_len};
 use crate::parallel::{parallel_for, plan_parts, SendPtr};
 use crate::tensor::Tensor;
 use crate::Result;
@@ -260,14 +261,30 @@ pub struct ConvWorkspace {
     cols: Vec<f32>,
     /// Batch size and geometry `cols` currently holds, if any.
     key: Option<(usize, ConvGeometry)>,
-    /// Per-sample `dcol` scratch; re-zeroed per use (the tn GEMM
-    /// accumulates).
+    /// Per-sample `dcol` scratch (assigned by the packed kernel, then
+    /// scattered by `col2im_into`).
     dcols: Vec<f32>,
     /// Per-sample flattened weight-gradient partials (fully overwritten
     /// each backward pass, then reduced in sample order).
     dw_parts: Vec<f32>,
     /// Per-sample bias-gradient partials (fully overwritten each pass).
     db_parts: Vec<f32>,
+    /// Packed filter matrix `Fm` (forward A-operand, shared by the
+    /// whole batch).
+    packed_w: Vec<f32>,
+    /// Packed `Fmᵀ` (backward dcol A-operand, shared by the batch).
+    packed_wt: Vec<f32>,
+    /// Per-sample packed im2col matrices (forward B-operand).
+    packed_cols: Vec<f32>,
+    /// Per-sample packed `dY` as A-operand (dW GEMM).
+    packed_dy_a: Vec<f32>,
+    /// Per-sample packed `colᵀ` (dW B-operand).
+    packed_colt: Vec<f32>,
+    /// Per-sample packed `dY` as B-operand (dcol GEMM).
+    packed_dy_b: Vec<f32>,
+    /// How many times any buffer above has grown (see
+    /// [`ConvWorkspace::reallocations`]).
+    grows: usize,
 }
 
 impl ConvWorkspace {
@@ -276,24 +293,56 @@ impl ConvWorkspace {
         Self::default()
     }
 
-    /// Readies `cols` for `b` samples of geometry `g`, zeroing it only
-    /// when the batch size or geometry changed since the last pass.
-    fn prepare_forward(&mut self, b: usize, g: &ConvGeometry) {
+    /// How many times any internal buffer has grown. Constant between
+    /// two passes ⇒ the kernel path performed no heap allocation in
+    /// between (the zero-steady-state-allocation guarantee).
+    pub fn reallocations(&self) -> usize {
+        self.grows
+    }
+
+    /// Grows `buf` (never shrinks) via the shared scratch accounting.
+    fn grow(buf: &mut Vec<f32>, len: usize, grows: &mut usize) {
+        grow_scratch(buf, len, grows, "conv");
+    }
+
+    /// Readies `cols` for `b` samples of geometry `g` (zeroing it only
+    /// when the batch size or geometry changed since the last pass) and
+    /// sizes the forward packing buffers.
+    fn prepare_forward(&mut self, b: usize, g: &ConvGeometry, kern: Kernel) {
         let want = Some((b, *g));
         if self.key != want {
             let len = b * g.col_rows() * g.col_cols();
+            // Geometry switches re-zero `cols`, so they intentionally
+            // bypass the grow-only accounting.
             self.cols.clear();
             self.cols.resize(len, 0.0);
             self.key = want;
         }
+        Self::grow(
+            &mut self.packed_w,
+            packed_a_len(g.out_channels, g.col_rows(), kern.mr()),
+            &mut self.grows,
+        );
+        Self::grow(
+            &mut self.packed_cols,
+            b * packed_b_len(g.col_rows(), g.col_cols(), kern.nr()),
+            &mut self.grows,
+        );
     }
 
-    /// Sizes the backward scratch buffers (contents need no zeroing:
-    /// `dcols` is re-zeroed per sample and the partials are assigned).
-    fn prepare_backward(&mut self, b: usize, g: &ConvGeometry) {
-        self.dcols.resize(b * g.col_rows() * g.col_cols(), 0.0);
-        self.dw_parts.resize(b * g.out_channels * g.col_rows(), 0.0);
-        self.db_parts.resize(b * g.out_channels, 0.0);
+    /// Sizes the backward scratch and packing buffers (contents need no
+    /// zeroing: the packed kernels and packers assign every element).
+    fn prepare_backward(&mut self, b: usize, g: &ConvGeometry, kern: Kernel) {
+        let (m, nk2, p) = (g.out_channels, g.col_rows(), g.col_cols());
+        let (mr, nr) = (kern.mr(), kern.nr());
+        let grows = &mut self.grows;
+        Self::grow(&mut self.dcols, b * nk2 * p, grows);
+        Self::grow(&mut self.dw_parts, b * m * nk2, grows);
+        Self::grow(&mut self.db_parts, b * m, grows);
+        Self::grow(&mut self.packed_wt, packed_a_len(nk2, m, mr), grows);
+        Self::grow(&mut self.packed_dy_a, b * packed_a_len(m, p, mr), grows);
+        Self::grow(&mut self.packed_colt, b * packed_b_len(p, nk2, nr), grows);
+        Self::grow(&mut self.packed_dy_b, b * packed_b_len(m, p, nr), grows);
     }
 }
 
@@ -350,7 +399,8 @@ pub fn conv2d_forward_ws(
 ) -> Result<Tensor> {
     let b = batch_of(input, g)?;
     check_weight_bias(weight, bias, g)?;
-    ws.prepare_forward(b, g);
+    let kern = Kernel::select();
+    ws.prepare_forward(b, g, kern);
     let sample_len = g.in_channels * g.in_h * g.in_w;
     let out_len = g.out_channels * g.out_h * g.out_w;
     let _t = conv_telemetry(
@@ -359,31 +409,44 @@ pub fn conv2d_forward_ws(
         g,
         4 * (b * sample_len + weight.len() + bias.len() + b * out_len) as u64,
     );
+    let nk2 = g.col_rows();
     let positions = g.col_cols();
-    let col_len = g.col_rows() * positions;
+    let col_len = nk2 * positions;
+    let pa_len = packed_a_len(g.out_channels, nk2, kern.mr());
+    let pb_len = packed_b_len(nk2, positions, kern.nr());
     let mut out = Tensor::zeros([b, g.out_channels, g.out_h, g.out_w]);
     let xv = input.as_slice();
-    // (M, N, K, K) weights are row-major, so the flat slice *is* the
-    // (M, N·K²) filter matrix Fm.
-    let wv = weight.as_slice();
+    {
+        // (M, N, K, K) weights are row-major, so the flat slice *is* the
+        // (M, N·K²) filter matrix Fm; pack it once for the whole batch.
+        let _p = telemetry::span_with("tensor.pack", || format!("conv_fwd_w b{b}"));
+        pack_a(weight.as_slice(), g.out_channels, nk2, false, kern.mr(), &mut ws.packed_w[..pa_len]);
+    }
     let bv = bias.as_slice();
     let parts = plan_parts(b, b as u64 * g.ops());
     {
         let out_base = SendPtr(out.as_mut_slice().as_mut_ptr());
         let cols_base = SendPtr(ws.cols.as_mut_ptr());
+        let pcols_base = SendPtr(ws.packed_cols.as_mut_ptr());
+        let pw = &ws.packed_w[..pa_len];
         let run = |s: usize| {
             // SAFETY: task `s` touches only sample `s`'s slice of each
             // buffer; samples are disjoint.
             let col = unsafe {
                 std::slice::from_raw_parts_mut(cols_base.get().add(s * col_len), col_len)
             };
+            let pcol = unsafe {
+                std::slice::from_raw_parts_mut(pcols_base.get().add(s * pb_len), pb_len)
+            };
             let dst = unsafe {
                 std::slice::from_raw_parts_mut(out_base.get().add(s * out_len), out_len)
             };
             let xs = &xv[s * sample_len..(s + 1) * sample_len];
             im2col_into(xs, g, col);
-            // Fm × Dm into the zeroed output slice, then the bias.
-            gemm_nn_rows(wv, col, dst, 0..g.out_channels, g.col_rows(), positions);
+            // Fm × Dm: the micro-kernel assigns every output element,
+            // then the bias is added on top.
+            pack_b(col, nk2, positions, false, kern.nr(), pcol);
+            kern.run_band(pw, pcol, nk2, positions, 0..g.out_channels, dst);
             for m in 0..g.out_channels {
                 let bm = bv[m];
                 for v in &mut dst[m * positions..(m + 1) * positions] {
@@ -420,7 +483,7 @@ pub fn conv2d_backward(
     let b = cols.len();
     let col_len = g.col_rows() * g.col_cols();
     let mut ws = ConvWorkspace::new();
-    ws.prepare_forward(b, g);
+    ws.prepare_forward(b, g, Kernel::select());
     for (s, col) in cols.iter().enumerate() {
         let expected = [g.col_rows(), g.col_cols()];
         if col.dims() != expected {
@@ -478,12 +541,15 @@ pub fn conv2d_backward_ws(
             op: "conv2d_backward(weight)",
         });
     }
-    ws.prepare_backward(b, g);
+    let kern = Kernel::select();
+    ws.prepare_backward(b, g, kern);
+    let (mr, nr) = (kern.mr(), kern.nr());
+    let m_ch = g.out_channels;
     let positions = g.col_cols();
-    let out_len = g.out_channels * positions;
+    let out_len = m_ch * positions;
     let sample_len = g.in_channels * g.in_h * g.in_w;
     let col_len = nk2 * positions;
-    let dw_len = g.out_channels * nk2;
+    let dw_len = m_ch * nk2;
     let _t = conv_telemetry(
         "tensor.conv2d_bwd",
         b,
@@ -493,36 +559,61 @@ pub fn conv2d_backward_ws(
 
     let mut dinput = Tensor::zeros([b, g.in_channels, g.in_h, g.in_w]);
     let dv = dout.as_slice();
-    let wv = weight.as_slice(); // flat (M, N·K²), see conv2d_forward_ws
+    let pwt_len = packed_a_len(nk2, m_ch, mr);
+    {
+        // W is flat (M, N·K²) — i.e. (k, m) for the dcol GEMM — so the
+        // transposed packing of it serves every sample; pack it once.
+        let _p = telemetry::span_with("tensor.pack", || format!("conv_bwd_wt b{b}"));
+        pack_a(weight.as_slice(), nk2, m_ch, true, mr, &mut ws.packed_wt[..pwt_len]);
+    }
+    let pdya_len = packed_a_len(m_ch, positions, mr);
+    let pcolt_len = packed_b_len(positions, nk2, nr);
+    let pdyb_len = packed_b_len(m_ch, positions, nr);
     let parts = plan_parts(b, 2 * b as u64 * g.ops());
     {
         let din_base = SendPtr(dinput.as_mut_slice().as_mut_ptr());
         let dcol_base = SendPtr(ws.dcols.as_mut_ptr());
         let dw_base = SendPtr(ws.dw_parts.as_mut_ptr());
         let db_base = SendPtr(ws.db_parts.as_mut_ptr());
+        let pdya_base = SendPtr(ws.packed_dy_a.as_mut_ptr());
+        let pcolt_base = SendPtr(ws.packed_colt.as_mut_ptr());
+        let pdyb_base = SendPtr(ws.packed_dy_b.as_mut_ptr());
         let cols = &ws.cols;
+        let pwt = &ws.packed_wt[..pwt_len];
         let run = |s: usize| {
             let dy = &dv[s * out_len..(s + 1) * out_len]; // (M, P)
             let col = &cols[s * col_len..(s + 1) * col_len]; // (N·K², P)
             // SAFETY: task `s` touches only sample `s`'s slice of each
             // scratch/output buffer; samples are disjoint.
+            let pdya = unsafe {
+                std::slice::from_raw_parts_mut(pdya_base.get().add(s * pdya_len), pdya_len)
+            };
+            let pcolt = unsafe {
+                std::slice::from_raw_parts_mut(pcolt_base.get().add(s * pcolt_len), pcolt_len)
+            };
+            let pdyb = unsafe {
+                std::slice::from_raw_parts_mut(pdyb_base.get().add(s * pdyb_len), pdyb_len)
+            };
             let dw = unsafe { std::slice::from_raw_parts_mut(dw_base.get().add(s * dw_len), dw_len) };
-            // dW_s = dY · colᵀ → (M, N·K²); the nt kernel assigns every
-            // element, so `dw` needs no pre-zeroing.
-            gemm_nt_rows(dy, col, dw, 0..g.out_channels, positions, nk2);
+            // dW_s = dY · colᵀ → (M, N·K²); col is (N·K², P) = (n, k),
+            // so its transposed packing is the B-operand. The kernel
+            // assigns every element, so `dw` needs no pre-zeroing.
+            pack_a(dy, m_ch, positions, false, mr, pdya);
+            pack_b(col, positions, nk2, true, nr, pcolt);
+            kern.run_band(pdya, pcolt, positions, nk2, 0..m_ch, dw);
             // db_s = row sums of dY.
             let db = unsafe {
-                std::slice::from_raw_parts_mut(db_base.get().add(s * g.out_channels), g.out_channels)
+                std::slice::from_raw_parts_mut(db_base.get().add(s * m_ch), m_ch)
             };
-            for m in 0..g.out_channels {
+            for m in 0..m_ch {
                 db[m] = dy[m * positions..(m + 1) * positions].iter().sum::<f32>();
             }
-            // dX_s = col2im(Wᵀ · dY); the tn kernel accumulates, so the
-            // scratch is re-zeroed first.
+            // dX_s = col2im(Wᵀ · dY); the kernel assigns every element
+            // of dcol, which col2im then scatters into dx.
             let dcol =
                 unsafe { std::slice::from_raw_parts_mut(dcol_base.get().add(s * col_len), col_len) };
-            dcol.fill(0.0);
-            gemm_tn_rows(wv, dy, dcol, 0..nk2, g.out_channels, nk2, positions);
+            pack_b(dy, m_ch, positions, false, nr, pdyb);
+            kern.run_band(pwt, pdyb, m_ch, positions, 0..nk2, dcol);
             let dx = unsafe {
                 std::slice::from_raw_parts_mut(din_base.get().add(s * sample_len), sample_len)
             };

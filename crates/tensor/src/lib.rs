@@ -1,10 +1,12 @@
 //! # insitu-tensor
 //!
 //! Dense `f32` tensors and the numeric kernels used by the In-situ AI
-//! reproduction: blocked GEMM, im2col convolution (the exact lowering the
-//! paper's Fig. 8 describes for GPU execution), max pooling, and a
-//! deterministic PCG32 random number generator so every experiment is
-//! reproducible from a single seed.
+//! reproduction: packed register-tiled GEMM (BLIS-style operand packing
+//! into a reusable [`GemmScratch`] arena feeding an MR×NR micro-kernel),
+//! im2col convolution (the exact lowering the paper's Fig. 8 describes
+//! for GPU execution), max pooling, and a deterministic PCG32 random
+//! number generator so every experiment is reproducible from a single
+//! seed.
 //!
 //! Large GEMMs and batched convolutions run on a shared worker pool (see
 //! [`parallel`]); thread count comes from [`set_num_threads`] or the
@@ -33,6 +35,8 @@
 mod conv;
 mod error;
 mod matmul;
+mod microkernel;
+mod pack;
 pub mod parallel;
 mod pool;
 mod rng;
@@ -44,7 +48,10 @@ pub use conv::{
     ConvGeometry, ConvWorkspace,
 };
 pub use error::TensorError;
-pub use matmul::{matmul, matmul_naive, matmul_nt, matmul_tn, matvec};
+pub use matmul::{
+    gemm_kernel_name, matmul, matmul_naive, matmul_nt, matmul_nt_ws, matmul_tn, matmul_tn_ws,
+    matmul_ws, matvec, GemmScratch,
+};
 pub use parallel::{num_threads, par_chunks_mut, parallel_for, set_num_threads};
 pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolGeometry};
 pub use rng::Rng;

@@ -2,21 +2,44 @@
 //!
 //! The convolution layers lower to GEMM via im2col (exactly the lowering
 //! the paper describes for GPU execution in its Fig. 8), so GEMM is the
-//! hot kernel of the whole reproduction. [`matmul`] uses a cache-blocked
-//! kernel; [`matmul_naive`] is the trivially-correct reference used by the
+//! hot kernel of the whole reproduction. The production path is a
+//! BLIS-style packed kernel: both operands are packed into register-tile
+//! panels inside a reusable [`GemmScratch`] arena (see [`crate::pack`]),
+//! then a fixed-order MR×NR micro-kernel (see [`crate::microkernel`])
+//! computes every output tile with its accumulators in registers.
+//! [`matmul_naive`] is the trivially-correct reference used by the
 //! property tests.
 //!
-//! Large products are split over output-row bands and run on the shared
-//! worker pool (see [`crate::parallel`]). Each output element is always
-//! accumulated in the same order as the sequential kernel, so results are
-//! bitwise identical for any thread count.
+//! ## Determinism
+//!
+//! Every output element is one ascending-k accumulation chain starting
+//! at `0.0` — the same chain [`matmul_naive`] performs — so the packed
+//! kernels are **bitwise identical to the naive oracle**, for every
+//! operand transpose, ragged edge, micro-kernel variant and thread
+//! count (large products split over output-row panel bands on the
+//! shared worker pool; see [`crate::parallel`]). Relative to the
+//! pre-packing cache-blocked kernel the only representable difference
+//! is that zero `A` elements are no longer skipped, which can flip
+//! `-0.0` to `+0.0` or materialize NaN/∞ propagation for non-finite
+//! inputs; for finite data results match that kernel bitwise too.
+//!
+//! ## Allocation
+//!
+//! The `*_ws` variants pack into a caller-owned [`GemmScratch`] that
+//! only ever grows, so steady-state training/inference performs zero
+//! heap allocations in the kernel path (the returned output tensor is
+//! the one remaining allocation). The scratch-free entry points use a
+//! thread-local arena with the same property.
 
 use crate::error::TensorError;
-use crate::parallel::{par_row_chunks, plan_parts};
+use crate::microkernel::Kernel;
+use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+pub use crate::pack::GemmScratch;
+use crate::parallel::{parallel_for, plan_parts, split_range, SendPtr};
 use crate::tensor::Tensor;
 use crate::Result;
 use insitu_telemetry as telemetry;
-use std::ops::Range;
+use std::cell::RefCell;
 
 /// Opens the per-call telemetry span and bytes counter for one GEMM
 /// kernel (inert while telemetry is disabled). `m`/`k`/`n` describe the
@@ -29,8 +52,24 @@ fn gemm_telemetry(kernel: &'static str, m: usize, k: usize, n: usize) -> telemet
     span
 }
 
-/// Cache block edge for the tiled GEMM kernel.
-const BLOCK: usize = 64;
+/// Name of the GEMM micro-kernel variant this process selected (e.g.
+/// `"avx2_8x8"` on an AVX2+FMA host, `"scalar_8x4"` otherwise or under
+/// `INSITU_GEMM_KERNEL=scalar`). Selection happens once; benchmarks
+/// record this so results are attributable to a kernel.
+pub fn gemm_kernel_name() -> &'static str {
+    Kernel::select().name()
+}
+
+thread_local! {
+    /// Arena behind the scratch-free `matmul*` entry points. One per
+    /// thread, so pool workers and user threads never contend; grows to
+    /// the largest shape a thread has multiplied and then stays put.
+    static TL_SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::new());
+}
+
+fn with_tl_scratch<R>(f: impl FnOnce(&mut GemmScratch) -> R) -> R {
+    TL_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 fn check_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.shape().ndim() != 2 {
@@ -44,7 +83,8 @@ fn check_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
 /// Reference `O(M·N·K)` triple-loop matrix product, `C = A·B`.
 ///
 /// Use [`matmul`] in production code; this exists as the oracle for
-/// property tests and for readability.
+/// property tests and for readability. The packed production kernels
+/// reproduce this function's results bitwise (see the module docs).
 ///
 /// # Errors
 ///
@@ -73,7 +113,73 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec([m, n], out)
 }
 
-/// Cache-blocked matrix product, `C = A·B`.
+/// Packs both operands into `scratch` and drives the micro-kernel over
+/// the whole output, splitting panel-aligned row bands across the
+/// worker pool when the product is large enough.
+///
+/// `a_trans`/`b_trans` select the `Aᵀ`/`Bᵀ` readings of the flat
+/// operand slices; `out` is the row-major `m × n` output buffer, every
+/// element of which is assigned.
+#[allow(clippy::too_many_arguments)] // flat GEMM signature: operands + dims + scratch
+pub(crate) fn gemm_packed(
+    av: &[f32],
+    a_trans: bool,
+    bv: &[f32],
+    b_trans: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kern = Kernel::select();
+    let (mr, nr) = (kern.mr(), kern.nr());
+    let (pa, pb) = scratch.panels(packed_a_len(m, k, mr), packed_b_len(k, n, nr));
+    {
+        let _p = telemetry::span_with("tensor.pack", || format!("{m}x{k}x{n}"));
+        pack_a(av, m, k, a_trans, mr, pa);
+        pack_b(bv, k, n, b_trans, nr, pb);
+    }
+    gemm_packed_prepacked(kern, pa, pb, m, k, n, out);
+}
+
+/// The compute half of [`gemm_packed`], for callers that pre-pack (the
+/// convolution passes share one packed operand across a batch).
+pub(crate) fn gemm_packed_prepacked(
+    kern: Kernel,
+    pa: &[f32],
+    pb: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let mr = kern.mr();
+    let mp = m.div_ceil(mr);
+    let parts = plan_parts(mp, 2 * m as u64 * k as u64 * n as u64);
+    if parts <= 1 {
+        kern.run_band(pa, pb, k, n, 0..m, out);
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    parallel_for(parts, move |p| {
+        let pr = split_range(mp, parts, p);
+        let (r0, r1) = (pr.start * mr, (pr.end * mr).min(m));
+        // SAFETY: `split_range` partitions the panel index space, so
+        // each task's row band `r0..r1` of `out` is disjoint.
+        let band =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(r0 * n), (r1 - r0) * n) };
+        kern.run_band(pa, pb, k, n, r0..r1, band);
+    });
+}
+
+/// Packed register-tiled matrix product, `C = A·B`.
+///
+/// Equivalent to [`matmul_ws`] with a per-thread scratch arena.
 ///
 /// # Errors
 ///
@@ -92,6 +198,17 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    with_tl_scratch(|s| matmul_ws(a, b, s))
+}
+
+/// [`matmul`] packing into a caller-owned [`GemmScratch`], so repeated
+/// calls with stable shapes perform no kernel-path allocations.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not 2-D or the inner dimensions
+/// disagree.
+pub fn matmul_ws(a: &Tensor, b: &Tensor, scratch: &mut GemmScratch) -> Result<Tensor> {
     let (m, ka) = check_2d(a, "matmul")?;
     let (kb, n) = check_2d(b, "matmul")?;
     if ka != kb {
@@ -102,66 +219,33 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let _t = gemm_telemetry("tensor.gemm_nn", m, ka, n);
-    let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
-    let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
-    par_row_chunks(&mut out, m, n, parts, |rows, band| {
-        gemm_nn_rows(av, bv, band, rows, ka, n);
-    });
+    gemm_packed(a.as_slice(), false, b.as_slice(), false, m, ka, n, scratch, &mut out);
     Tensor::from_vec([m, n], out)
-}
-
-/// Cache-blocked `C[rows] = A[rows]·B` into `band` (the rows' sub-slice
-/// of the output, pre-zeroed).
-///
-/// For a fixed output element, the k-blocks and the k values inside each
-/// block are visited in ascending order regardless of `rows`, so row
-/// partitioning never changes the accumulation order.
-pub(crate) fn gemm_nn_rows(
-    av: &[f32],
-    bv: &[f32],
-    band: &mut [f32],
-    rows: Range<usize>,
-    ka: usize,
-    n: usize,
-) {
-    let r0 = rows.start;
-    for ib in (rows.start..rows.end).step_by(BLOCK) {
-        let imax = (ib + BLOCK).min(rows.end);
-        for kb_ in (0..ka).step_by(BLOCK) {
-            let kmax = (kb_ + BLOCK).min(ka);
-            for jb in (0..n).step_by(BLOCK) {
-                let jmax = (jb + BLOCK).min(n);
-                for i in ib..imax {
-                    let arow = &av[i * ka..(i + 1) * ka];
-                    let orow = &mut band[(i - r0) * n..(i - r0 + 1) * n];
-                    for k in kb_..kmax {
-                        let aik = arow[k];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let brow = &bv[k * n..(k + 1) * n];
-                        for j in jb..jmax {
-                            orow[j] += aik * brow[j];
-                        }
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// Computes `C = Aᵀ·B` without materializing the transpose.
 ///
 /// With `A: (K, M)` and `B: (K, N)`, the result is `(M, N)`. This is the
 /// shape that appears in weight-gradient computations
-/// (`dW = dYᵀ·X` style products).
+/// (`dW = dYᵀ·X` style products); the packing stage absorbs the
+/// transpose, so it costs nothing over the plain product.
 ///
 /// # Errors
 ///
 /// Returns an error if either operand is not 2-D or the shared leading
 /// dimensions disagree.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    with_tl_scratch(|s| matmul_tn_ws(a, b, s))
+}
+
+/// [`matmul_tn`] packing into a caller-owned [`GemmScratch`].
+///
+/// # Errors
+///
+/// Returns an error if either operand is not 2-D or the shared leading
+/// dimensions disagree.
+pub fn matmul_tn_ws(a: &Tensor, b: &Tensor, scratch: &mut GemmScratch) -> Result<Tensor> {
     let (ka, m) = check_2d(a, "matmul_tn")?;
     let (kb, n) = check_2d(b, "matmul_tn")?;
     if ka != kb {
@@ -172,54 +256,32 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let _t = gemm_telemetry("tensor.gemm_tn", m, ka, n);
-    let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
-    let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
-    par_row_chunks(&mut out, m, n, parts, |rows, band| {
-        gemm_tn_rows(av, bv, band, rows, ka, m, n);
-    });
+    gemm_packed(a.as_slice(), true, b.as_slice(), false, m, ka, n, scratch, &mut out);
     Tensor::from_vec([m, n], out)
-}
-
-/// `C[rows] = Aᵀ·B` restricted to output rows `rows`, into `band`
-/// (pre-zeroed). Keeps the k-outer loop of the sequential kernel, so each
-/// element accumulates over k in ascending order for any row partition.
-pub(crate) fn gemm_tn_rows(
-    av: &[f32],
-    bv: &[f32],
-    band: &mut [f32],
-    rows: Range<usize>,
-    ka: usize,
-    m: usize,
-    n: usize,
-) {
-    let r0 = rows.start;
-    for k in 0..ka {
-        let arow = &av[k * m..(k + 1) * m];
-        let brow = &bv[k * n..(k + 1) * n];
-        for i in rows.clone() {
-            let aki = arow[i];
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut band[(i - r0) * n..(i - r0 + 1) * n];
-            for j in 0..n {
-                orow[j] += aki * brow[j];
-            }
-        }
-    }
 }
 
 /// Computes `C = A·Bᵀ` without materializing the transpose.
 ///
 /// With `A: (M, K)` and `B: (N, K)`, the result is `(M, N)`. This is the
-/// shape that appears in input-gradient computations.
+/// shape that appears in input-gradient computations; as with
+/// [`matmul_tn`], the packing stage absorbs the transpose.
 ///
 /// # Errors
 ///
 /// Returns an error if either operand is not 2-D or the trailing
 /// dimensions disagree.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    with_tl_scratch(|s| matmul_nt_ws(a, b, s))
+}
+
+/// [`matmul_nt`] packing into a caller-owned [`GemmScratch`].
+///
+/// # Errors
+///
+/// Returns an error if either operand is not 2-D or the trailing
+/// dimensions disagree.
+pub fn matmul_nt_ws(a: &Tensor, b: &Tensor, scratch: &mut GemmScratch) -> Result<Tensor> {
     let (m, ka) = check_2d(a, "matmul_nt")?;
     let (n, kb) = check_2d(b, "matmul_nt")?;
     if ka != kb {
@@ -230,41 +292,17 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let _t = gemm_telemetry("tensor.gemm_nt", m, ka, n);
-    let (av, bv) = (a.as_slice(), b.as_slice());
     let mut out = vec![0.0f32; m * n];
-    let parts = plan_parts(m, 2 * m as u64 * ka as u64 * n as u64);
-    par_row_chunks(&mut out, m, n, parts, |rows, band| {
-        gemm_nt_rows(av, bv, band, rows, ka, n);
-    });
+    gemm_packed(a.as_slice(), false, b.as_slice(), true, m, ka, n, scratch, &mut out);
     Tensor::from_vec([m, n], out)
 }
 
-/// `C[rows] = A·Bᵀ` restricted to output rows `rows`, into `band`. Every
-/// element is an independent assigned dot product, so any partition is
-/// trivially order-preserving.
-pub(crate) fn gemm_nt_rows(
-    av: &[f32],
-    bv: &[f32],
-    band: &mut [f32],
-    rows: Range<usize>,
-    ka: usize,
-    n: usize,
-) {
-    let r0 = rows.start;
-    for i in rows.clone() {
-        let arow = &av[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bv[j * ka..(j + 1) * ka];
-            let mut acc = 0.0;
-            for k in 0..ka {
-                acc += arow[k] * brow[k];
-            }
-            band[(i - r0) * n + j] = acc;
-        }
-    }
-}
-
 /// Matrix-vector product `y = A·x` for `A: (M, N)`, `x: (N,)`.
+///
+/// Deliberately *not* routed through the packed kernel: a matvec reads
+/// every `A` element exactly once, so it is bandwidth-bound and packing
+/// would double its memory traffic for zero reuse. Row dot products
+/// (parallelized over row bands) are optimal here.
 ///
 /// # Errors
 ///
@@ -282,13 +320,24 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let (av, xv) = (a.as_slice(), x.as_slice());
     let mut out = vec![0.0f32; m];
     let parts = plan_parts(m, 2 * m as u64 * n as u64);
-    par_row_chunks(&mut out, m, 1, parts, |rows, band| {
-        let r0 = rows.start;
-        for i in rows.clone() {
-            let arow = &av[i * n..(i + 1) * n];
-            band[i - r0] = arow.iter().zip(xv).map(|(&a, &b)| a * b).sum();
+    if parts <= 1 {
+        for (y, arow) in out.iter_mut().zip(av.chunks_exact(n.max(1))) {
+            *y = arow.iter().zip(xv).map(|(&a, &b)| a * b).sum();
         }
-    });
+    } else {
+        let base = SendPtr(out.as_mut_ptr());
+        parallel_for(parts, move |p| {
+            let rows = split_range(m, parts, p);
+            // SAFETY: `split_range` partitions `0..m`; bands disjoint.
+            let band = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(rows.start), rows.len())
+            };
+            for (local, i) in rows.enumerate() {
+                let arow = &av[i * n..(i + 1) * n];
+                band[local] = arow.iter().zip(xv).map(|(&a, &b)| a * b).sum();
+            }
+        });
+    }
     Tensor::from_vec([m], out)
 }
 
@@ -314,15 +363,42 @@ mod tests {
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
     }
 
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
     #[test]
-    fn rectangular_matches_naive() {
+    fn rectangular_matches_naive_bitwise() {
         let mut rng = Rng::seed_from(2);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (70, 65, 130), (128, 64, 1)] {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (70, 65, 130), (128, 64, 1), (8, 9, 4)] {
             let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
             let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
             let fast = matmul(&a, &b).unwrap();
             let slow = matmul_naive(&a, &b).unwrap();
-            assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+            assert_eq!(bits(&fast), bits(&slow), "{m}x{k}x{n} diverged from the oracle");
+        }
+    }
+
+    #[test]
+    fn all_supported_kernels_agree_bitwise() {
+        // Every runnable micro-kernel variant (scalar baseline plus any
+        // runtime-detected SIMD tile) must produce identical bits: the
+        // per-element op chain does not depend on tile width.
+        let mut rng = Rng::seed_from(9);
+        let (m, k, n) = (13, 27, 21);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([n, k], -1.0, 1.0, &mut rng); // (N, K): packed transposed
+        let oracle = bits(&matmul_naive(&a, &b.transpose2d().unwrap()).unwrap());
+        for kern in Kernel::supported() {
+            let (mr, nr) = (kern.mr(), kern.nr());
+            let mut scratch = GemmScratch::new();
+            let (pa, pb) = scratch.panels(packed_a_len(m, k, mr), packed_b_len(k, n, nr));
+            pack_a(a.as_slice(), m, k, false, mr, pa);
+            pack_b(b.as_slice(), k, n, true, nr, pb);
+            let mut out = vec![0.0f32; m * n];
+            gemm_packed_prepacked(kern, pa, pb, m, k, n, &mut out);
+            let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, oracle, "kernel {} diverged", kern.name());
         }
     }
 
@@ -333,7 +409,7 @@ mod tests {
         let b = Tensor::rand_uniform([7, 5], -1.0, 1.0, &mut rng); // (K, N)
         let via_tn = matmul_tn(&a, &b).unwrap();
         let via_t = matmul(&a.transpose2d().unwrap(), &b).unwrap();
-        assert!(via_tn.max_abs_diff(&via_t).unwrap() < 1e-5);
+        assert_eq!(bits(&via_tn), bits(&via_t));
     }
 
     #[test]
@@ -343,7 +419,7 @@ mod tests {
         let b = Tensor::rand_uniform([5, 7], -1.0, 1.0, &mut rng); // (N, K)
         let via_nt = matmul_nt(&a, &b).unwrap();
         let via_t = matmul(&a, &b.transpose2d().unwrap()).unwrap();
-        assert!(via_nt.max_abs_diff(&via_t).unwrap() < 1e-5);
+        assert_eq!(bits(&via_nt), bits(&via_t));
     }
 
     #[test]
@@ -355,6 +431,24 @@ mod tests {
         let xm = x.reshape([9, 1]).unwrap();
         let ym = matmul(&a, &xm).unwrap();
         assert!(y.max_abs_diff(&ym.reshape([6]).unwrap()).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn explicit_scratch_reuse_matches_and_stops_allocating() {
+        let mut rng = Rng::seed_from(6);
+        let a = Tensor::rand_uniform([17, 23], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([23, 11], -1.0, 1.0, &mut rng);
+        let fresh = matmul(&a, &b).unwrap();
+        let mut s = GemmScratch::new();
+        let first = matmul_ws(&a, &b, &mut s).unwrap();
+        let grows = s.reallocations();
+        assert!(grows >= 1);
+        for _ in 0..3 {
+            let again = matmul_ws(&a, &b, &mut s).unwrap();
+            assert_eq!(bits(&again), bits(&first));
+        }
+        assert_eq!(s.reallocations(), grows, "steady state must not grow the arena");
+        assert_eq!(bits(&first), bits(&fresh));
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Register-tiled GEMM micro-kernels.
+//!
+//! A [`Kernel`] computes MR×NR output tiles of `C = A·B` from *packed*
+//! operand panels (see [`crate::pack`]): an A-panel stores MR rows
+//! k-major (`ap[k*MR + r]`), a B-panel stores NR columns k-major
+//! (`bp[k*NR + c]`). The k loop is one ascending pass with the whole
+//! tile of accumulators held in registers, so every output element is
+//! the plain left-to-right sum `((0 + a₀·b₀) + a₁·b₁) + …` — exactly
+//! the chain [`matmul_naive`](crate::matmul_naive) produces. That makes
+//! the packed kernels bitwise-reproducible against the oracle for any
+//! tile shape, panel partition or thread count: parallelism and tiling
+//! only change *which* element is computed *when*, never the f32 op
+//! sequence behind one element.
+//!
+//! Ragged edges are handled by zero padding: panels are always full
+//! MR/NR wide, the micro-kernel always computes a full tile, and only
+//! the valid sub-rectangle is stored. Padded lanes multiply zeros and
+//! are discarded, so they cannot perturb valid elements.
+//!
+//! Two instantiations of one generic tile body exist:
+//!
+//! * [`Kernel::Scalar8x4`] — the portable baseline. Plain safe Rust;
+//!   on x86-64 the autovectorizer emits SSE2 for it.
+//! * [`Kernel::Avx2_8x8`] (x86-64 only) — the *same* body compiled
+//!   under `#[target_feature(enable = "avx2,fma")]` with a wider tile,
+//!   selected at runtime when the host supports it. Wider vectors
+//!   change speed only: Rust never contracts `acc + a*b` into an FMA,
+//!   so the per-element f32 op sequence — and therefore every bit of
+//!   the result — is identical across kernels.
+//!
+//! Future hand-written SIMD kernels slot in as further `Kernel`
+//! variants behind `#[cfg(target_arch = ...)]` gates; anything that
+//! keeps a single ascending-k accumulation chain per element inherits
+//! the determinism guarantee for free.
+//!
+//! Selection is cached per process; `INSITU_GEMM_KERNEL=scalar` (or
+//! `avx2`) overrides auto-detection, which is how the property tests
+//! pin the portable path.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Generic MR×NR register tile: one ascending pass over `kc` packed
+/// k-steps. Kept `#[inline(always)]` so each instantiation inlines into
+/// its (possibly `target_feature`-annotated) wrapper and vectorizes
+/// under that wrapper's instruction set.
+#[inline(always)]
+fn tile_body<const MR: usize, const NR: usize>(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for r in 0..MR {
+            let ar = a[r];
+            for (accc, &bc) in acc[r].iter_mut().zip(b) {
+                *accc += ar * bc;
+            }
+        }
+    }
+    acc
+}
+
+/// Computes every tile of a panel-aligned row band of `C`.
+///
+/// `ap`/`bp` are the *full* packed operands, `k`/`n` the logical GEMM
+/// dimensions, `rows` the absolute output-row range (its start must be
+/// MR-aligned; its end is the band edge, clipped to M on the last
+/// band), and `band` the `rows`-slice of the row-major `C` buffer.
+/// Every element of `band` is assigned (not accumulated).
+#[inline(always)]
+fn band_body<const MR: usize, const NR: usize>(
+    ap: &[f32],
+    bp: &[f32],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    band: &mut [f32],
+) {
+    debug_assert_eq!(rows.start % MR, 0, "bands must start on a panel boundary");
+    debug_assert_eq!(band.len(), rows.len() * n);
+    let np = n.div_ceil(NR);
+    for i0 in rows.clone().step_by(MR) {
+        let tile_rows = MR.min(rows.end - i0);
+        let apanel = &ap[(i0 / MR) * MR * k..][..MR * k];
+        for jp in 0..np {
+            let j0 = jp * NR;
+            let tile_cols = NR.min(n - j0);
+            let bpanel = &bp[jp * NR * k..][..NR * k];
+            let acc = tile_body::<MR, NR>(k, apanel, bpanel);
+            let out = &mut band[(i0 - rows.start) * n + j0..];
+            for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
+                out[r * n..r * n + tile_cols].copy_from_slice(&acc_row[..tile_cols]);
+            }
+        }
+    }
+}
+
+/// The same band computation compiled with AVX2 + FMA enabled, so the
+/// autovectorizer can use 256-bit lanes for the 8-wide accumulator
+/// rows. FMA is enabled for register-allocation freedom only — Rust
+/// performs no float contraction, so results stay bitwise identical to
+/// the scalar body (see the module docs).
+///
+/// # Safety
+///
+/// The caller must have verified that the host supports AVX2 and FMA
+/// (see [`Kernel::select`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn band_avx2_8x8(ap: &[f32], bp: &[f32], k: usize, n: usize, rows: Range<usize>, band: &mut [f32]) {
+    band_body::<8, 8>(ap, bp, k, n, rows, band);
+}
+
+/// A register-tiled GEMM micro-kernel variant. See the module docs for
+/// the determinism contract shared by all variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kernel {
+    /// Portable 8×4 scalar tile (SSE2 via autovectorization on x86-64).
+    Scalar8x4,
+    /// 8×8 tile compiled under AVX2+FMA; runtime-detected on x86-64.
+    #[cfg(target_arch = "x86_64")]
+    Avx2_8x8,
+}
+
+impl Kernel {
+    /// Tile height: the A-panel row count the packers must produce.
+    pub(crate) fn mr(self) -> usize {
+        match self {
+            Kernel::Scalar8x4 => 8,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2_8x8 => 8,
+        }
+    }
+
+    /// Tile width: the B-panel column count the packers must produce.
+    pub(crate) fn nr(self) -> usize {
+        match self {
+            Kernel::Scalar8x4 => 4,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2_8x8 => 8,
+        }
+    }
+
+    /// Stable name, for benchmarks and traces.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar8x4 => "scalar_8x4",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2_8x8 => "avx2_8x8",
+        }
+    }
+
+    /// Runs the micro-kernel over one panel-aligned row band (see
+    /// [`band_body`] for the argument contract).
+    pub(crate) fn run_band(
+        self,
+        ap: &[f32],
+        bp: &[f32],
+        k: usize,
+        n: usize,
+        rows: Range<usize>,
+        band: &mut [f32],
+    ) {
+        match self {
+            Kernel::Scalar8x4 => band_body::<8, 4>(ap, bp, k, n, rows, band),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `select` only yields this variant after runtime
+            // detection of AVX2 and FMA (or an explicit override, which
+            // also re-checks support).
+            Kernel::Avx2_8x8 => unsafe { band_avx2_8x8(ap, bp, k, n, rows, band) },
+        }
+    }
+
+    /// The kernel every GEMM in this process uses: the widest variant
+    /// the host supports, resolved once and cached. The
+    /// `INSITU_GEMM_KERNEL` environment variable (`scalar` / `avx2` /
+    /// `auto`) overrides detection — an unsupported request falls back
+    /// to the portable kernel rather than faulting.
+    pub(crate) fn select() -> Kernel {
+        static SELECTED: OnceLock<Kernel> = OnceLock::new();
+        *SELECTED.get_or_init(|| {
+            let want = std::env::var("INSITU_GEMM_KERNEL").unwrap_or_default();
+            match want.trim() {
+                "scalar" => Kernel::Scalar8x4,
+                _ => Kernel::detect(),
+            }
+        })
+    }
+
+    /// The widest variant the host supports.
+    fn detect() -> Kernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Kernel::Avx2_8x8;
+            }
+        }
+        Kernel::Scalar8x4
+    }
+
+    /// Every variant the current host can run — the portable kernel is
+    /// always included. Used by the property tests to assert that all
+    /// runnable kernels agree bitwise.
+    #[cfg(test)]
+    pub(crate) fn supported() -> Vec<Kernel> {
+        let mut v = vec![Kernel::Scalar8x4];
+        #[cfg(target_arch = "x86_64")]
+        if let k @ Kernel::Avx2_8x8 = Kernel::detect() {
+            v.push(k);
+        }
+        v
+    }
+}

@@ -1,0 +1,246 @@
+//! Operand packing and the reusable GEMM scratch arena.
+//!
+//! The packed layouts are the classic BLIS panels the micro-kernel
+//! (see [`crate::microkernel`]) consumes:
+//!
+//! ```text
+//! A (M×K)  → ⌈M/MR⌉ panels, each MR rows stored k-major:
+//!            pa[p·MR·K + k·MR + r] = A[p·MR + r, k]
+//! B (K×N)  → ⌈N/NR⌉ panels, each NR columns stored k-major:
+//!            pb[q·NR·K + k·NR + c] = B[k, q·NR + c]
+//! ```
+//!
+//! so the micro-kernel's k loop reads both operands with stride-1
+//! streams regardless of the original layout. Transposed operands
+//! (`Aᵀ·B`, `A·Bᵀ`) are handled *here*, by reading the source with
+//! swapped strides — packing makes the transpose free and lets one
+//! micro-kernel serve the whole GEMM family. Rows/columns beyond the
+//! matrix edge are zero-filled, which is what lets the micro-kernel
+//! always compute full tiles (padded lanes contribute `0·x` to lanes
+//! that are then discarded).
+//!
+//! [`GemmScratch`] owns the packed-panel buffers. It only ever grows
+//! ([`grow_scratch`]), so a workload with stable shapes reaches a
+//! steady state in which the kernel path performs **zero heap
+//! allocations**; [`GemmScratch::reallocations`] exposes the growth
+//! count so tests can assert exactly that. Growth is also accounted to
+//! the `tensor.scratch_bytes` telemetry counter, making arena
+//! footprints visible in traces.
+
+use insitu_telemetry as telemetry;
+
+/// Length of the packed-A buffer for an `m × k` operand at tile height
+/// `mr`: whole panels, zero-padded in the row direction.
+pub(crate) fn packed_a_len(m: usize, k: usize, mr: usize) -> usize {
+    m.div_ceil(mr) * mr * k
+}
+
+/// Length of the packed-B buffer for a `k × n` operand at tile width
+/// `nr`: whole panels, zero-padded in the column direction.
+pub(crate) fn packed_b_len(k: usize, n: usize, nr: usize) -> usize {
+    n.div_ceil(nr) * nr * k
+}
+
+/// Packs the left operand into MR-tall k-major panels.
+///
+/// `src` is row-major `(m, k)` — or `(k, m)` when `trans` is set, in
+/// which case the packed result represents `srcᵀ`. `dst` must hold
+/// [`packed_a_len`] elements; every element is written (valid lanes
+/// copied, padding zeroed), so `dst` needs no pre-clearing.
+pub(crate) fn pack_a(src: &[f32], m: usize, k: usize, trans: bool, mr: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), m * k);
+    debug_assert_eq!(dst.len(), packed_a_len(m, k, mr));
+    if k == 0 {
+        return; // degenerate product: nothing to pack (dst is empty)
+    }
+    for (p, panel) in dst.chunks_exact_mut(mr * k).enumerate() {
+        let i0 = p * mr;
+        let rows = mr.min(m - i0);
+        if trans {
+            // src[k', i]: a packed k-step is a contiguous run of src.
+            for (kk, d) in panel.chunks_exact_mut(mr).enumerate() {
+                d[..rows].copy_from_slice(&src[kk * m + i0..][..rows]);
+                d[rows..].fill(0.0);
+            }
+        } else {
+            // src[i, k']: gather one source row into lane r of every
+            // k-step (a small strided transpose, O(M·K) total).
+            for r in 0..rows {
+                let row = &src[(i0 + r) * k..][..k];
+                for (kk, &v) in row.iter().enumerate() {
+                    panel[kk * mr + r] = v;
+                }
+            }
+            for r in rows..mr {
+                for kk in 0..k {
+                    panel[kk * mr + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the right operand into NR-wide k-major panels.
+///
+/// `src` is row-major `(k, n)` — or `(n, k)` when `trans` is set, in
+/// which case the packed result represents `srcᵀ`. `dst` must hold
+/// [`packed_b_len`] elements; every element is written.
+pub(crate) fn pack_b(src: &[f32], k: usize, n: usize, trans: bool, nr: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), k * n);
+    debug_assert_eq!(dst.len(), packed_b_len(k, n, nr));
+    if k == 0 {
+        return; // degenerate product: nothing to pack (dst is empty)
+    }
+    for (q, panel) in dst.chunks_exact_mut(nr * k).enumerate() {
+        let j0 = q * nr;
+        let cols = nr.min(n - j0);
+        if trans {
+            // src[j, k']: one source row feeds lane c of every k-step.
+            for c in 0..cols {
+                let row = &src[(j0 + c) * k..][..k];
+                for (kk, &v) in row.iter().enumerate() {
+                    panel[kk * nr + c] = v;
+                }
+            }
+            for c in cols..nr {
+                for kk in 0..k {
+                    panel[kk * nr + c] = 0.0;
+                }
+            }
+        } else {
+            // src[k', j]: a packed k-step is a contiguous run of src.
+            for (kk, d) in panel.chunks_exact_mut(nr).enumerate() {
+                d[..cols].copy_from_slice(&src[kk * n + j0..][..cols]);
+                d[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Grows `buf` to at least `len` elements, counting the growth in
+/// `grows` and accounting the new bytes to the `tensor.scratch_bytes`
+/// telemetry counter under `label`. Never shrinks: with stable shapes
+/// the second and every later call is free, which is the property the
+/// zero-steady-state-allocation tests pin down.
+pub(crate) fn grow_scratch(buf: &mut Vec<f32>, len: usize, grows: &mut usize, label: &'static str) {
+    if buf.len() < len {
+        *grows += 1;
+        telemetry::counter_add("tensor.scratch_bytes", label, ((len - buf.len()) * 4) as u64);
+        buf.resize(len, 0.0);
+    }
+}
+
+/// Reusable packed-operand arena for the GEMM family.
+///
+/// One scratch serves any sequence of GEMM calls: each call packs its
+/// operands into the arena, growing it only when a larger shape than
+/// ever before arrives. The `matmul*` entry points without an explicit
+/// scratch use a thread-local one; layers that sit in a training loop
+/// (see `insitu-nn`'s `Linear`) own a scratch so their steady state
+/// allocates nothing in the kernel path.
+///
+/// Cloning yields a fresh empty scratch: the buffers hold no data that
+/// outlives a call, so there is nothing meaningful to copy and cloned
+/// layers should not drag warmed-up capacity around.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    pa: Vec<f32>,
+    pb: Vec<f32>,
+    grows: usize,
+}
+
+impl Clone for GemmScratch {
+    fn clone(&self) -> Self {
+        GemmScratch::new()
+    }
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many times any internal buffer has grown. Constant between
+    /// two calls ⇒ the kernel path performed no heap allocation in
+    /// between.
+    pub fn reallocations(&self) -> usize {
+        self.grows
+    }
+
+    /// Current arena footprint in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        4 * (self.pa.len() + self.pb.len())
+    }
+
+    /// The packed-A / packed-B destination slices for one GEMM call,
+    /// growing the arena if this is the largest shape seen so far.
+    pub(crate) fn panels(&mut self, a_len: usize, b_len: usize) -> (&mut [f32], &mut [f32]) {
+        grow_scratch(&mut self.pa, a_len, &mut self.grows, "gemm");
+        grow_scratch(&mut self.pb, b_len, &mut self.grows, "gemm");
+        (&mut self.pa[..a_len], &mut self.pb[..b_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        // 3×2 matrix, mr = 2: two panels, second padded with one row.
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // rows [1 2] [3 4] [5 6]
+        let mut dst = vec![f32::NAN; packed_a_len(3, 2, 2)];
+        pack_a(&src, 3, 2, false, 2, &mut dst);
+        // Panel 0: k0 -> [1, 3], k1 -> [2, 4]; panel 1: [5, 0], [6, 0].
+        assert_eq!(dst, vec![1.0, 3.0, 2.0, 4.0, 5.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_trans_matches_explicit_transpose() {
+        // src (k=2, m=3) packed with trans == its transpose packed flat.
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // (2,3): [[1 2 3],[4 5 6]]
+        let t = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0]; // (3,2)
+        let mut a = vec![0.0; packed_a_len(3, 2, 2)];
+        let mut b = vec![0.0; packed_a_len(3, 2, 2)];
+        pack_a(&src, 3, 2, true, 2, &mut a);
+        pack_a(&t, 3, 2, false, 2, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        // 2×3 matrix, nr = 2: panel 0 = cols {0,1}, panel 1 = col 2 + pad.
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // (2,3): [[1 2 3],[4 5 6]]
+        let mut dst = vec![f32::NAN; packed_b_len(2, 3, 2)];
+        pack_b(&src, 2, 3, false, 2, &mut dst);
+        assert_eq!(dst, vec![1.0, 2.0, 4.0, 5.0, 3.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_trans_matches_explicit_transpose() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // (n=3, k=2)
+        let t = [1.0, 3.0, 5.0, 2.0, 4.0, 6.0]; // (k=2, n=3)
+        let mut a = vec![0.0; packed_b_len(2, 3, 2)];
+        let mut b = vec![0.0; packed_b_len(2, 3, 2)];
+        pack_b(&src, 2, 3, true, 2, &mut a);
+        pack_b(&t, 2, 3, false, 2, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_grows_only_on_larger_shapes() {
+        let mut s = GemmScratch::new();
+        let _ = s.panels(64, 128);
+        let g1 = s.reallocations();
+        assert!(g1 >= 1);
+        let _ = s.panels(64, 128);
+        let _ = s.panels(32, 16);
+        assert_eq!(s.reallocations(), g1, "smaller or equal shapes must not grow");
+        let _ = s.panels(65, 128);
+        assert!(s.reallocations() > g1);
+        assert!(s.capacity_bytes() >= 4 * (65 + 128));
+        // Clones start cold: scratch capacity is not model state.
+        assert_eq!(s.clone().capacity_bytes(), 0);
+    }
+}

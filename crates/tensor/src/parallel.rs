@@ -315,11 +315,25 @@ impl<T> SendPtr<T> {
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
+/// Physical cores the host actually has, resolved once. Distinct from
+/// [`num_threads`], which callers may set to anything: the *requested*
+/// count sizes the pool, but kernels never split work wider than the
+/// hardware (see [`plan_parts`]) — on a 1-core host, extra threads only
+/// add dispatch and contention cost without any parallel speedup.
+pub(crate) fn host_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Number of parallel parts to split `units` work items into, given the
-/// total floating-point work. Returns 1 (sequential) for small jobs or a
-/// thread count of 1; otherwise `min(threads, units)`.
+/// total floating-point work. Returns 1 (sequential) for small jobs or
+/// an effective thread count of 1; otherwise
+/// `min(threads, host_cores, units)` — the requested thread count is
+/// capped at [`host_cores`], because splitting beyond the physical
+/// cores is a pure loss (the parts time-slice one core and pay the
+/// pool's dispatch overhead on top).
 pub(crate) fn plan_parts(units: usize, flops: u64) -> usize {
-    let t = num_threads();
+    let t = num_threads().min(host_cores());
     if t <= 1 || units <= 1 || flops < PAR_MIN_FLOPS {
         1
     } else {
@@ -335,30 +349,6 @@ pub(crate) fn split_range(n: usize, parts: usize, part: usize) -> Range<usize> {
     let start = part * base + part.min(extra);
     let len = base + usize::from(part < extra);
     start..start + len
-}
-
-/// Splits `out` (a row-major `rows × row_len` buffer) into `parts`
-/// balanced contiguous row bands and runs `f(range, band)` for each, in
-/// parallel. With `parts <= 1` this is a plain call of `f(0..rows, out)`.
-pub(crate) fn par_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, parts: usize, f: F)
-where
-    F: Fn(Range<usize>, &mut [f32]) + Sync,
-{
-    debug_assert_eq!(out.len(), rows * row_len);
-    if parts <= 1 {
-        f(0..rows, out);
-        return;
-    }
-    let base = SendPtr(out.as_mut_ptr());
-    parallel_for(parts, move |p| {
-        let r = split_range(rows, parts, p);
-        // SAFETY: `split_range` partitions `0..rows`, so each task gets
-        // a disjoint band of `out`.
-        let band = unsafe {
-            std::slice::from_raw_parts_mut(base.get().add(r.start * row_len), r.len() * row_len)
-        };
-        f(r, band);
-    });
 }
 
 /// Runs `f(i, chunk_i)` over the consecutive `chunk_len`-sized chunks of
@@ -500,24 +490,6 @@ mod tests {
     }
 
     #[test]
-    fn par_row_chunks_covers_all_rows() {
-        with_threads(4, || {
-            let (rows, row_len) = (13, 7);
-            let mut buf = vec![0.0f32; rows * row_len];
-            par_row_chunks(&mut buf, rows, row_len, 4, |range, band| {
-                for (local, row) in range.clone().enumerate() {
-                    for j in 0..row_len {
-                        band[local * row_len + j] = (row * row_len + j) as f32;
-                    }
-                }
-            });
-            for (i, &v) in buf.iter().enumerate() {
-                assert_eq!(v, i as f32);
-            }
-        });
-    }
-
-    #[test]
     fn par_chunks_mut_matches_serial_chunks() {
         with_threads(4, || {
             let mut data = vec![0u32; 103];
@@ -539,13 +511,25 @@ mod tests {
     #[test]
     fn plan_parts_thresholds() {
         with_threads(4, || {
+            let effective = 4.min(host_cores());
             assert_eq!(plan_parts(8, PAR_MIN_FLOPS - 1), 1, "small jobs stay sequential");
-            assert_eq!(plan_parts(8, PAR_MIN_FLOPS), 4);
-            assert_eq!(plan_parts(2, u64::MAX), 2, "capped by unit count");
+            assert_eq!(plan_parts(8, PAR_MIN_FLOPS), effective, "capped by host cores");
+            assert_eq!(plan_parts(2, u64::MAX), effective.min(2), "capped by unit count");
             assert_eq!(plan_parts(1, u64::MAX), 1);
         });
         with_threads(1, || {
             assert_eq!(plan_parts(1000, u64::MAX), 1);
+        });
+    }
+
+    #[test]
+    fn plan_parts_never_exceeds_host_cores() {
+        // Requesting more threads than the machine has must not widen
+        // the split: the extra parts would time-slice one core and pay
+        // pool dispatch for nothing (the regression BENCH_kernels.json
+        // recorded on a 1-core host).
+        with_threads(MAX_THREADS, || {
+            assert!(plan_parts(usize::MAX, u64::MAX) <= host_cores());
         });
     }
 }

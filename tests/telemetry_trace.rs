@@ -82,9 +82,14 @@ fn traced_session_exports_chrome_trace() {
     insitu::tensor::set_num_threads(1);
 
     let snap = &stats.telemetry;
-    for prefix in
-        ["tensor.", "pool.job", "node.stage", "cloud.update_cycle", "runtime.session"]
-    {
+    for prefix in [
+        "tensor.",
+        "tensor.pack",
+        "pool.job",
+        "node.stage",
+        "cloud.update_cycle",
+        "runtime.session",
+    ] {
         assert!(snap.has_span(prefix), "missing {prefix} spans:\n{}", snap.summary());
     }
     assert!(snap.counter("pool.jobs", "").unwrap().calls >= 1);
@@ -95,6 +100,16 @@ fn traced_session_exports_chrome_trace() {
         .map(|c| c.total)
         .sum();
     assert!(gemm_bytes > 0, "kernels should account bytes");
+    // The packing arenas grew from cold during this session, and every
+    // growth is accounted: pack-vs-compute time and scratch footprints
+    // are both visible in the trace.
+    let scratch_bytes: u64 = snap
+        .counters
+        .iter()
+        .filter(|c| c.name == "tensor.scratch_bytes")
+        .map(|c| c.total)
+        .sum();
+    assert!(scratch_bytes > 0, "scratch growth should be accounted:\n{}", snap.summary());
     // Node and Cloud actors recorded on distinct threads.
     let session_tid =
         snap.spans.iter().find(|s| s.name == "runtime.session").unwrap().tid;
