@@ -25,4 +25,18 @@ grep -q '"speedup_vs_baseline"' /tmp/ci_kernels.json
 grep -q '"traceEvents"' /tmp/ci_trace.json
 rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
 
+# Activation-reuse gates: the fused co-running stage must stay bitwise
+# identical to the unfused reference (property suite across policies,
+# batch sizes and thread counts) and the trunk-pass counter must show
+# one pass per image, not per probe. Then a --quick smoke of the node
+# bench, which exits non-zero on any fused/unfused divergence and must
+# emit the reuse fields CI consumes.
+cargo test -q -p insitu-core --test reuse_properties
+cargo test -q -p insitu-core --test trunk_pass_telemetry
+cargo run --release -q -p insitu-bench --bin node_snapshot -- --quick >/tmp/ci_node.json
+grep -q '"diag_speedup"' /tmp/ci_node.json
+grep -q '"trunk_passes_fused"' /tmp/ci_node.json
+grep -q '"identical": true' /tmp/ci_node.json
+rm -f /tmp/ci_node.json
+
 echo "ci: all gates passed"

@@ -1,0 +1,214 @@
+//! Emits a machine-readable timing snapshot of the co-running stage
+//! pipeline as JSON on stdout: one record per diagnosis policy,
+//! comparing the fused fast path (per-stage logit cache +
+//! tile-embedding reuse) against the unfused reference that recomputes
+//! every forward.
+//!
+//! ```text
+//! cargo run --release -p insitu-bench --bin node_snapshot > BENCH_node.json
+//! ```
+//!
+//! Paper shapes: Mini-AlexNet inference over 36×36×3 images, the
+//! 24-permutation jigsaw diagnosis network sharing conv1–conv3, one
+//! acquisition stage of 32 images at batch 8. Timed loops run with
+//! telemetry disabled; a separate counted pass per pipeline records
+//! `jigsaw.trunk_passes`, the direct witness of the reuse (fused:
+//! one per image; unfused under `JigsawProbe{3}`: three per image).
+//!
+//! Before any timing, both pipelines are run once from the same seed
+//! and their outcomes compared bit-for-bit; a divergence makes the
+//! process exit non-zero, so CI smoke-running this binary doubles as
+//! an end-to-end equivalence check.
+//!
+//! `--quick` shortens the timing sweep for CI smoke: same fields,
+//! noisier numbers.
+
+use insitu_core::{diagnose, diagnose_with_logits, DiagnosisPolicy, InsituNode, StageOutcome};
+use insitu_data::{Condition, Dataset, PermutationSet};
+use insitu_nn::models::{jigsaw_network, mini_alexnet};
+use insitu_nn::transfer::transfer_and_freeze;
+use insitu_nn::{JigsawNet, Sequential};
+use insitu_telemetry as telemetry;
+use insitu_tensor::{Rng, Tensor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const IMAGES: usize = 32;
+const BATCH: usize = 8;
+const CLASSES: usize = 8;
+const PERMS: usize = 24;
+const SEED: u64 = 1337;
+
+const POLICIES: &[(&str, DiagnosisPolicy)] = &[
+    ("jigsaw_probe_3", DiagnosisPolicy::JigsawProbe { probes: 3 }),
+    ("jigsaw_confidence", DiagnosisPolicy::JigsawConfidence { threshold: 0.5 }),
+    ("inference_confidence", DiagnosisPolicy::InferenceConfidence { threshold: 0.5 }),
+    ("oracle", DiagnosisPolicy::Oracle),
+];
+
+/// The deployed pair plus the permutation set, freshly seeded.
+fn make_parts() -> (Sequential, JigsawNet, PermutationSet) {
+    let mut rng = Rng::seed_from(SEED);
+    let jigsaw = jigsaw_network(PERMS, &mut rng).expect("jigsaw net");
+    let mut inference = mini_alexnet(CLASSES, &mut rng).expect("inference net");
+    transfer_and_freeze(jigsaw.trunk(), &mut inference, 3, 3).expect("transfer");
+    let set = PermutationSet::generate(PERMS, &mut rng).expect("perm set");
+    (inference, jigsaw, set)
+}
+
+fn make_node(policy: DiagnosisPolicy) -> InsituNode {
+    let (inference, jigsaw, set) = make_parts();
+    let mut node =
+        InsituNode::new(inference, jigsaw, set, policy, 3, SEED ^ 0x5A).expect("node");
+    node.prewarm(BATCH).expect("prewarm");
+    node
+}
+
+fn stage_data() -> Dataset {
+    Dataset::generate(IMAGES, CLASSES, &Condition::in_situ(), &mut Rng::seed_from(SEED + 1))
+        .expect("stage data")
+}
+
+/// (predictions, verdict bits, upload selection, uploaded bytes).
+type OutcomeBits = (Vec<usize>, Vec<(bool, u32)>, Vec<usize>, u64);
+
+fn outcome_bits(o: &StageOutcome) -> OutcomeBits {
+    (
+        o.predictions.clone(),
+        o.verdicts.iter().map(|v| (v.valuable, v.score.to_bits())).collect(),
+        o.valuable.clone(),
+        o.uploaded_bytes,
+    )
+}
+
+/// Median-of-reps wall time of one full stage, in nanoseconds.
+fn time_stage(
+    node: &mut InsituNode,
+    data: &Dataset,
+    quick: bool,
+    run: impl Fn(&mut InsituNode, &Dataset) -> StageOutcome,
+) -> u128 {
+    // Warm-up beyond prewarm: settle the branch predictors and any
+    // first-touch page faults in the freshly grown workspaces.
+    std::hint::black_box(run(node, data));
+    let reps = if quick { 3 } else { 9 };
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run(node, data));
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Median-of-reps wall time of the diagnosis layer alone (the part the
+/// reuse layer accelerates; the stage numbers fold in the inference
+/// forward both pipelines pay identically), in nanoseconds.
+fn time_diagnosis(data: &Dataset, policy: DiagnosisPolicy, quick: bool, fused: bool) -> u128 {
+    let (mut inference, mut jigsaw, set) = make_parts();
+    // Warm the workspaces the same way the node does, then precompute
+    // the logit cache the fused path would receive from the stage.
+    inference
+        .predict(&Tensor::zeros([BATCH, 3, 36, 36]))
+        .expect("inference prewarm");
+    let mut logit_chunks = Vec::new();
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + BATCH).min(data.len());
+        let sub = data.subset_range(start..end).expect("chunk");
+        logit_chunks.push(inference.predict(sub.images()).expect("logits"));
+        start = end;
+    }
+    let mut rng = Rng::seed_from(SEED ^ 0x5A);
+    let mut run = |rng: &mut Rng| {
+        if fused {
+            diagnose_with_logits(policy, &logit_chunks, &mut jigsaw, &set, data, rng)
+        } else {
+            diagnose(policy, &mut inference, &mut jigsaw, &set, data, BATCH, rng)
+        }
+        .expect("diagnosis")
+    };
+    std::hint::black_box(run(&mut rng));
+    let reps = if quick { 3 } else { 9 };
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(run(&mut rng));
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// `jigsaw.trunk_passes` total over one telemetry-enabled stage.
+fn counted_trunk_passes(
+    node: &mut InsituNode,
+    data: &Dataset,
+    run: impl Fn(&mut InsituNode, &Dataset) -> StageOutcome,
+) -> u64 {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    std::hint::black_box(run(node, data));
+    let snap = telemetry::snapshot();
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    snap.counter("jigsaw.trunk_passes", "").map_or(0, |c| c.total)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    telemetry::set_enabled(false);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = insitu_tensor::num_threads();
+    let data = stage_data();
+    let fused = |n: &mut InsituNode, d: &Dataset| n.process_stage(d, BATCH).expect("stage");
+    let unfused =
+        |n: &mut InsituNode, d: &Dataset| n.process_stage_unfused(d, BATCH).expect("stage");
+    let mut rows = String::new();
+    let mut all_identical = true;
+    for &(name, policy) in POLICIES {
+        // Equivalence gate first: same seed, both pipelines, bit-equal
+        // outcomes — the reuse layer's contract, checked end to end.
+        let identical = {
+            let mut a = make_node(policy);
+            let mut b = make_node(policy);
+            outcome_bits(&fused(&mut a, &data)) == outcome_bits(&unfused(&mut b, &data))
+        };
+        all_identical &= identical;
+        let fused_ns = time_stage(&mut make_node(policy), &data, quick, fused);
+        let unfused_ns = time_stage(&mut make_node(policy), &data, quick, unfused);
+        let speedup = unfused_ns as f64 / fused_ns.max(1) as f64;
+        let diag_fused_ns = time_diagnosis(&data, policy, quick, true);
+        let diag_unfused_ns = time_diagnosis(&data, policy, quick, false);
+        let diag_speedup = diag_unfused_ns as f64 / diag_fused_ns.max(1) as f64;
+        let passes_fused = counted_trunk_passes(&mut make_node(policy), &data, fused);
+        let passes_unfused = counted_trunk_passes(&mut make_node(policy), &data, unfused);
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"policy\": \"{name}\", \"images\": {IMAGES}, \"batch\": {BATCH}, \
+             \"fused_ns_per_stage\": {fused_ns}, \"unfused_ns_per_stage\": {unfused_ns}, \
+             \"speedup\": {speedup:.2}, \"diag_fused_ns\": {diag_fused_ns}, \
+             \"diag_unfused_ns\": {diag_unfused_ns}, \"diag_speedup\": {diag_speedup:.2}, \
+             \"trunk_passes_fused\": {passes_fused}, \
+             \"trunk_passes_unfused\": {passes_unfused}, \"identical\": {identical}}}"
+        );
+    }
+    // Plain write, not println!: a downstream `head` closing the pipe
+    // early is not worth a panic.
+    use std::io::Write as _;
+    let _ = writeln!(
+        std::io::stdout(),
+        "{{\n  \"bench\": \"node_stage\",\n  \"host_cores\": {cores},\n  \
+         \"kernel_threads\": {threads},\n  \"quick\": {quick},\n  \"results\": [\n{rows}\n  ]\n}}"
+    );
+    if !all_identical {
+        eprintln!("node_snapshot: fused and unfused outcomes diverged");
+        std::process::exit(1);
+    }
+}

@@ -28,6 +28,7 @@ use crate::error::CoreError;
 use crate::Result;
 use insitu_data::{jigsaw::normalize_tiles, jigsaw::permute_tiles, patchify, Dataset, PermutationSet};
 use insitu_nn::{confidence, softmax, JigsawNet, Sequential};
+use insitu_telemetry as telemetry;
 use insitu_tensor::{Rng, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -69,11 +70,19 @@ pub struct Verdict {
     pub score: f32,
 }
 
-/// Runs a diagnosis policy over a dataset.
+/// Runs a diagnosis policy over a dataset — the **unfused reference
+/// path**.
 ///
 /// `inference` is consulted by the inference-side policies;
 /// `jigsaw`/`set` by the unsupervised policies. Inputs are processed in
 /// batches of `batch_size`.
+///
+/// Every forward pass is recomputed from scratch: the inference-side
+/// policies re-run the inference network and the jigsaw policies run
+/// the full trunk once per probe. The co-running fast path
+/// ([`diagnose_with_logits`]) must stay bitwise identical to this
+/// function; it is kept public as the differential-testing and
+/// benchmarking oracle.
 ///
 /// # Errors
 ///
@@ -107,22 +116,111 @@ pub fn diagnose(
     }
 }
 
+/// Runs a diagnosis policy reusing the co-running stage's work — the
+/// **fused fast path**.
+///
+/// `logit_chunks` are the inference logits the caller already computed
+/// for this stage, one tensor per consecutive batch (the stage's logit
+/// cache); the inference-side policies read them instead of re-running
+/// the network. The jigsaw policies take the tile-embedding fast path:
+/// one trunk pass over the canonical tiles per image
+/// ([`JigsawNet::tile_features`]), then every probe permutation is a
+/// row gather plus a head pass
+/// ([`JigsawNet::predict_from_features`]).
+///
+/// Verdicts — including the `f32` score bits and the RNG draw order —
+/// are bitwise identical to [`diagnose`] on the same inputs.
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements, or
+/// [`CoreError::BadConfig`] if the cached logit rows do not cover the
+/// dataset exactly or a [`DiagnosisPolicy::JigsawProbe`] has zero
+/// probes.
+pub fn diagnose_with_logits(
+    policy: DiagnosisPolicy,
+    logit_chunks: &[Tensor],
+    jigsaw: &mut JigsawNet,
+    set: &PermutationSet,
+    data: &Dataset,
+    rng: &mut Rng,
+) -> Result<Vec<Verdict>> {
+    match policy {
+        DiagnosisPolicy::Oracle => {
+            let _r = telemetry::span_with("node.reuse", || {
+                format!("logit_cache oracle {} images", data.len())
+            });
+            oracle_from_logits(logit_chunks, data)
+        }
+        DiagnosisPolicy::InferenceConfidence { threshold } => {
+            let _r = telemetry::span_with("node.reuse", || {
+                format!("logit_cache confidence {} images", data.len())
+            });
+            inference_confidence_from_logits(logit_chunks, data, threshold)
+        }
+        DiagnosisPolicy::JigsawProbe { probes } => {
+            if probes == 0 {
+                return Err(CoreError::BadConfig {
+                    reason: "JigsawProbe requires at least one probe".into(),
+                });
+            }
+            let _r = telemetry::span_with("node.reuse", || {
+                format!("tile_embeddings {} images x{probes} probes", data.len())
+            });
+            jigsaw_probe_fused(jigsaw, set, data, probes, rng)
+        }
+        DiagnosisPolicy::JigsawConfidence { threshold } => {
+            let _r = telemetry::span_with("node.reuse", || {
+                format!("tile_embeddings {} images x1 probe", data.len())
+            });
+            jigsaw_confidence_fused(jigsaw, set, data, threshold, rng)
+        }
+    }
+}
+
 fn oracle(
     inference: &mut Sequential,
     data: &Dataset,
     batch_size: usize,
 ) -> Result<Vec<Verdict>> {
     let mut verdicts = Vec::with_capacity(data.len());
-    let indices: Vec<usize> = (0..data.len()).collect();
-    for chunk in indices.chunks(batch_size.max(1)) {
-        let sub = data.subset(chunk)?;
+    let bs = batch_size.max(1);
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + bs).min(data.len());
+        let sub = data.subset_range(start..end)?;
         let logits = inference.predict(sub.images())?;
         let preds = insitu_nn::predictions(&logits)?;
         for (p, &label) in preds.iter().zip(sub.labels()) {
             let correct = *p == label;
             verdicts.push(Verdict { valuable: !correct, score: f32::from(u8::from(correct)) });
         }
+        start = end;
     }
+    Ok(verdicts)
+}
+
+/// [`oracle`] over cached logits: no dataset copies, no forward pass.
+fn oracle_from_logits(logit_chunks: &[Tensor], data: &Dataset) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    let mut offset = 0usize;
+    for logits in logit_chunks {
+        let preds = insitu_nn::predictions(logits)?;
+        let labels = data.labels().get(offset..offset + preds.len()).ok_or_else(|| {
+            CoreError::BadConfig {
+                reason: format!(
+                    "logit cache covers more rows than the {}-image stage",
+                    data.len()
+                ),
+            }
+        })?;
+        for (p, &label) in preds.iter().zip(labels) {
+            let correct = *p == label;
+            verdicts.push(Verdict { valuable: !correct, score: f32::from(u8::from(correct)) });
+        }
+        offset += preds.len();
+    }
+    check_covered(offset, data.len())?;
     Ok(verdicts)
 }
 
@@ -133,15 +231,45 @@ fn inference_confidence(
     threshold: f32,
 ) -> Result<Vec<Verdict>> {
     let mut verdicts = Vec::with_capacity(data.len());
-    let indices: Vec<usize> = (0..data.len()).collect();
-    for chunk in indices.chunks(batch_size.max(1)) {
-        let sub = data.subset(chunk)?;
+    let bs = batch_size.max(1);
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + bs).min(data.len());
+        let sub = data.subset_range(start..end)?;
         let logits = inference.predict(sub.images())?;
         for c in confidence(&logits)? {
             verdicts.push(Verdict { valuable: c < threshold, score: c });
         }
+        start = end;
     }
     Ok(verdicts)
+}
+
+/// [`inference_confidence`] over cached logits.
+fn inference_confidence_from_logits(
+    logit_chunks: &[Tensor],
+    data: &Dataset,
+    threshold: f32,
+) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    for logits in logit_chunks {
+        for c in confidence(logits)? {
+            verdicts.push(Verdict { valuable: c < threshold, score: c });
+        }
+    }
+    check_covered(verdicts.len(), data.len())?;
+    Ok(verdicts)
+}
+
+/// The logit cache must cover the stage exactly: a silent mismatch
+/// would misalign verdicts and images.
+fn check_covered(rows: usize, images: usize) -> Result<()> {
+    if rows != images {
+        return Err(CoreError::BadConfig {
+            reason: format!("logit cache has {rows} rows for a {images}-image stage"),
+        });
+    }
+    Ok(())
 }
 
 /// Builds the probe input for one image: tiles shuffled by `perm`.
@@ -193,6 +321,60 @@ fn jigsaw_confidence(
         let cls = rng.below(set.len());
         let input = probe_input(&image, set.permutation(cls))?;
         let logits = jigsaw.predict(&input)?;
+        let probs = softmax(&logits)?;
+        let p_true = probs.at(&[0, cls]).map_err(insitu_nn::NnError::from)?;
+        verdicts.push(Verdict { valuable: p_true < threshold, score: p_true });
+    }
+    Ok(verdicts)
+}
+
+/// Canonical-order normalized tiles of one image — the shared input of
+/// both jigsaw fast paths.
+fn canonical_tiles(data: &Dataset, i: usize) -> Result<Tensor> {
+    Ok(normalize_tiles(&patchify(&data.image(i)?)?)?)
+}
+
+/// [`jigsaw_probe`] via the tile-embedding fast path: one trunk pass
+/// per image, one head pass per probe. Draws the RNG in the same order
+/// as the reference, so verdicts are bitwise identical.
+fn jigsaw_probe_fused(
+    jigsaw: &mut JigsawNet,
+    set: &PermutationSet,
+    data: &Dataset,
+    probes: usize,
+    rng: &mut Rng,
+) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let feats = jigsaw.tile_features(&canonical_tiles(data, i)?)?;
+        let mut correct = 0usize;
+        for _ in 0..probes {
+            let cls = rng.below(set.len());
+            let logits = jigsaw.predict_from_features(&feats, set.permutation(cls))?;
+            let pred = insitu_nn::predictions(&logits)?[0];
+            if pred == cls {
+                correct += 1;
+            }
+        }
+        let score = correct as f32 / probes as f32;
+        verdicts.push(Verdict { valuable: 2 * correct < probes || correct == 0, score });
+    }
+    Ok(verdicts)
+}
+
+/// [`jigsaw_confidence`] via the tile-embedding fast path.
+fn jigsaw_confidence_fused(
+    jigsaw: &mut JigsawNet,
+    set: &PermutationSet,
+    data: &Dataset,
+    threshold: f32,
+    rng: &mut Rng,
+) -> Result<Vec<Verdict>> {
+    let mut verdicts = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let feats = jigsaw.tile_features(&canonical_tiles(data, i)?)?;
+        let cls = rng.below(set.len());
+        let logits = jigsaw.predict_from_features(&feats, set.permutation(cls))?;
         let probs = softmax(&logits)?;
         let p_true = probs.at(&[0, cls]).map_err(insitu_nn::NnError::from)?;
         verdicts.push(Verdict { valuable: p_true < threshold, score: p_true });
@@ -304,6 +486,75 @@ mod tests {
             &set,
             &data,
             4,
+            &mut rng,
+        )
+        .is_err());
+    }
+
+    /// Chunked inference logits, as `process_stage` caches them.
+    fn logit_chunks(inf: &mut Sequential, data: &Dataset, bs: usize) -> Vec<Tensor> {
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        while start < data.len() {
+            let end = (start + bs).min(data.len());
+            let sub = data.subset_range(start..end).unwrap();
+            chunks.push(inf.predict(sub.images()).unwrap());
+            start = end;
+        }
+        chunks
+    }
+
+    fn verdict_bits(verdicts: &[Verdict]) -> Vec<(bool, u32)> {
+        verdicts.iter().map(|v| (v.valuable, v.score.to_bits())).collect()
+    }
+
+    #[test]
+    fn fused_matches_reference_for_every_policy() {
+        let policies = [
+            DiagnosisPolicy::Oracle,
+            DiagnosisPolicy::InferenceConfidence { threshold: 0.5 },
+            DiagnosisPolicy::JigsawProbe { probes: 3 },
+            DiagnosisPolicy::JigsawConfidence { threshold: 0.5 },
+        ];
+        for policy in policies {
+            let (mut inf, mut jig, set, data, _) = setup();
+            let mut rng_ref = Rng::seed_from(77);
+            let mut rng_fused = Rng::seed_from(77);
+            let reference =
+                diagnose(policy, &mut inf, &mut jig, &set, &data, 4, &mut rng_ref).unwrap();
+            let chunks = logit_chunks(&mut inf, &data, 4);
+            let fused =
+                diagnose_with_logits(policy, &chunks, &mut jig, &set, &data, &mut rng_fused)
+                    .unwrap();
+            assert_eq!(
+                verdict_bits(&fused),
+                verdict_bits(&reference),
+                "fused diverged under {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_rejects_mismatched_logit_cache() {
+        let (mut inf, mut jig, set, data, mut rng) = setup();
+        // One chunk short: the cache covers 8 of 10 images.
+        let mut chunks = logit_chunks(&mut inf, &data, 4);
+        chunks.pop();
+        for policy in
+            [DiagnosisPolicy::Oracle, DiagnosisPolicy::InferenceConfidence { threshold: 0.5 }]
+        {
+            assert!(matches!(
+                diagnose_with_logits(policy, &chunks, &mut jig, &set, &data, &mut rng),
+                Err(CoreError::BadConfig { .. })
+            ));
+        }
+        // Zero probes rejected on the fused path too.
+        assert!(diagnose_with_logits(
+            DiagnosisPolicy::JigsawProbe { probes: 0 },
+            &[],
+            &mut jig,
+            &set,
+            &data,
             &mut rng,
         )
         .is_err());

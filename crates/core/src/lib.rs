@@ -40,7 +40,7 @@ mod planner;
 mod runtime;
 mod update;
 
-pub use diagnosis::{diagnose, valuable_indices, DiagnosisPolicy, Verdict};
+pub use diagnosis::{diagnose, diagnose_with_logits, valuable_indices, DiagnosisPolicy, Verdict};
 pub use error::CoreError;
 pub use metrics::{DataMovementMeter, EnergyMeter, UpdateClock, IMAGE_BYTES};
 pub use modes::{select_mode, Availability, Platform, WorkingMode};

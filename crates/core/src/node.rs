@@ -1,6 +1,8 @@
 //! The In-situ AI node: inference + autonomous diagnosis at the edge.
 
-use crate::diagnosis::{diagnose, valuable_indices, DiagnosisPolicy, Verdict};
+use crate::diagnosis::{
+    diagnose, diagnose_with_logits, valuable_indices, DiagnosisPolicy, Verdict,
+};
 use crate::error::CoreError;
 use crate::metrics::{DataMovementMeter, IMAGE_BYTES};
 use crate::update::ModelUpdate;
@@ -133,23 +135,38 @@ impl InsituNode {
         &self.jigsaw
     }
 
-    /// Warms every kernel workspace by pushing one zeroed batch through
-    /// the inference network in Eval mode (the prediction is discarded).
+    /// Mutable borrow of the deployed diagnosis network.
+    pub fn jigsaw_mut(&mut self) -> &mut JigsawNet {
+        &mut self.jigsaw
+    }
+
+    /// Warms every kernel workspace by pushing zeroed batches through
+    /// **both** deployed networks in Eval mode (outputs discarded).
     ///
     /// The conv workspaces and GEMM packing arenas inside the layers
     /// grow to their steady-state size on first use; running that first
     /// use here — before the stream starts — means the session's real
-    /// batches hit the zero-allocation kernel path from image one.
+    /// batches hit the zero-allocation kernel path from image one. The
+    /// diagnosis warm-up covers both probe shapes the stage can take:
+    /// the folded full forward (the unfused reference) and the
+    /// tile-embedding fast path (trunk at tile-batch size plus the
+    /// feature-gather head pass).
     ///
     /// # Errors
     ///
     /// Returns an error on shape disagreements (a network that cannot
     /// consume the deployment's image shape).
     pub fn prewarm(&mut self, batch: usize) -> Result<()> {
-        use insitu_nn::models::{CHANNELS, IMAGE_SIZE};
+        use insitu_nn::models::{CHANNELS, IMAGE_SIZE, PATCHES, PATCH_SIZE};
         let _t = telemetry::span_with("node.prewarm", || format!("bs{batch}"));
         let zeros = Tensor::zeros([batch.max(1), CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
         self.inference.predict(&zeros)?;
+        let probe = Tensor::zeros([1, PATCHES, CHANNELS, PATCH_SIZE, PATCH_SIZE]);
+        self.jigsaw.predict(&probe)?;
+        let tiles = Tensor::zeros([PATCHES, CHANNELS, PATCH_SIZE, PATCH_SIZE]);
+        let feats = self.jigsaw.tile_features(&tiles)?;
+        let identity: Vec<u8> = (0..PATCHES as u8).collect();
+        self.jigsaw.predict_from_features(&feats, &identity)?;
         Ok(())
     }
 
@@ -169,24 +186,80 @@ impl InsituNode {
     /// Processes one acquisition stage: runs inference on every image,
     /// diagnoses which images are valuable, and accounts the upload.
     ///
+    /// This is the **co-running fast path**: the inference forward runs
+    /// exactly once per image and its logits are handed to the
+    /// diagnosis policies as a per-stage cache, and the jigsaw policies
+    /// evaluate every probe permutation from one cached trunk pass per
+    /// image (see [`diagnose_with_logits`]). Predictions and verdicts
+    /// are bitwise identical to the unfused reference
+    /// ([`process_stage_unfused`](InsituNode::process_stage_unfused)).
+    ///
     /// # Errors
     ///
     /// Returns an error on shape disagreements.
     pub fn process_stage(&mut self, data: &Dataset, batch: usize) -> Result<StageOutcome> {
         let _t =
             telemetry::span_with("node.stage", || format!("{} images @bs{batch}", data.len()));
-        // Inference task: predictions for the end application.
+        // Inference task: predictions for the end application. The
+        // per-chunk logits double as the diagnosis logit cache.
         let mut predictions = Vec::with_capacity(data.len());
-        let indices: Vec<usize> = (0..data.len()).collect();
+        let bs = batch.max(1);
+        let mut logit_chunks = Vec::with_capacity(data.len().div_ceil(bs));
         {
             let _inf = telemetry::span("node.inference");
-            for chunk in indices.chunks(batch.max(1)) {
-                let sub = data.subset(chunk)?;
+            let mut start = 0;
+            while start < data.len() {
+                let end = (start + bs).min(data.len());
+                let sub = data.subset_range(start..end)?;
                 let logits = self.inference.predict(sub.images())?;
                 predictions.extend(insitu_nn::predictions(&logits)?);
+                logit_chunks.push(logits);
+                start = end;
             }
         }
-        // Diagnosis task: select valuable data.
+        // Diagnosis task: select valuable data, reusing the shared work.
+        let _diag = telemetry::span("node.diagnosis");
+        let verdicts = diagnose_with_logits(
+            self.policy,
+            &logit_chunks,
+            &mut self.jigsaw,
+            &self.perm_set,
+            data,
+            &mut self.rng,
+        )?;
+        self.finish_stage(data, predictions, verdicts)
+    }
+
+    /// Processes one stage on the **unfused reference path**: the
+    /// diagnosis policies recompute the inference forward and run one
+    /// full jigsaw trunk pass per probe, exactly as the node did before
+    /// the activation-reuse layer existed.
+    ///
+    /// Kept public as the differential-testing oracle and the "before"
+    /// side of the `node_snapshot` benchmark;
+    /// [`process_stage`](InsituNode::process_stage) must stay bitwise
+    /// identical to it (same predictions, verdict bits and RNG stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn process_stage_unfused(&mut self, data: &Dataset, batch: usize) -> Result<StageOutcome> {
+        let _t = telemetry::span_with("node.stage_unfused", || {
+            format!("{} images @bs{batch}", data.len())
+        });
+        let mut predictions = Vec::with_capacity(data.len());
+        let bs = batch.max(1);
+        {
+            let _inf = telemetry::span("node.inference");
+            let mut start = 0;
+            while start < data.len() {
+                let end = (start + bs).min(data.len());
+                let sub = data.subset_range(start..end)?;
+                let logits = self.inference.predict(sub.images())?;
+                predictions.extend(insitu_nn::predictions(&logits)?);
+                start = end;
+            }
+        }
         let _diag = telemetry::span("node.diagnosis");
         let verdicts = diagnose(
             self.policy,
@@ -197,6 +270,16 @@ impl InsituNode {
             batch,
             &mut self.rng,
         )?;
+        self.finish_stage(data, predictions, verdicts)
+    }
+
+    /// Shared stage epilogue: upload selection and movement accounting.
+    fn finish_stage(
+        &mut self,
+        data: &Dataset,
+        predictions: Vec<usize>,
+        verdicts: Vec<Verdict>,
+    ) -> Result<StageOutcome> {
         let valuable = valuable_indices(&verdicts);
         let uploaded_bytes = valuable.len() as u64 * IMAGE_BYTES;
         self.movement.record(data.len() as u64, valuable.len() as u64);

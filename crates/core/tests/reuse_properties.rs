@@ -1,0 +1,133 @@
+//! The co-running activation-reuse contract: the fused stage pipeline
+//! (logit cache + tile-embedding fast path) must be **bitwise
+//! identical** to the unfused reference for every diagnosis policy, at
+//! any batch size, image count and kernel thread count.
+//!
+//! Two nodes are built from the same seed; one runs
+//! [`InsituNode::process_stage`] (fused), the other
+//! [`InsituNode::process_stage_unfused`] (reference). Everything the
+//! stage produces is compared at the bit level: predictions, verdict
+//! flags, verdict score bits, upload selection and byte accounting —
+//! and, because the jigsaw policies draw probe permutations from the
+//! node RNG, equality also proves the fused path consumes the RNG
+//! stream in exactly the reference order.
+
+use insitu_core::{DiagnosisPolicy, InsituNode, StageOutcome};
+use insitu_data::{Condition, Dataset, PermutationSet};
+use insitu_nn::models::{jigsaw_network, mini_alexnet};
+use insitu_nn::transfer::transfer_and_freeze;
+use insitu_tensor::{num_threads, set_num_threads, Rng};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes access to the global kernel thread count.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = num_threads();
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(prev);
+    out
+}
+
+const PERMS: usize = 8;
+const CLASSES: usize = 4;
+
+fn make_node(seed: u64, policy: DiagnosisPolicy) -> InsituNode {
+    let mut rng = Rng::seed_from(seed);
+    let jigsaw = jigsaw_network(PERMS, &mut rng).unwrap();
+    let mut inference = mini_alexnet(CLASSES, &mut rng).unwrap();
+    transfer_and_freeze(jigsaw.trunk(), &mut inference, 3, 3).unwrap();
+    let set = PermutationSet::generate(PERMS, &mut rng).unwrap();
+    InsituNode::new(inference, jigsaw, set, policy, 3, seed ^ 0xA5).unwrap()
+}
+
+/// Every bit the stage outcome carries, in comparable form:
+/// (predictions, verdict bits, upload selection, uploaded bytes).
+type OutcomeBits = (Vec<usize>, Vec<(bool, u32)>, Vec<usize>, u64);
+
+fn outcome_bits(o: &StageOutcome) -> OutcomeBits {
+    (
+        o.predictions.clone(),
+        o.verdicts.iter().map(|v| (v.valuable, v.score.to_bits())).collect(),
+        o.valuable.clone(),
+        o.uploaded_bytes,
+    )
+}
+
+fn policy_from_index(idx: usize) -> DiagnosisPolicy {
+    match idx {
+        0 => DiagnosisPolicy::Oracle,
+        1 => DiagnosisPolicy::InferenceConfidence { threshold: 0.6 },
+        2 => DiagnosisPolicy::JigsawProbe { probes: 3 },
+        _ => DiagnosisPolicy::JigsawConfidence { threshold: 0.4 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fused == unfused, bitwise, across seeds, ragged batch sizes,
+    /// image counts, all four policies and 1/2/4 kernel threads. The
+    /// single-thread reference outcome is also pinned across thread
+    /// counts, so parallelism cannot smuggle in a divergence either.
+    #[test]
+    fn fused_stage_is_bitwise_identical_to_reference(
+        seed in 0u64..500,
+        batch in 1usize..9,
+        images in 1usize..11,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = policy_from_index(policy_idx);
+        let data = Dataset::generate(
+            images,
+            CLASSES,
+            &Condition::in_situ(),
+            &mut Rng::seed_from(seed.wrapping_add(991)),
+        )
+        .unwrap();
+        let mut pinned: Option<OutcomeBits> = None;
+        for threads in [1usize, 2, 4] {
+            let (fused, reference) = with_threads(threads, || {
+                let mut a = make_node(seed, policy);
+                let mut b = make_node(seed, policy);
+                a.prewarm(batch).unwrap();
+                b.prewarm(batch).unwrap();
+                (
+                    outcome_bits(&a.process_stage(&data, batch).unwrap()),
+                    outcome_bits(&b.process_stage_unfused(&data, batch).unwrap()),
+                )
+            });
+            // (policy, threads) context lives in the proptest case
+            // inputs; the stub's prop_assert_eq! is two-argument only.
+            prop_assert_eq!(&fused, &reference);
+            match &pinned {
+                None => pinned = Some(fused),
+                Some(first) => prop_assert_eq!(first, &fused),
+            }
+        }
+    }
+}
+
+/// Repeated fused stages on one node keep matching a reference node
+/// that consumed the identical stream — the logit cache and embedding
+/// buffers carry no state across stages.
+#[test]
+fn fused_path_is_stateless_across_stages() {
+    let policy = DiagnosisPolicy::JigsawProbe { probes: 2 };
+    let mut fused = make_node(41, policy);
+    let mut reference = make_node(41, policy);
+    fused.prewarm(4).unwrap();
+    reference.prewarm(4).unwrap();
+    let mut rng = Rng::seed_from(1234);
+    for stage in 0..3 {
+        let data = Dataset::generate(7, CLASSES, &Condition::in_situ(), &mut rng).unwrap();
+        let a = fused.process_stage(&data, 4).unwrap();
+        let b = reference.process_stage_unfused(&data, 4).unwrap();
+        assert_eq!(outcome_bits(&a), outcome_bits(&b), "stage {stage} diverged");
+    }
+    assert_eq!(fused.movement().images_seen, reference.movement().images_seen);
+    assert_eq!(fused.movement().images_uploaded, reference.movement().images_uploaded);
+}

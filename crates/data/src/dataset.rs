@@ -143,6 +143,34 @@ impl Dataset {
         })
     }
 
+    /// Copies the contiguous sample range `range` into a new dataset.
+    ///
+    /// The allocation-light sibling of [`subset`](Dataset::subset) for
+    /// batch loops that walk a dataset front to back: one bulk copy,
+    /// no index vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range reaches past the end.
+    pub fn subset_range(&self, range: std::ops::Range<usize>) -> Result<Dataset> {
+        if range.start > range.end || range.end > self.len() {
+            return Err(DataError::BadConfig {
+                reason: format!("range {range:?} out of {}", self.len()),
+            });
+        }
+        let sample_len = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+        let data =
+            self.images.as_slice()[range.start * sample_len..range.end * sample_len].to_vec();
+        Ok(Dataset {
+            images: Tensor::from_vec(
+                [range.len(), CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
+                data,
+            )?,
+            labels: self.labels[range].to_vec(),
+            num_classes: self.num_classes,
+        })
+    }
+
     /// Concatenates two datasets with the same class space.
     ///
     /// # Errors
@@ -209,6 +237,16 @@ mod tests {
         let a = Dataset::generate(8, 3, &Condition::ideal(), &mut Rng::seed_from(5)).unwrap();
         let b = Dataset::generate(8, 3, &Condition::ideal(), &mut Rng::seed_from(5)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subset_range_matches_subset() {
+        let mut rng = Rng::seed_from(7);
+        let d = small(&mut rng);
+        let indices: Vec<usize> = (4..13).collect();
+        assert_eq!(d.subset_range(4..13).unwrap(), d.subset(&indices).unwrap());
+        assert_eq!(d.subset_range(5..5).unwrap().len(), 0);
+        assert!(d.subset_range(4..21).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::error::NnError;
 use crate::layer::Mode;
 use crate::net::{Network, Sequential};
 use crate::Result;
+use insitu_telemetry as telemetry;
 use insitu_tensor::Tensor;
 
 /// A siamese network: one shared trunk applied to `patches` inputs,
@@ -30,6 +31,9 @@ pub struct JigsawNet {
     feature_len: usize,
     /// Batch size of the latest training-mode forward.
     last_batch: usize,
+    /// Reusable `(1, patches · feature_len)` head-input buffer for the
+    /// tile-embedding fast path; sized once at construction.
+    gather: Tensor,
 }
 
 impl JigsawNet {
@@ -66,7 +70,14 @@ impl JigsawNet {
                 });
             }
         }
-        Ok(JigsawNet { trunk, head, patches, feature_len, last_batch: 0 })
+        Ok(JigsawNet {
+            trunk,
+            head,
+            patches,
+            feature_len,
+            last_batch: 0,
+            gather: Tensor::zeros([1, patches * feature_len]),
+        })
     }
 
     /// The shared convolutional trunk.
@@ -103,6 +114,85 @@ impl JigsawNet {
         self.forward(input, Mode::Eval)
     }
 
+    /// Trunk features for one sample's tiles: input `(P, C, h, w)` —
+    /// the `patches` tiles in any fixed order — output `(P, F)`.
+    ///
+    /// The trunk processes every tile independently (per-sample
+    /// im2col + GEMM), so row `p` of the result is bitwise the feature
+    /// vector the folded [`forward`](Network::forward) pass would
+    /// produce for that tile at *any* batch position: permuting tiles
+    /// only permutes rows. That equivariance is what lets
+    /// [`predict_from_features`](JigsawNet::predict_from_features)
+    /// evaluate any number of permutations from one trunk pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not `(patches, C, h, w)` or
+    /// the trunk output width disagrees with the configured feature
+    /// length.
+    pub fn tile_features(&mut self, tiles: &Tensor) -> Result<Tensor> {
+        let d = tiles.dims();
+        if d.len() != 4 || d[0] != self.patches {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw tile_features".into(),
+                expected: vec![self.patches, 0, 0, 0],
+                actual: d.to_vec(),
+            });
+        }
+        let feats = self.trunk.forward(tiles, Mode::Eval)?;
+        let fd = feats.dims();
+        if fd.len() != 2 || fd[1] != self.feature_len {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw trunk output".into(),
+                expected: vec![self.patches, self.feature_len],
+                actual: fd.to_vec(),
+            });
+        }
+        telemetry::counter_add("jigsaw.trunk_passes", "", 1);
+        Ok(feats)
+    }
+
+    /// Head logits for cached tile features under a permutation:
+    /// `out[dest] = feats[perm[dest]]` rows are gathered into the
+    /// reusable head-input buffer and only the head runs.
+    ///
+    /// Bitwise identical to [`predict`](JigsawNet::predict) on the
+    /// permuted tiles (`(1, P, C, h, w)` input), at the cost of one
+    /// row gather plus a head pass instead of a full trunk pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `feats` is not the `(patches, feature_len)`
+    /// output of [`tile_features`](JigsawNet::tile_features), or if
+    /// `perm` is not a length-`patches` list of in-range tile indices.
+    pub fn predict_from_features(&mut self, feats: &Tensor, perm: &[u8]) -> Result<Tensor> {
+        let fd = feats.dims();
+        if fd.len() != 2 || fd[0] != self.patches || fd[1] != self.feature_len {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw predict_from_features".into(),
+                expected: vec![self.patches, self.feature_len],
+                actual: fd.to_vec(),
+            });
+        }
+        if perm.len() != self.patches
+            || perm.iter().any(|&s| usize::from(s) >= self.patches)
+        {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw permutation".into(),
+                expected: vec![self.patches],
+                actual: vec![perm.len()],
+            });
+        }
+        let f = self.feature_len;
+        let src = feats.as_slice();
+        let dst = self.gather.as_mut_slice();
+        for (dest, &source) in perm.iter().enumerate() {
+            let s = usize::from(source);
+            dst[dest * f..(dest + 1) * f].copy_from_slice(&src[s * f..(s + 1) * f]);
+        }
+        self.head.forward(&self.gather, Mode::Eval)
+    }
+
     fn fold_patches(&self, input: &Tensor) -> Result<(Tensor, usize)> {
         let d = input.dims();
         if d.len() != 5 || d[1] != self.patches {
@@ -122,6 +212,9 @@ impl Network for JigsawNet {
     /// Input shape: `(B, P, C, h, w)`; output: `(B, classes)`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let (folded, b) = self.fold_patches(input)?;
+        // One "trunk pass" per image: the unit the diagnosis fast path
+        // saves (`tile_features` counts 1 where this counts `b`).
+        telemetry::counter_add("jigsaw.trunk_passes", "", b as u64);
         let feats = self.trunk.forward(&folded, mode)?; // (B*P, F)
         let fd = feats.dims();
         if fd.len() != 2 || fd[1] != self.feature_len {
@@ -268,6 +361,53 @@ mod tests {
         for p in 1..4 {
             assert_eq!(feats.row(p).unwrap(), f0);
         }
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn predict_from_features_matches_full_forward_bitwise() {
+        // For every permutation of the 4 tiles, gathering cached trunk
+        // features into the head must reproduce the folded forward on
+        // the permuted tiles exactly (the co-running fast path's
+        // correctness contract).
+        let mut rng = Rng::seed_from(8);
+        let mut net = tiny_jigsaw(&mut rng);
+        let tiles = Tensor::randn([4, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let feats = net.tile_features(&tiles).unwrap();
+        assert_eq!(feats.dims(), &[4, 36]);
+        let perms: [[u8; 4]; 4] = [[0, 1, 2, 3], [3, 2, 1, 0], [1, 0, 3, 2], [2, 0, 3, 1]];
+        let tile_len = 6 * 6; // one 1-channel 6x6 tile
+        let tv = tiles.as_slice();
+        for perm in &perms {
+            // Reference: permute the raw tiles, run the full network.
+            let mut permuted = Vec::with_capacity(tv.len());
+            for &src in perm {
+                let s = src as usize * tile_len;
+                permuted.extend_from_slice(&tv[s..s + tile_len]);
+            }
+            let x = Tensor::from_vec([1, 4, 1, 6, 6], permuted).unwrap();
+            let full = net.predict(&x).unwrap();
+            let fast = net.predict_from_features(&feats, perm).unwrap();
+            assert_eq!(bits(&fast), bits(&full), "perm {perm:?} diverged");
+        }
+    }
+
+    #[test]
+    fn fast_path_rejects_bad_shapes() {
+        let mut rng = Rng::seed_from(9);
+        let mut net = tiny_jigsaw(&mut rng);
+        // Wrong tile count.
+        assert!(net.tile_features(&Tensor::zeros([3, 1, 6, 6])).is_err());
+        // Wrong feature shape.
+        let bad = Tensor::zeros([4, 35]);
+        assert!(net.predict_from_features(&bad, &[0, 1, 2, 3]).is_err());
+        let feats = net.tile_features(&Tensor::zeros([4, 1, 6, 6])).unwrap();
+        // Wrong permutation length and out-of-range tile index.
+        assert!(net.predict_from_features(&feats, &[0, 1, 2]).is_err());
+        assert!(net.predict_from_features(&feats, &[0, 1, 2, 4]).is_err());
     }
 
     #[test]
