@@ -13,6 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 # 1/2/4 threads, plus the scratch-reuse allocation contract).
 cargo test -q -p insitu-tensor --test packed_gemm
 
+# Fixed-point gates: the i8 GEMM must stay bitwise identical to its
+# naive i32 oracle at any shape and thread count, under both the
+# vectorized and the portable kernel (INSITU_GEMM_KERNEL=scalar pins
+# the i8 micro-kernel together with the f32 one), and the quantized
+# end-to-end path must hold held-out accuracy within two points of
+# f32 (plus exact f32 restoration when the precision knob flips back).
+cargo test -q -p insitu-tensor --test quant_gemm
+INSITU_GEMM_KERNEL=scalar cargo test -q -p insitu-tensor --test quant_gemm
+cargo test -q -p insitu-core --test quantized_inference
+
 # Telemetry gates: the end-to-end trace test, then a smoke of the
 # Chrome-trace exporter through the bench bin (trace goes to stderr,
 # snapshot JSON to stdout — both must stay well-formed). --quick keeps
@@ -22,6 +32,8 @@ INSITU_TRACE=1 cargo run --release -q -p insitu-bench --bin kernels_snapshot -- 
     >/tmp/ci_kernels.json 2>/tmp/ci_trace.json
 grep -q '"ns_per_iter"' /tmp/ci_kernels.json
 grep -q '"speedup_vs_baseline"' /tmp/ci_kernels.json
+grep -q '"precision": "i8"' /tmp/ci_kernels.json
+grep -q '"speedup_vs_f32"' /tmp/ci_kernels.json
 grep -q '"traceEvents"' /tmp/ci_trace.json
 rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
 
@@ -37,6 +49,8 @@ cargo run --release -q -p insitu-bench --bin node_snapshot -- --quick >/tmp/ci_n
 grep -q '"diag_speedup"' /tmp/ci_node.json
 grep -q '"trunk_passes_fused"' /tmp/ci_node.json
 grep -q '"identical": true' /tmp/ci_node.json
+grep -q '"i8_ns_per_stage"' /tmp/ci_node.json
+grep -q '"accuracy_delta_points"' /tmp/ci_node.json
 rm -f /tmp/ci_node.json
 
 echo "ci: all gates passed"

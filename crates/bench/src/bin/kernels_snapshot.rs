@@ -16,7 +16,11 @@
 //! Each row carries `gflops` (2·M·K·N per iteration over the measured
 //! wall time) and, for the shapes with an embedded pre-packing
 //! baseline, `baseline_ns_per_iter` + `speedup_vs_baseline` — the
-//! before/after record of the packed-kernel rewrite. Rows also carry
+//! before/after record of the packed-kernel rewrite. Every f32 row is
+//! paired with a `"precision": "i8"` row timing the fixed-point GEMM
+//! on the same shape; i8 rows carry `speedup_vs_f32` measured against
+//! the f32 packed time at the same thread count *in this run*, so the
+//! ratio is host-noise-free. Rows also carry
 //! telemetry counter totals (GEMM calls, bytes per iteration, pool
 //! jobs) from a separate *counted* pass — the timed loop always runs
 //! with telemetry disabled, so the ns/iter numbers stay comparable to
@@ -27,7 +31,10 @@
 //! same fields, noisier numbers.
 
 use insitu_telemetry as telemetry;
-use insitu_tensor::{gemm_kernel_name, matmul, set_num_threads, Rng, Tensor};
+use insitu_tensor::{
+    gemm_kernel_name, matmul, matmul_i8, max_abs, quant_scale, quantize_i8, set_num_threads, Rng,
+    Tensor,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -73,6 +80,44 @@ fn time_matmul(a: &Tensor, b: &Tensor, quick: bool) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// Times the i8 GEMM interleaved with the f32 GEMM on the same
+/// operands: each rep measures both back to back, so `speedup_vs_f32`
+/// is a median of per-rep ratios and clock drift between the two
+/// measurements cancels out. Returns (i8 ns/iter, speedup vs f32).
+fn time_matmul_i8_vs_f32(
+    a: &Tensor,
+    b: &Tensor,
+    qa: &[i8],
+    qb: &[i8],
+    quick: bool,
+) -> (u128, f64) {
+    let (m, k, n) = (a.dims()[0], a.dims()[1], b.dims()[1]);
+    for _ in 0..3 {
+        std::hint::black_box(matmul(a, b).unwrap());
+        std::hint::black_box(matmul_i8(qa, qb, m, k, n).unwrap());
+    }
+    let (reps, iters) = if quick { (3, 3u32) } else { (7, 10u32) };
+    let mut i8_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(matmul(a, b).unwrap());
+        }
+        let f32_sample = start.elapsed().as_nanos() / u128::from(iters);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(matmul_i8(qa, qb, m, k, n).unwrap());
+        }
+        let i8_sample = start.elapsed().as_nanos() / u128::from(iters);
+        i8_ns.push(i8_sample);
+        ratios.push(f32_sample.max(1) as f64 / i8_sample.max(1) as f64);
+    }
+    i8_ns.sort_unstable();
+    ratios.sort_by(f64::total_cmp);
+    (i8_ns[i8_ns.len() / 2], ratios[ratios.len() / 2])
+}
+
 /// Iterations of the separately-counted (telemetry-enabled) pass.
 const COUNT_ITERS: u64 = 10;
 
@@ -102,6 +147,11 @@ fn main() {
     for &(name, m, k, n) in SHAPES {
         let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        // Fixed-point copies of the same operands for the i8 rows.
+        let mut qa = vec![0i8; m * k];
+        let mut qb = vec![0i8; k * n];
+        quantize_i8(a.as_slice(), quant_scale(max_abs(a.as_slice())), &mut qa);
+        quantize_i8(b.as_slice(), quant_scale(max_abs(b.as_slice())), &mut qb);
         let baseline =
             BASELINE_NS.iter().find(|(bn, _)| *bn == name).map(|&(_, ns)| ns);
         for &t in THREADS {
@@ -125,7 +175,8 @@ fn main() {
             }
             let _ = write!(
                 rows,
-                "    {{\"shape\": \"{name}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+                "    {{\"shape\": \"{name}\", \"precision\": \"f32\", \
+                 \"m\": {m}, \"k\": {k}, \"n\": {n}, \
                  \"threads\": {t}, \"ns_per_iter\": {ns}, \"gflops\": {gflops:.2}, \
                  \"gemm_calls\": {gemm_calls}, \"bytes_per_iter\": {bytes_per_iter}, \
                  \"pool_jobs\": {pool_jobs}"
@@ -139,6 +190,18 @@ fn main() {
                 );
             }
             rows.push('}');
+            // Paired i8 row: same shape and thread count, fixed-point
+            // kernel, timed interleaved with f32 so the ratio is
+            // drift-free.
+            let (ns_i8, speedup_vs_f32) = time_matmul_i8_vs_f32(&a, &b, &qa, &qb, quick);
+            let gops_i8 = flops / ns_i8.max(1) as f64;
+            let _ = write!(
+                rows,
+                ",\n    {{\"shape\": \"{name}\", \"precision\": \"i8\", \
+                 \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+                 \"threads\": {t}, \"ns_per_iter\": {ns_i8}, \"gflops\": {gops_i8:.2}, \
+                 \"speedup_vs_f32\": {speedup_vs_f32:.2}}}"
+            );
         }
     }
     set_num_threads(1);

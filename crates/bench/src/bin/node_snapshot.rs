@@ -20,6 +20,12 @@
 //! process exit non-zero, so CI smoke-running this binary doubles as
 //! an end-to-end equivalence check.
 //!
+//! A final `precision_compare` record times the same fused stage at
+//! `InferencePrecision::I8` against f32 on one node pair
+//! (interleaved reps, so the ratio is host-drift-free) and reports the
+//! held-out accuracy delta in points — the measured numbers behind the
+//! planner's `QuantProfile`.
+//!
 //! `--quick` shortens the timing sweep for CI smoke: same fields,
 //! noisier numbers.
 
@@ -143,6 +149,39 @@ fn time_diagnosis(data: &Dataset, policy: DiagnosisPolicy, quick: bool, fused: b
     samples[samples.len() / 2]
 }
 
+/// Times the fused stage at i8 against f32 on two identically seeded
+/// nodes, interleaving the reps so clock drift cancels out of the
+/// ratio. Returns (f32 ns, i8 ns, median per-rep speedup).
+fn time_stage_i8_vs_f32(
+    f32_node: &mut InsituNode,
+    i8_node: &mut InsituNode,
+    data: &Dataset,
+    quick: bool,
+) -> (u128, u128, f64) {
+    let run = |n: &mut InsituNode| std::hint::black_box(n.process_stage(data, BATCH).expect("stage"));
+    run(f32_node);
+    run(i8_node);
+    let reps = if quick { 3 } else { 9 };
+    let mut f32_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut i8_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run(f32_node);
+        let f = t0.elapsed().as_nanos();
+        let t0 = Instant::now();
+        run(i8_node);
+        let q = t0.elapsed().as_nanos();
+        f32_ns.push(f);
+        i8_ns.push(q);
+        ratios.push(f.max(1) as f64 / q.max(1) as f64);
+    }
+    f32_ns.sort_unstable();
+    i8_ns.sort_unstable();
+    ratios.sort_by(f64::total_cmp);
+    (f32_ns[reps / 2], i8_ns[reps / 2], ratios[reps / 2])
+}
+
 /// `jigsaw.trunk_passes` total over one telemetry-enabled stage.
 fn counted_trunk_passes(
     node: &mut InsituNode,
@@ -199,13 +238,51 @@ fn main() {
              \"trunk_passes_unfused\": {passes_unfused}, \"identical\": {identical}}}"
         );
     }
+    // The fixed-point row: same fused stage, i8 inference vs f32, plus
+    // the held-out accuracy delta the planner's QuantProfile consumes.
+    let precision_row = {
+        let calib = Dataset::generate(
+            IMAGES,
+            CLASSES,
+            &Condition::ideal(),
+            &mut Rng::seed_from(SEED + 2),
+        )
+        .expect("calibration data");
+        let eval = Dataset::generate(
+            2 * IMAGES,
+            CLASSES,
+            &Condition::ideal(),
+            &mut Rng::seed_from(SEED + 3),
+        )
+        .expect("eval data");
+        let policy = DiagnosisPolicy::JigsawProbe { probes: 3 };
+        let mut f32_node = make_node(policy);
+        let mut i8_node = make_node(policy);
+        i8_node.enable_quantized(&calib).expect("calibrate");
+        i8_node.prewarm(BATCH).expect("i8 prewarm");
+        let acc_f32 = f32_node.accuracy_on(&eval, BATCH).expect("f32 accuracy");
+        let acc_i8 = i8_node.accuracy_on(&eval, BATCH).expect("i8 accuracy");
+        let delta_points = (acc_i8 - acc_f32) * 100.0;
+        let (f32_ns, i8_ns, speedup) =
+            time_stage_i8_vs_f32(&mut f32_node, &mut i8_node, &data, quick);
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"policy\": \"jigsaw_probe_3\", \"images\": {IMAGES}, \"batch\": {BATCH}, \
+             \"f32_ns_per_stage\": {f32_ns}, \"i8_ns_per_stage\": {i8_ns}, \
+             \"speedup\": {speedup:.2}, \"acc_f32\": {acc_f32:.4}, \"acc_i8\": {acc_i8:.4}, \
+             \"accuracy_delta_points\": {delta_points:.2}}}"
+        );
+        row
+    };
     // Plain write, not println!: a downstream `head` closing the pipe
     // early is not worth a panic.
     use std::io::Write as _;
     let _ = writeln!(
         std::io::stdout(),
         "{{\n  \"bench\": \"node_stage\",\n  \"host_cores\": {cores},\n  \
-         \"kernel_threads\": {threads},\n  \"quick\": {quick},\n  \"results\": [\n{rows}\n  ]\n}}"
+         \"kernel_threads\": {threads},\n  \"quick\": {quick},\n  \"results\": [\n{rows}\n  ],\n  \
+         \"precision_compare\": {precision_row}\n}}"
     );
     if !all_identical {
         eprintln!("node_snapshot: fused and unfused outcomes diverged");

@@ -335,8 +335,13 @@ fn canonical_tiles(data: &Dataset, i: usize) -> Result<Tensor> {
 }
 
 /// [`jigsaw_probe`] via the tile-embedding fast path: one trunk pass
-/// per image, one head pass per probe. Draws the RNG in the same order
-/// as the reference, so verdicts are bitwise identical.
+/// per image, then **one batched head pass** over all `probes`
+/// permutations ([`JigsawNet::predict_from_features_batch`]) instead
+/// of one head pass per probe. All probe classes are drawn *before*
+/// the head runs — predictions consume no randomness, so the RNG
+/// stream is consumed in exactly the reference order — and the batched
+/// head is row-equivariant, so verdicts are bitwise identical to the
+/// reference.
 fn jigsaw_probe_fused(
     jigsaw: &mut JigsawNet,
     set: &PermutationSet,
@@ -345,17 +350,17 @@ fn jigsaw_probe_fused(
     rng: &mut Rng,
 ) -> Result<Vec<Verdict>> {
     let mut verdicts = Vec::with_capacity(data.len());
+    let mut classes = Vec::with_capacity(probes);
+    let mut perms: Vec<&[u8]> = Vec::with_capacity(probes);
     for i in 0..data.len() {
         let feats = jigsaw.tile_features(&canonical_tiles(data, i)?)?;
-        let mut correct = 0usize;
-        for _ in 0..probes {
-            let cls = rng.below(set.len());
-            let logits = jigsaw.predict_from_features(&feats, set.permutation(cls))?;
-            let pred = insitu_nn::predictions(&logits)?[0];
-            if pred == cls {
-                correct += 1;
-            }
-        }
+        classes.clear();
+        classes.extend((0..probes).map(|_| rng.below(set.len())));
+        perms.clear();
+        perms.extend(classes.iter().map(|&cls| set.permutation(cls) as &[u8]));
+        let logits = jigsaw.predict_from_features_batch(&feats, &perms)?;
+        let preds = insitu_nn::predictions(&logits)?;
+        let correct = preds.iter().zip(&classes).filter(|(p, cls)| *p == *cls).count();
         let score = correct as f32 / probes as f32;
         verdicts.push(Verdict { valuable: 2 * correct < probes || correct == 0, score });
     }

@@ -44,8 +44,8 @@ pub use diagnosis::{diagnose, diagnose_with_logits, valuable_indices, DiagnosisP
 pub use error::CoreError;
 pub use metrics::{DataMovementMeter, EnergyMeter, UpdateClock, IMAGE_BYTES};
 pub use modes::{select_mode, Availability, Platform, WorkingMode};
-pub use node::{InsituNode, StageOutcome};
-pub use planner::{plan, NodePlan, PlanRequest};
+pub use node::{InferencePrecision, InsituNode, StageOutcome};
+pub use planner::{plan, plan_with_precision, NodePlan, PlanRequest, QuantProfile};
 pub use runtime::{run_streaming_session, SessionStats};
 pub use update::{CloudEndpoint, ModelUpdate};
 

@@ -10,9 +10,30 @@ use crate::Result;
 use insitu_data::{Dataset, PermutationSet};
 use insitu_nn::serialize::load_state_dict;
 use insitu_nn::transfer::conv_prefix_identical;
-use insitu_nn::{evaluate, JigsawNet, LabeledBatch, Sequential};
+use insitu_nn::{evaluate, JigsawNet, LabeledBatch, QuantizedNet, Sequential};
 use insitu_tensor::{Rng, Tensor};
 use insitu_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of the node's inference forward pass.
+///
+/// `F32` is the reference path; `I8` runs the deployed inference
+/// network through the symmetric fixed-point kernels (the paper's
+/// FPGA PEs operate in fixed point — Section V). Diagnosis always runs
+/// in f32: the jigsaw verdicts and the RNG stream are part of the
+/// bitwise equivalence contract with
+/// [`process_stage_unfused`](InsituNode::process_stage_unfused), and
+/// the diagnosis task is not on the end-user latency path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InferencePrecision {
+    /// Full-precision f32 inference (the default and the reference).
+    #[default]
+    F32,
+    /// Symmetric i8 fixed-point inference with i32 accumulation.
+    /// Requires a calibrated [`QuantizedNet`] — see
+    /// [`InsituNode::enable_quantized`].
+    I8,
+}
 
 /// The outcome of processing one acquisition stage on the node.
 #[derive(Debug, Clone)]
@@ -55,6 +76,9 @@ pub struct InsituNode {
     version: u32,
     movement: DataMovementMeter,
     rng: Rng,
+    precision: InferencePrecision,
+    quantized: Option<QuantizedNet>,
+    calib_images: Option<Tensor>,
 }
 
 impl InsituNode {
@@ -92,7 +116,60 @@ impl InsituNode {
             version: 0,
             movement: DataMovementMeter::new(),
             rng: Rng::seed_from(seed),
+            precision: InferencePrecision::F32,
+            quantized: None,
+            calib_images: None,
         })
+    }
+
+    /// The precision the inference forward runs at.
+    pub fn precision(&self) -> InferencePrecision {
+        self.precision
+    }
+
+    /// Borrow of the calibrated quantized network, if one exists.
+    pub fn quantized(&self) -> Option<&QuantizedNet> {
+        self.quantized.as_ref()
+    }
+
+    /// Calibrates an i8 copy of the inference network over `calib`
+    /// (a held-out split that should mirror the deployment's input
+    /// distribution) and switches inference to
+    /// [`InferencePrecision::I8`]. The calibration images are retained
+    /// so [`install_update`](InsituNode::install_update) can
+    /// recalibrate automatically after a model refresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the calibration split is empty or does not
+    /// flow through the network.
+    pub fn enable_quantized(&mut self, calib: &Dataset) -> Result<()> {
+        let _t = telemetry::span_with("node.quantize", || {
+            format!("calibrate over {} images", calib.len())
+        });
+        self.quantized = Some(QuantizedNet::calibrate(&self.inference, calib.images())?);
+        self.calib_images = Some(calib.images().clone());
+        self.precision = InferencePrecision::I8;
+        Ok(())
+    }
+
+    /// Switches the inference precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when asked for
+    /// [`InferencePrecision::I8`] before
+    /// [`enable_quantized`](InsituNode::enable_quantized) has
+    /// calibrated a quantized network.
+    pub fn set_precision(&mut self, precision: InferencePrecision) -> Result<()> {
+        if precision == InferencePrecision::I8 && self.quantized.is_none() {
+            return Err(CoreError::BadConfig {
+                reason: "i8 inference requires calibration; call enable_quantized first"
+                    .to_string(),
+            });
+        }
+        self.precision = precision;
+        Ok(())
     }
 
     /// The deployed model version.
@@ -161,21 +238,37 @@ impl InsituNode {
         let _t = telemetry::span_with("node.prewarm", || format!("bs{batch}"));
         let zeros = Tensor::zeros([batch.max(1), CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
         self.inference.predict(&zeros)?;
+        if let Some(q) = &mut self.quantized {
+            q.predict(&zeros)?;
+        }
         let probe = Tensor::zeros([1, PATCHES, CHANNELS, PATCH_SIZE, PATCH_SIZE]);
         self.jigsaw.predict(&probe)?;
         let tiles = Tensor::zeros([PATCHES, CHANNELS, PATCH_SIZE, PATCH_SIZE]);
         let feats = self.jigsaw.tile_features(&tiles)?;
         let identity: Vec<u8> = (0..PATCHES as u8).collect();
         self.jigsaw.predict_from_features(&feats, &identity)?;
+        // The fused stage drives the head through its batched entry
+        // point (one GEMM over all probes of an image) — warm that
+        // shape too, at the probe count the active policy will use.
+        let probes = match self.policy {
+            DiagnosisPolicy::JigsawProbe { probes } => probes.max(1),
+            _ => 1,
+        };
+        let perms: Vec<&[u8]> = (0..probes).map(|_| identity.as_slice()).collect();
+        self.jigsaw.predict_from_features_batch(&feats, &perms)?;
         Ok(())
     }
 
-    /// Held-out accuracy of the deployed inference model.
+    /// Held-out accuracy of the deployed inference model, evaluated at
+    /// the node's current [`InferencePrecision`].
     ///
     /// # Errors
     ///
     /// Returns an error on shape disagreements.
     pub fn accuracy_on(&mut self, data: &Dataset, batch: usize) -> Result<f32> {
+        if let (Some(q), InferencePrecision::I8) = (&mut self.quantized, self.precision) {
+            return Ok(q.accuracy_on(data.images(), data.labels(), batch)?);
+        }
         Ok(evaluate(
             &mut self.inference,
             LabeledBatch::new(data.images(), data.labels())?,
@@ -190,9 +283,17 @@ impl InsituNode {
     /// exactly once per image and its logits are handed to the
     /// diagnosis policies as a per-stage cache, and the jigsaw policies
     /// evaluate every probe permutation from one cached trunk pass per
-    /// image (see [`diagnose_with_logits`]). Predictions and verdicts
-    /// are bitwise identical to the unfused reference
+    /// image (see [`diagnose_with_logits`]). At
+    /// [`InferencePrecision::F32`] predictions and verdicts are bitwise
+    /// identical to the unfused reference
     /// ([`process_stage_unfused`](InsituNode::process_stage_unfused)).
+    ///
+    /// At [`InferencePrecision::I8`] the inference forward runs on the
+    /// calibrated fixed-point network; its logits feed the application
+    /// predictions *and* the logit-consuming diagnosis policies, while
+    /// the jigsaw network stays f32. The contract there is statistical,
+    /// not bitwise: held-out accuracy within two points of f32 (see
+    /// the `quantized_inference` integration tests).
     ///
     /// # Errors
     ///
@@ -211,7 +312,10 @@ impl InsituNode {
             while start < data.len() {
                 let end = (start + bs).min(data.len());
                 let sub = data.subset_range(start..end)?;
-                let logits = self.inference.predict(sub.images())?;
+                let logits = match (&mut self.quantized, self.precision) {
+                    (Some(q), InferencePrecision::I8) => q.predict(sub.images())?,
+                    _ => self.inference.predict(sub.images())?,
+                };
                 predictions.extend(insitu_nn::predictions(&logits)?);
                 logit_chunks.push(logits);
                 start = end;
@@ -296,7 +400,10 @@ impl InsituNode {
         Ok(data.subset(&outcome.valuable)?)
     }
 
-    /// Installs a model refresh from the Cloud.
+    /// Installs a model refresh from the Cloud. If the node is running
+    /// quantized inference, the quantized network is recalibrated
+    /// against the retained calibration split — fixed-point scales are
+    /// only valid for the weights they were measured with.
     ///
     /// # Errors
     ///
@@ -306,6 +413,12 @@ impl InsituNode {
         load_state_dict(&mut self.inference, &update.inference_params)?;
         if let Some(jp) = &update.jigsaw_params {
             load_state_dict(&mut self.jigsaw, jp)?;
+        }
+        if self.quantized.is_some() {
+            if let Some(calib) = &self.calib_images {
+                let _t = telemetry::span("node.quantize_refresh");
+                self.quantized = Some(QuantizedNet::calibrate(&self.inference, calib)?);
+            }
         }
         self.version = update.version;
         Ok(())
@@ -412,5 +525,68 @@ mod tests {
         let mut n = node();
         let acc = n.accuracy_on(&data(), 4).unwrap();
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn i8_precision_requires_calibration() {
+        let mut n = node();
+        assert_eq!(n.precision(), InferencePrecision::F32);
+        assert!(matches!(
+            n.set_precision(InferencePrecision::I8),
+            Err(CoreError::BadConfig { .. })
+        ));
+        assert_eq!(n.precision(), InferencePrecision::F32);
+    }
+
+    #[test]
+    fn enable_quantized_switches_precision_and_f32_reverts_bitwise() {
+        let d = data();
+        let calib = Dataset::generate(4, 4, &Condition::ideal(), &mut Rng::seed_from(11)).unwrap();
+        let mut n = node();
+        n.enable_quantized(&calib).unwrap();
+        assert_eq!(n.precision(), InferencePrecision::I8);
+        assert!(n.quantized().is_some());
+        n.prewarm(4).unwrap();
+        let quantized = n.process_stage(&d, 4).unwrap();
+        assert_eq!(quantized.predictions.len(), d.len());
+
+        // Dropping back to f32 restores the reference stage bitwise
+        // (same predictions and verdict stream as a never-quantized
+        // node at the same RNG position).
+        n.set_precision(InferencePrecision::F32).unwrap();
+        let mut reference2 = node();
+        reference2.process_stage(&d, 4).unwrap(); // advance RNG like `n`
+        let a = n.process_stage(&d, 4).unwrap();
+        let b = reference2.process_stage(&d, 4).unwrap();
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(
+            a.verdicts.iter().map(|v| (v.valuable, v.score.to_bits())).collect::<Vec<_>>(),
+            b.verdicts.iter().map(|v| (v.valuable, v.score.to_bits())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn install_update_recalibrates_quantized_net() {
+        let mut n = node();
+        let calib = Dataset::generate(4, 4, &Condition::ideal(), &mut Rng::seed_from(13)).unwrap();
+        n.enable_quantized(&calib).unwrap();
+        let before: Vec<f32> =
+            n.quantized().unwrap().calibration().iter().map(|c| c.in_scale).collect();
+        let mut rng = Rng::seed_from(17);
+        let mut other = mini_alexnet(4, &mut rng).unwrap();
+        let update = ModelUpdate {
+            version: 2,
+            inference_params: state_dict(&mut other),
+            jigsaw_params: None,
+            training_ops: 1,
+        };
+        n.install_update(&update).unwrap();
+        // Still quantized, still runnable, and the scales were re-measured.
+        assert_eq!(n.precision(), InferencePrecision::I8);
+        let after: Vec<f32> =
+            n.quantized().unwrap().calibration().iter().map(|c| c.in_scale).collect();
+        assert_eq!(before.len(), after.len());
+        assert_ne!(before, after, "update with new weights must refresh the scales");
+        n.process_stage(&data(), 4).unwrap();
     }
 }

@@ -16,10 +16,29 @@
 
 use crate::error::CoreError;
 use crate::modes::{select_mode, Availability, Platform, WorkingMode};
+use crate::node::InferencePrecision;
 use crate::Result;
 use insitu_devices::{FpgaSpec, GpuModel, GpuSpec, NetworkShapes};
 use insitu_fpga::WssNwsPipeline;
 use serde::{Deserialize, Serialize};
+
+/// Measured i8-vs-f32 trade-off a node feeds back to the planner.
+///
+/// The paper's FPGA PEs are fixed-point; running the deployed network
+/// at [`InferencePrecision::I8`] trades a small accuracy delta for a
+/// throughput gain. Both numbers come from *measurement* on the node
+/// (the `node_snapshot` benchmark reports them), not from the
+/// analytical model — the planner folds them into the Eqs. (10)–(14)
+/// time model to decide whether the quantized configuration still
+/// meets the user's deadline and what batch it admits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantProfile {
+    /// Measured i8 throughput multiplier over f32 (e.g. `1.8`).
+    pub speedup: f64,
+    /// Held-out accuracy change of i8 relative to f32, in fractional
+    /// points (usually a small negative number).
+    pub accuracy_delta: f32,
+}
 
 /// Deployment constraints supplied by the end user.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,6 +78,11 @@ pub struct NodePlan {
     pub predicted_perf_per_watt: f64,
     /// WSS group size (Co-running only; 0 otherwise).
     pub wss_group_size: usize,
+    /// Precision the inference task should run at.
+    pub precision: InferencePrecision,
+    /// Expected accuracy change of the chosen precision vs f32, in
+    /// fractional points (0.0 for f32 plans).
+    pub accuracy_delta: f32,
 }
 
 /// Plans a node configuration for the given constraints and networks.
@@ -72,6 +96,38 @@ pub fn plan(
     inference: &NetworkShapes,
     diagnosis: &NetworkShapes,
 ) -> Result<NodePlan> {
+    plan_with_precision(request, inference, diagnosis, None)
+}
+
+/// Plans a node configuration, optionally folding a measured
+/// [`QuantProfile`] into the Co-running time model.
+///
+/// With a profile, the FPGA branch scales the pipeline's per-batch
+/// latency by the measured i8 speedup before applying the latency
+/// bound — a batch is admissible iff its f32 latency is within
+/// `t_user × speedup` — and reports i8-adjusted latency/throughput and
+/// the expected accuracy delta. The GPU branch always plans f32: the
+/// quantized kernels model the FPGA's fixed-point PEs, not the mobile
+/// GPU's floating-point ALUs.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when no batch size meets the
+/// latency bound, and [`CoreError::BadConfig`] for a degenerate
+/// profile (non-finite or non-positive speedup).
+pub fn plan_with_precision(
+    request: &PlanRequest,
+    inference: &NetworkShapes,
+    diagnosis: &NetworkShapes,
+    quant: Option<&QuantProfile>,
+) -> Result<NodePlan> {
+    if let Some(q) = quant {
+        if !(q.speedup.is_finite() && q.speedup > 0.0) {
+            return Err(CoreError::BadConfig {
+                reason: format!("quant profile speedup must be finite and > 0, got {}", q.speedup),
+            });
+        }
+    }
     let (mode, platform) = select_mode(request.availability);
     match platform {
         Platform::MobileGpu => {
@@ -94,6 +150,8 @@ pub fn plan(
                 predicted_throughput: gpu.throughput(inference, inference_batch),
                 predicted_perf_per_watt: gpu.perf_per_watt(inference, inference_batch),
                 wss_group_size: 0,
+                precision: InferencePrecision::F32,
+                accuracy_delta: 0.0,
             })
         }
         Platform::Fpga => {
@@ -101,8 +159,9 @@ pub fn plan(
             let convs = inference.convs();
             let fcs = inference.fcs();
             let pipe = WssNwsPipeline::configure(spec, &convs, &fcs);
+            let speedup = quant.map_or(1.0, |q| q.speedup);
             let point = pipe
-                .best_under_latency(&convs, &fcs, request.t_user, request.max_batch)
+                .best_under_latency(&convs, &fcs, request.t_user * speedup, request.max_batch)
                 .ok_or_else(|| CoreError::Infeasible {
                     reason: format!(
                         "no pipeline batch meets {} s for `{}`",
@@ -114,10 +173,16 @@ pub fn plan(
                 platform,
                 inference_batch: point.batch,
                 diagnosis_batch: point.batch,
-                predicted_latency_s: point.latency_s,
-                predicted_throughput: point.throughput,
+                predicted_latency_s: point.latency_s / speedup,
+                predicted_throughput: point.throughput * speedup,
                 predicted_perf_per_watt: 0.0,
                 wss_group_size: pipe.group_size,
+                precision: if quant.is_some() {
+                    InferencePrecision::I8
+                } else {
+                    InferencePrecision::F32
+                },
+                accuracy_delta: quant.map_or(0.0, |q| q.accuracy_delta),
             })
         }
     }
@@ -174,6 +239,72 @@ mod tests {
             plan(&req, &inf, &diag),
             Err(CoreError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn quant_profile_boosts_fpga_throughput_and_records_delta() {
+        let (inf, diag) = nets();
+        let req =
+            PlanRequest { availability: Availability::AlwaysOn, t_user: 0.2, max_batch: 128 };
+        let f32_plan = plan(&req, &inf, &diag).unwrap();
+        let profile = QuantProfile { speedup: 1.8, accuracy_delta: -0.007 };
+        let i8_plan = plan_with_precision(&req, &inf, &diag, Some(&profile)).unwrap();
+        assert_eq!(i8_plan.precision, InferencePrecision::I8);
+        assert_eq!(i8_plan.accuracy_delta, -0.007);
+        assert!(i8_plan.predicted_latency_s <= req.t_user + 1e-12);
+        assert!(
+            i8_plan.predicted_throughput > f32_plan.predicted_throughput,
+            "i8 {} vs f32 {}",
+            i8_plan.predicted_throughput,
+            f32_plan.predicted_throughput
+        );
+        // Without a profile, plan_with_precision is exactly plan().
+        assert_eq!(plan_with_precision(&req, &inf, &diag, None).unwrap(), f32_plan);
+        assert_eq!(f32_plan.precision, InferencePrecision::F32);
+        assert_eq!(f32_plan.accuracy_delta, 0.0);
+    }
+
+    #[test]
+    fn quant_profile_can_rescue_an_infeasible_deadline() {
+        let (inf, diag) = nets();
+        // Find a deadline tight enough that f32 fails but 4x i8 passes.
+        let req =
+            PlanRequest { availability: Availability::AlwaysOn, t_user: 1e-4, max_batch: 64 };
+        if plan(&req, &inf, &diag).is_err() {
+            let profile = QuantProfile { speedup: 1e3, accuracy_delta: -0.01 };
+            let rescued = plan_with_precision(&req, &inf, &diag, Some(&profile));
+            assert!(rescued.is_ok(), "large measured speedup should admit a batch");
+        }
+    }
+
+    #[test]
+    fn gpu_plans_stay_f32_even_with_a_profile() {
+        let (inf, diag) = nets();
+        let req = PlanRequest {
+            availability: Availability::Scheduled,
+            t_user: 0.1,
+            max_batch: 128,
+        };
+        let profile = QuantProfile { speedup: 2.0, accuracy_delta: -0.01 };
+        let p = plan_with_precision(&req, &inf, &diag, Some(&profile)).unwrap();
+        assert_eq!(p.platform, Platform::MobileGpu);
+        assert_eq!(p.precision, InferencePrecision::F32);
+        assert_eq!(p.accuracy_delta, 0.0);
+        assert_eq!(p, plan(&req, &inf, &diag).unwrap());
+    }
+
+    #[test]
+    fn degenerate_quant_profile_is_rejected() {
+        let (inf, diag) = nets();
+        let req =
+            PlanRequest { availability: Availability::AlwaysOn, t_user: 0.2, max_batch: 128 };
+        for speedup in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let profile = QuantProfile { speedup, accuracy_delta: 0.0 };
+            assert!(matches!(
+                plan_with_precision(&req, &inf, &diag, Some(&profile)),
+                Err(CoreError::BadConfig { .. })
+            ));
+        }
     }
 
     #[test]

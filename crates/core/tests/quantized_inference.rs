@@ -1,0 +1,118 @@
+//! End-to-end gate on the fixed-point inference path: a node running
+//! [`InferencePrecision::I8`] must hold held-out accuracy within two
+//! points of the same node at f32.
+//!
+//! The run mirrors a deployment at paper shapes: a Mini-AlexNet is
+//! trained on a seeded synthetic dataset, transferred against a jigsaw
+//! trunk (the node constructor's shared-prefix invariant), calibrated
+//! on a held-out split and evaluated on a third split large enough
+//! (100 images) that a single argmax flip moves the accuracy by only
+//! one point. Everything is seeded, so the gate is deterministic.
+
+use insitu_core::{DiagnosisPolicy, InferencePrecision, InsituNode};
+use insitu_data::{Condition, Dataset, PermutationSet};
+use insitu_nn::models::{jigsaw_network, mini_alexnet};
+use insitu_nn::transfer::transfer_and_freeze;
+use insitu_nn::{LabeledBatch, TrainConfig};
+use insitu_tensor::Rng;
+
+const CLASSES: usize = 4;
+const TRAIN: usize = 96;
+const CALIB: usize = 16;
+const EVAL: usize = 100;
+
+/// Builds a trained node plus (calibration, evaluation) splits.
+fn trained_node() -> (InsituNode, Dataset, Dataset) {
+    let mut rng = Rng::seed_from(2024);
+    let train = Dataset::generate(TRAIN, CLASSES, &Condition::ideal(), &mut rng).unwrap();
+    let calib = Dataset::generate(CALIB, CLASSES, &Condition::ideal(), &mut rng).unwrap();
+    let eval = Dataset::generate(EVAL, CLASSES, &Condition::ideal(), &mut rng).unwrap();
+
+    let jigsaw = jigsaw_network(8, &mut rng).unwrap();
+    let mut inference = mini_alexnet(CLASSES, &mut rng).unwrap();
+    let cfg = TrainConfig { epochs: 4, batch_size: 8, lr: 0.01, ..Default::default() };
+    insitu_nn::train(
+        &mut inference,
+        LabeledBatch::new(train.images(), train.labels()).unwrap(),
+        None,
+        &cfg,
+        &mut rng,
+    )
+    .unwrap();
+    // Deploy recipe: share + freeze the conv prefix so the node's
+    // shared-weight invariant holds.
+    let mut inference = {
+        let mut fresh = inference;
+        transfer_and_freeze(jigsaw.trunk(), &mut fresh, 3, 3).unwrap();
+        fresh
+    };
+    // Brief fine-tune after the transfer so the classifier adapts to
+    // the (now frozen) shared trunk.
+    let cfg = TrainConfig { epochs: 2, batch_size: 8, lr: 0.01, ..Default::default() };
+    insitu_nn::train(
+        &mut inference,
+        LabeledBatch::new(train.images(), train.labels()).unwrap(),
+        None,
+        &cfg,
+        &mut rng,
+    )
+    .unwrap();
+    let set = PermutationSet::generate(8, &mut rng).unwrap();
+    let node = InsituNode::new(
+        inference,
+        jigsaw,
+        set,
+        DiagnosisPolicy::JigsawProbe { probes: 3 },
+        3,
+        77,
+    )
+    .unwrap();
+    (node, calib, eval)
+}
+
+#[test]
+fn quantized_accuracy_within_two_points_of_f32() {
+    let (mut node, calib, eval) = trained_node();
+    let acc_f32 = node.accuracy_on(&eval, 8).unwrap();
+    assert!(acc_f32 > 1.5 / CLASSES as f32, "f32 model failed to train: {acc_f32}");
+
+    node.enable_quantized(&calib).unwrap();
+    assert_eq!(node.precision(), InferencePrecision::I8);
+    node.prewarm(8).unwrap();
+    let acc_i8 = node.accuracy_on(&eval, 8).unwrap();
+    let delta = acc_i8 - acc_f32;
+    assert!(
+        delta.abs() <= 0.02 + f32::EPSILON,
+        "i8 accuracy {acc_i8} drifted {delta} from f32 {acc_f32} (gate: 2 points)"
+    );
+
+    // The quantized stage runs end to end and keeps its accounting.
+    let outcome = node.process_stage(&eval, 8).unwrap();
+    assert_eq!(outcome.predictions.len(), eval.len());
+    assert_eq!(outcome.verdicts.len(), eval.len());
+
+    // Dropping back to f32 restores the exact reference accuracy.
+    node.set_precision(InferencePrecision::F32).unwrap();
+    let back = node.accuracy_on(&eval, 8).unwrap();
+    assert_eq!(back.to_bits(), acc_f32.to_bits());
+}
+
+#[test]
+fn quantized_predictions_mostly_agree_with_f32() {
+    let (mut node, calib, eval) = trained_node();
+    let f32_stage = node.process_stage(&eval, 8).unwrap();
+    node.enable_quantized(&calib).unwrap();
+    let i8_stage = node.process_stage(&eval, 8).unwrap();
+    let agree = f32_stage
+        .predictions
+        .iter()
+        .zip(&i8_stage.predictions)
+        .filter(|(a, b)| a == b)
+        .count();
+    // Same 2-point budget, expressed on raw predictions: at most 2 of
+    // the 100 held-out argmaxes may flip under quantization.
+    assert!(
+        agree >= EVAL - 2,
+        "only {agree}/{EVAL} predictions survived quantization"
+    );
+}

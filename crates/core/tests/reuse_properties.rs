@@ -62,7 +62,11 @@ fn policy_from_index(idx: usize) -> DiagnosisPolicy {
         0 => DiagnosisPolicy::Oracle,
         1 => DiagnosisPolicy::InferenceConfidence { threshold: 0.6 },
         2 => DiagnosisPolicy::JigsawProbe { probes: 3 },
-        _ => DiagnosisPolicy::JigsawConfidence { threshold: 0.4 },
+        3 => DiagnosisPolicy::JigsawConfidence { threshold: 0.4 },
+        // Degenerate and larger probe counts exercise the batched
+        // head's k=1 path and a head batch bigger than the perm pool.
+        4 => DiagnosisPolicy::JigsawProbe { probes: 1 },
+        _ => DiagnosisPolicy::JigsawProbe { probes: 5 },
     }
 }
 
@@ -70,15 +74,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Fused == unfused, bitwise, across seeds, ragged batch sizes,
-    /// image counts, all four policies and 1/2/4 kernel threads. The
-    /// single-thread reference outcome is also pinned across thread
-    /// counts, so parallelism cannot smuggle in a divergence either.
+    /// image counts, six policy variants (including 1- and 5-probe
+    /// jigsaw, which stress the batched head) and 1/2/4 kernel
+    /// threads. The single-thread reference outcome is also pinned
+    /// across thread counts, so parallelism cannot smuggle in a
+    /// divergence either.
     #[test]
     fn fused_stage_is_bitwise_identical_to_reference(
         seed in 0u64..500,
         batch in 1usize..9,
         images in 1usize..11,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..6,
     ) {
         let policy = policy_from_index(policy_idx);
         let data = Dataset::generate(

@@ -34,6 +34,11 @@ pub struct JigsawNet {
     /// Reusable `(1, patches · feature_len)` head-input buffer for the
     /// tile-embedding fast path; sized once at construction.
     gather: Tensor,
+    /// Reusable `(k, patches · feature_len)` head-input buffer for the
+    /// batched probe fast path; re-sized only when the probe count `k`
+    /// changes (a policy constant in steady state, so effectively one
+    /// allocation per deployment).
+    gather_batch: Tensor,
 }
 
 impl JigsawNet {
@@ -77,6 +82,7 @@ impl JigsawNet {
             feature_len,
             last_batch: 0,
             gather: Tensor::zeros([1, patches * feature_len]),
+            gather_batch: Tensor::zeros([1, patches * feature_len]),
         })
     }
 
@@ -191,6 +197,74 @@ impl JigsawNet {
             dst[dest * f..(dest + 1) * f].copy_from_slice(&src[s * f..(s + 1) * f]);
         }
         self.head.forward(&self.gather, Mode::Eval)
+    }
+
+    /// Head logits for cached tile features under **many** permutations
+    /// at once: row `j` of the returned `(k, classes)` tensor is the
+    /// logits for `perms[j]`, bitwise identical to calling
+    /// [`predict_from_features`](JigsawNet::predict_from_features) with
+    /// that permutation alone.
+    ///
+    /// All `k` gathered rows feed the head in **one** GEMM per layer
+    /// instead of `k` — the same amortization `tile_features` applies
+    /// to the trunk. Exact because the head (Linear/ReLU) is per-sample
+    /// row-equivariant under the packed GEMM: each output element is
+    /// one ascending-k accumulation chain independent of its batch
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `feats` is not the `(patches, feature_len)`
+    /// output of [`tile_features`](JigsawNet::tile_features), if
+    /// `perms` is empty, or if any permutation is not a
+    /// length-`patches` list of in-range tile indices.
+    pub fn predict_from_features_batch(
+        &mut self,
+        feats: &Tensor,
+        perms: &[&[u8]],
+    ) -> Result<Tensor> {
+        let fd = feats.dims();
+        if fd.len() != 2 || fd[0] != self.patches || fd[1] != self.feature_len {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw predict_from_features_batch".into(),
+                expected: vec![self.patches, self.feature_len],
+                actual: fd.to_vec(),
+            });
+        }
+        if perms.is_empty() {
+            return Err(NnError::BadInputShape {
+                layer: "jigsaw permutation batch".into(),
+                expected: vec![1],
+                actual: vec![0],
+            });
+        }
+        for perm in perms {
+            if perm.len() != self.patches
+                || perm.iter().any(|&s| usize::from(s) >= self.patches)
+            {
+                return Err(NnError::BadInputShape {
+                    layer: "jigsaw permutation".into(),
+                    expected: vec![self.patches],
+                    actual: vec![perm.len()],
+                });
+            }
+        }
+        let k = perms.len();
+        let f = self.feature_len;
+        let width = self.patches * f;
+        if self.gather_batch.dims() != [k, width] {
+            self.gather_batch = Tensor::zeros([k, width]);
+        }
+        let src = feats.as_slice();
+        let dst = self.gather_batch.as_mut_slice();
+        for (row, perm) in perms.iter().enumerate() {
+            let out_row = &mut dst[row * width..(row + 1) * width];
+            for (dest, &source) in perm.iter().enumerate() {
+                let s = usize::from(source);
+                out_row[dest * f..(dest + 1) * f].copy_from_slice(&src[s * f..(s + 1) * f]);
+            }
+        }
+        self.head.forward(&self.gather_batch, Mode::Eval)
     }
 
     fn fold_patches(&self, input: &Tensor) -> Result<(Tensor, usize)> {
@@ -393,6 +467,46 @@ mod tests {
             let fast = net.predict_from_features(&feats, perm).unwrap();
             assert_eq!(bits(&fast), bits(&full), "perm {perm:?} diverged");
         }
+    }
+
+    #[test]
+    fn batched_probe_head_matches_per_probe_bitwise() {
+        // One batched head pass over k permutations must reproduce each
+        // per-probe pass bit for bit (row-equivariance of the head),
+        // including duplicate permutations and k != the warmed size.
+        let mut rng = Rng::seed_from(10);
+        let mut net = tiny_jigsaw(&mut rng);
+        let tiles = Tensor::randn([4, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let feats = net.tile_features(&tiles).unwrap();
+        let perms: [[u8; 4]; 4] = [[0, 1, 2, 3], [3, 2, 1, 0], [1, 0, 3, 2], [3, 2, 1, 0]];
+        for k in [1usize, 3, 4] {
+            let refs: Vec<&[u8]> = perms.iter().take(k).map(|p| p.as_slice()).collect();
+            let batched = net.predict_from_features_batch(&feats, &refs).unwrap();
+            assert_eq!(batched.dims(), &[k, 5]);
+            for (j, perm) in refs.iter().enumerate() {
+                let single = net.predict_from_features(&feats, perm).unwrap();
+                assert_eq!(
+                    bits(&single),
+                    bits(&batched.row(j).unwrap()),
+                    "probe {j} of batch {k} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_probe_head_rejects_bad_inputs() {
+        let mut rng = Rng::seed_from(11);
+        let mut net = tiny_jigsaw(&mut rng);
+        let feats = net.tile_features(&Tensor::zeros([4, 1, 6, 6])).unwrap();
+        assert!(net.predict_from_features_batch(&feats, &[]).is_err());
+        let short: &[u8] = &[0, 1, 2];
+        assert!(net.predict_from_features_batch(&feats, &[short]).is_err());
+        let oob: &[u8] = &[0, 1, 2, 4];
+        let ok: &[u8] = &[0, 1, 2, 3];
+        assert!(net.predict_from_features_batch(&feats, &[ok, oob]).is_err());
+        let bad_feats = Tensor::zeros([4, 35]);
+        assert!(net.predict_from_features_batch(&bad_feats, &[ok]).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod metrics;
 mod net;
 mod optim;
 mod optim_adam;
+pub mod quant;
 mod schedule;
 pub mod serialize;
 mod train;
@@ -52,6 +53,7 @@ pub use metrics::{top_k_accuracy, ConfusionMatrix};
 pub use net::{split_desc, Network, Sequential};
 pub use optim::Sgd;
 pub use optim_adam::Adam;
+pub use quant::{LayerCalibration, QuantizedNet};
 pub use schedule::LrSchedule;
 pub use train::{
     evaluate, gather_samples, train, EpochStats, LabeledBatch, TrainConfig, TrainReport,

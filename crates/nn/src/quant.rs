@@ -1,0 +1,275 @@
+//! Post-training i8 quantization of an inference network.
+//!
+//! [`QuantizedNet::calibrate`] walks a trained [`Sequential`] once over
+//! a held-out calibration split, recording the absolute-max of every
+//! quantizable layer's *input* (the standard static min/max method —
+//! symmetric scheme, so only the magnitude matters). Conv2d and Linear
+//! layers become fixed-point layers running the i8 GEMM/conv kernels
+//! from `insitu-tensor` (per-tensor activation scale, per-row weight
+//! scales, i32 accumulation); every other layer (ReLU, pooling,
+//! flatten, dropout-in-eval) is cloned as an f32 passthrough — those
+//! are cheap, memory-bound ops where quantization buys nothing.
+//!
+//! A `QuantizedNet` is inference-only: it deliberately does not
+//! implement [`Network`](crate::Network), because the fixed-point path
+//! has no backward pass (the paper's FPGA PEs are likewise
+//! inference/diagnosis engines; incremental training happens in f32 on
+//! the cloud). Re-run [`QuantizedNet::calibrate`] after every model
+//! update — scales are only valid for the weights they were measured
+//! with.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::layers::{Conv2d, Linear};
+use crate::net::Sequential;
+use crate::Result;
+use insitu_tensor::{
+    conv2d_forward_i8_ws, linear_forward_i8_ws, max_abs, quant_scale, ConvGeometry,
+    ConvWorkspace, GemmScratch, QuantizedMatrix, Tensor,
+};
+
+/// Calibration record for one quantized layer, for reports and tests.
+#[derive(Debug, Clone)]
+pub struct LayerCalibration {
+    /// Layer name (e.g. `"conv2"`).
+    pub name: String,
+    /// Static per-tensor scale of the layer's input activations.
+    pub in_scale: f32,
+    /// Largest per-row weight scale of the layer.
+    pub max_weight_scale: f32,
+}
+
+/// One layer of a [`QuantizedNet`]: fixed-point conv/linear, or an f32
+/// passthrough clone of the original layer.
+#[derive(Debug)]
+enum QLayer {
+    Conv {
+        geom: ConvGeometry,
+        qweight: QuantizedMatrix,
+        bias: Tensor,
+        in_scale: f32,
+        // Boxed: the workspace is a bundle of arena Vecs that would
+        // otherwise dominate the enum's footprint.
+        ws: Box<ConvWorkspace>,
+    },
+    Linear {
+        qweight: QuantizedMatrix,
+        bias: Tensor,
+        in_scale: f32,
+        scratch: GemmScratch,
+    },
+    Passthrough(Box<dyn Layer>),
+}
+
+/// An inference network quantized to symmetric i8 by post-training
+/// calibration. Build with [`QuantizedNet::calibrate`], run with
+/// [`QuantizedNet::predict`]. See the module docs for the scheme.
+#[derive(Debug)]
+pub struct QuantizedNet {
+    layers: Vec<QLayer>,
+    report: Vec<LayerCalibration>,
+}
+
+impl QuantizedNet {
+    /// Calibrates `net` over `calib` (a held-out batch of images,
+    /// `(B, C, H, W)`) and quantizes every Conv2d/Linear layer.
+    ///
+    /// The calibration forward runs on a clone of `net` in `Eval` mode,
+    /// so the source network's caches and parameters are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the calibration batch is empty or does not
+    /// flow through the network.
+    pub fn calibrate(net: &Sequential, calib: &Tensor) -> Result<QuantizedNet> {
+        if calib.is_empty() {
+            return Err(NnError::BadInputShape {
+                layer: "quantize".to_string(),
+                expected: vec![0, 3, 36, 36], // 0 marks a free (but non-empty) batch
+                actual: calib.dims().to_vec(),
+            });
+        }
+        let mut reference = net.clone();
+        let mut x = calib.clone();
+        let mut layers = Vec::with_capacity(reference.len());
+        let mut report = Vec::new();
+        for i in 0..reference.len() {
+            let layer = reference.layer_mut(i)?;
+            if let Some(conv) = layer.as_any().downcast_ref::<Conv2d>() {
+                let geom = *conv.geometry();
+                let in_scale = quant_scale(max_abs(x.as_slice()));
+                let qweight = QuantizedMatrix::from_rows(
+                    conv.weight().as_slice(),
+                    geom.out_channels,
+                    geom.col_rows(),
+                )?;
+                report.push(LayerCalibration {
+                    name: layer.name().to_string(),
+                    in_scale,
+                    max_weight_scale: max_abs(qweight.scales()),
+                });
+                layers.push(QLayer::Conv {
+                    geom,
+                    qweight,
+                    bias: conv.bias().clone(),
+                    in_scale,
+                    ws: Box::new(ConvWorkspace::new()),
+                });
+            } else if let Some(lin) = layer.as_any().downcast_ref::<Linear>() {
+                let in_scale = quant_scale(max_abs(x.as_slice()));
+                let qweight = QuantizedMatrix::from_rows(
+                    lin.weight().as_slice(),
+                    lin.out_features(),
+                    lin.in_features(),
+                )?;
+                report.push(LayerCalibration {
+                    name: layer.name().to_string(),
+                    in_scale,
+                    max_weight_scale: max_abs(qweight.scales()),
+                });
+                layers.push(QLayer::Linear {
+                    qweight,
+                    bias: lin.bias().clone(),
+                    in_scale,
+                    scratch: GemmScratch::new(),
+                });
+            } else {
+                layers.push(QLayer::Passthrough(layer.clone_box()));
+            }
+            x = layer.forward(&x, Mode::Eval)?;
+        }
+        Ok(QuantizedNet { layers, report })
+    }
+
+    /// Fixed-point inference forward: `(B, C, H, W)` → logits.
+    ///
+    /// Deterministic at any kernel and thread count (integer
+    /// accumulation is exact; all f32 work is element-wise). Steady
+    /// state allocates only the per-layer output tensors — the i8
+    /// panels and accumulators live in grow-only workspaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape does not flow through the
+    /// network.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = match layer {
+                QLayer::Conv { geom, qweight, bias, in_scale, ws } => {
+                    conv2d_forward_i8_ws(&x, qweight, bias, geom, *in_scale, ws)?
+                }
+                QLayer::Linear { qweight, bias, in_scale, scratch } => {
+                    linear_forward_i8_ws(&x, qweight, bias, *in_scale, scratch)?
+                }
+                QLayer::Passthrough(l) => l.forward(&x, Mode::Eval)?,
+            };
+        }
+        Ok(x)
+    }
+
+    /// Classification accuracy of the quantized network over a labeled
+    /// set, evaluated in chunks of `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreement or an empty set.
+    pub fn accuracy_on(&mut self, images: &Tensor, labels: &[usize], batch: usize) -> Result<f32> {
+        let n = images.dims()[0];
+        if n == 0 || n != labels.len() {
+            return Err(NnError::BadLabels {
+                reason: format!("{n} images vs {} labels", labels.len()),
+            });
+        }
+        let sample_len = images.len() / n;
+        let chunk = batch.max(1);
+        let mut dims = images.dims().to_vec();
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            dims[0] = end - start;
+            let sub = Tensor::from_vec(
+                dims.clone(),
+                images.as_slice()[start * sample_len..end * sample_len].to_vec(),
+            )?;
+            let logits = self.predict(&sub)?;
+            for (p, &want) in crate::predictions(&logits)?.iter().zip(&labels[start..end]) {
+                correct += usize::from(*p == want);
+            }
+            start = end;
+        }
+        Ok(correct as f32 / n as f32)
+    }
+
+    /// Number of layers running in fixed point (quantized conv+linear).
+    pub fn quantized_layers(&self) -> usize {
+        self.report.len()
+    }
+
+    /// Per-layer calibration records, in network order.
+    pub fn calibration(&self) -> &[LayerCalibration] {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mini_alexnet;
+    use insitu_tensor::Rng;
+
+    #[test]
+    fn calibrate_quantizes_every_conv_and_linear() {
+        let mut rng = Rng::seed_from(31);
+        let net = mini_alexnet(4, &mut rng).unwrap();
+        let calib = Tensor::rand_uniform([4, 3, 36, 36], 0.0, 1.0, &mut rng);
+        let q = QuantizedNet::calibrate(&net, &calib).unwrap();
+        // Mini-AlexNet: 5 conv + 3 fc, everything else passes through.
+        assert_eq!(q.quantized_layers(), 8);
+        assert_eq!(q.layers.len(), net.len());
+        for rec in q.calibration() {
+            assert!(rec.in_scale > 0.0, "{}: degenerate input scale", rec.name);
+            assert!(rec.max_weight_scale > 0.0, "{}: degenerate weight scale", rec.name);
+        }
+    }
+
+    #[test]
+    fn quantized_logits_track_f32_logits() {
+        let mut rng = Rng::seed_from(37);
+        let mut net = mini_alexnet(4, &mut rng).unwrap();
+        let calib = Tensor::rand_uniform([6, 3, 36, 36], 0.0, 1.0, &mut rng);
+        let mut q = QuantizedNet::calibrate(&net, &calib).unwrap();
+        let x = Tensor::rand_uniform([3, 3, 36, 36], 0.0, 1.0, &mut rng);
+        let f32_logits = net.predict(&x).unwrap();
+        let i8_logits = q.predict(&x).unwrap();
+        assert_eq!(i8_logits.dims(), f32_logits.dims());
+        let range = insitu_tensor::max_abs(f32_logits.as_slice()).max(1e-3);
+        let err = i8_logits.max_abs_diff(&f32_logits).unwrap();
+        assert!(err < 0.15 * range, "quantization error {err} vs logit range {range}");
+    }
+
+    #[test]
+    fn predict_is_deterministic_and_allocation_stable() {
+        let mut rng = Rng::seed_from(41);
+        let net = mini_alexnet(4, &mut rng).unwrap();
+        let calib = Tensor::rand_uniform([2, 3, 36, 36], 0.0, 1.0, &mut rng);
+        let mut q = QuantizedNet::calibrate(&net, &calib).unwrap();
+        let x = Tensor::rand_uniform([2, 3, 36, 36], 0.0, 1.0, &mut rng);
+        let first = q.predict(&x).unwrap();
+        for _ in 0..2 {
+            let again = q.predict(&x).unwrap();
+            assert_eq!(
+                first.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                again.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_calibration_batch_is_rejected() {
+        let mut rng = Rng::seed_from(43);
+        let net = mini_alexnet(4, &mut rng).unwrap();
+        assert!(QuantizedNet::calibrate(&net, &Tensor::zeros([0, 3, 36, 36])).is_err());
+    }
+}

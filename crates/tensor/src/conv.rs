@@ -16,8 +16,9 @@
 
 use crate::error::TensorError;
 use crate::microkernel::Kernel;
-use crate::pack::{grow_scratch, pack_a, pack_b, packed_a_len, packed_b_len};
+use crate::pack::{grow_scratch, pack_a, pack_a_i8, pack_b, pack_b_i8, packed_a_len, packed_b_len};
 use crate::parallel::{parallel_for, plan_parts, SendPtr};
+use crate::quant::{quantize_i8, QuantizedMatrix};
 use crate::tensor::Tensor;
 use crate::Result;
 use insitu_telemetry as telemetry;
@@ -166,7 +167,10 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
 /// `out`. Only the taps that land inside the input are written — padding
 /// positions are left untouched, so `out` must hold zeros there (a fresh
 /// zeroed buffer, or a workspace last used with the same geometry).
-fn im2col_into(x: &[f32], g: &ConvGeometry, out: &mut [f32]) {
+/// Generic over the element so the fixed-point forward can stretch
+/// already-quantized samples (`quantize(0) == 0`, so the zero-padding
+/// contract is the same in both domains).
+fn im2col_into<T: Copy>(x: &[T], g: &ConvGeometry, out: &mut [T]) {
     let cols = g.col_cols();
     let (h, w, k) = (g.in_h, g.in_w, g.kernel);
     for c in 0..g.in_channels {
@@ -282,6 +286,26 @@ pub struct ConvWorkspace {
     packed_colt: Vec<f32>,
     /// Per-sample packed `dY` as B-operand (dcol GEMM).
     packed_dy_b: Vec<f32>,
+    /// Packed quantized filter matrix (i8 forward A-operand).
+    packed_w_i8: Vec<i8>,
+    /// Per-sample quantized input samples (i8 forward staging): the
+    /// input is quantized *once* here, then stretched by `im2col_into`
+    /// — quantizing the im2col matrix instead would round every input
+    /// element K² times.
+    qx: Vec<i8>,
+    /// Per-sample quantized im2col matrices (i8 forward staging).
+    /// Padding positions are zeroed on (re)allocation and never
+    /// dirtied afterwards, exactly like `cols`.
+    qcols: Vec<i8>,
+    /// Batch size and geometry `qcols` currently holds, if any. Kept
+    /// apart from `key`: an f32 pass at a new geometry re-zeros only
+    /// `cols`, so the i8 staging must track its own validity.
+    key_i8: Option<(usize, ConvGeometry)>,
+    /// Per-sample packed quantized im2col matrices (i8 B-operand).
+    packed_cols_i8: Vec<i8>,
+    /// Per-sample i32 accumulators of the i8 forward, dequantized into
+    /// the f32 output.
+    acc_i32: Vec<i32>,
     /// How many times any buffer above has grown (see
     /// [`ConvWorkspace::reallocations`]).
     grows: usize,
@@ -328,6 +352,34 @@ impl ConvWorkspace {
             b * packed_b_len(g.col_rows(), g.col_cols(), kern.nr()),
             &mut self.grows,
         );
+    }
+
+    /// Readies the quantized-forward buffers: the i8 input staging and
+    /// im2col matrices (re-zeroing the latter only when the batch size
+    /// or geometry changed, mirroring `prepare_forward`) plus the i8
+    /// panels and i32 accumulators.
+    fn prepare_forward_i8(&mut self, b: usize, g: &ConvGeometry, kern: Kernel) {
+        let want = Some((b, *g));
+        if self.key_i8 != want {
+            let len = b * g.col_rows() * g.col_cols();
+            // Geometry switches re-zero `qcols` (padding positions
+            // must hold zeros), so they intentionally bypass the
+            // grow-only accounting.
+            self.qcols.clear();
+            self.qcols.resize(len, 0);
+            self.key_i8 = want;
+        }
+        let (nk2, p) = (g.col_rows(), g.col_cols());
+        let grows = &mut self.grows;
+        grow_scratch(
+            &mut self.packed_w_i8,
+            packed_a_len(g.out_channels, nk2, kern.mr()),
+            grows,
+            "conv_i8",
+        );
+        grow_scratch(&mut self.qx, b * g.in_channels * g.in_h * g.in_w, grows, "conv_i8");
+        grow_scratch(&mut self.packed_cols_i8, b * packed_b_len(nk2, p, kern.nr()), grows, "conv_i8");
+        grow_scratch(&mut self.acc_i32, b * g.out_channels * p, grows, "conv_i8");
     }
 
     /// Sizes the backward scratch and packing buffers (contents need no
@@ -451,6 +503,152 @@ pub fn conv2d_forward_ws(
                 let bm = bv[m];
                 for v in &mut dst[m * positions..(m + 1) * positions] {
                     *v += bm;
+                }
+            }
+        };
+        if parts == 1 {
+            for s in 0..b {
+                run(s);
+            }
+        } else {
+            parallel_for(b, run);
+        }
+    }
+    Ok(out)
+}
+
+/// Batched **quantized** convolution forward pass (the software twin of
+/// the paper's fixed-point FPGA PEs).
+///
+/// * `input`: `(B, C, H, W)` f32 activations, quantized per tensor with
+///   the static `in_scale` from calibration (see [`crate::quant`]).
+/// * `qweight`: the filter bank flattened to `(M, N·K²)` and quantized
+///   per output channel ([`QuantizedMatrix`]).
+///
+/// Each sample is quantized once, then im2col runs in the i8 domain
+/// (it only moves values, and `quantize(0) == 0` keeps the padding
+/// contract — quantizing the stretched matrix instead would round each
+/// element K² times for bit-identical output), the GEMM runs in i8
+/// with i32 accumulation, and each output channel dequantizes with
+/// `in_scale · w_scale[m]` before the f32 bias is added. Integer
+/// accumulation is exact and the dequantization is element-wise, so the
+/// result is deterministic at any kernel and thread count. Buffers live
+/// in `ws` and only ever grow: steady state allocates nothing beyond
+/// the returned output tensor.
+///
+/// # Errors
+///
+/// Returns an error on any shape disagreement with the geometry.
+pub fn conv2d_forward_i8_ws(
+    input: &Tensor,
+    qweight: &QuantizedMatrix,
+    bias: &Tensor,
+    g: &ConvGeometry,
+    in_scale: f32,
+    ws: &mut ConvWorkspace,
+) -> Result<Tensor> {
+    let b = batch_of(input, g)?;
+    if qweight.rows() != g.out_channels || qweight.cols() != g.col_rows() {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "conv2d_forward_i8: quantized weight {}x{} incompatible with geometry \
+                 ({} filters of {} taps)",
+                qweight.rows(),
+                qweight.cols(),
+                g.out_channels,
+                g.col_rows()
+            ),
+        });
+    }
+    if bias.len() != g.out_channels {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "conv2d_forward_i8: bias {} != out channels {}",
+                bias.len(),
+                g.out_channels
+            ),
+        });
+    }
+    let kern = Kernel::select();
+    ws.prepare_forward_i8(b, g, kern);
+    let sample_len = g.in_channels * g.in_h * g.in_w;
+    let out_len = g.out_channels * g.out_h * g.out_w;
+    let _t = telemetry::span_with("tensor.quant.conv2d_fwd", || {
+        format!(
+            "b{b} {}x{}x{} -> {}x{}x{} k{} s{} p{}",
+            g.in_channels, g.in_h, g.in_w, g.out_channels, g.out_h, g.out_w, g.kernel, g.stride,
+            g.pad
+        )
+    });
+    telemetry::counter_add(
+        "tensor.quant.bytes",
+        "conv_i8",
+        (4 * b * sample_len + qweight.data().len() + b * g.col_rows() * g.col_cols()
+            + 4 * b * out_len) as u64,
+    );
+    let nk2 = g.col_rows();
+    let positions = g.col_cols();
+    let col_len = nk2 * positions;
+    let pa_len = packed_a_len(g.out_channels, nk2, kern.mr());
+    let pb_len = packed_b_len(nk2, positions, kern.nr());
+    let acc_len = g.out_channels * positions;
+    let mut out = Tensor::zeros([b, g.out_channels, g.out_h, g.out_w]);
+    let xv = input.as_slice();
+    {
+        let _p = telemetry::span_with("tensor.quant.pack", || format!("conv_fwd_w_i8 b{b}"));
+        pack_a_i8(
+            qweight.data(),
+            g.out_channels,
+            nk2,
+            false,
+            kern.mr(),
+            &mut ws.packed_w_i8[..pa_len],
+        );
+    }
+    let bv = bias.as_slice();
+    let scales = qweight.scales();
+    let parts = plan_parts(b, b as u64 * g.ops());
+    {
+        let out_base = SendPtr(out.as_mut_slice().as_mut_ptr());
+        let qx_base = SendPtr(ws.qx.as_mut_ptr());
+        let qcols_base = SendPtr(ws.qcols.as_mut_ptr());
+        let pcols_base = SendPtr(ws.packed_cols_i8.as_mut_ptr());
+        let acc_base = SendPtr(ws.acc_i32.as_mut_ptr());
+        let pw = &ws.packed_w_i8[..pa_len];
+        let run = |s: usize| {
+            // SAFETY: task `s` touches only sample `s`'s slice of each
+            // buffer; samples are disjoint.
+            let qxs = unsafe {
+                std::slice::from_raw_parts_mut(qx_base.get().add(s * sample_len), sample_len)
+            };
+            let qcol = unsafe {
+                std::slice::from_raw_parts_mut(qcols_base.get().add(s * col_len), col_len)
+            };
+            let pcol = unsafe {
+                std::slice::from_raw_parts_mut(pcols_base.get().add(s * pb_len), pb_len)
+            };
+            let acc = unsafe {
+                std::slice::from_raw_parts_mut(acc_base.get().add(s * acc_len), acc_len)
+            };
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(out_base.get().add(s * out_len), out_len)
+            };
+            let xs = &xv[s * sample_len..(s + 1) * sample_len];
+            // Quantize the sample once, then stretch in the i8 domain:
+            // im2col duplicates each element up to K² times, so
+            // rounding after the stretch would do K² times the work
+            // for bit-identical output.
+            quantize_i8(xs, in_scale, qxs);
+            im2col_into(qxs, g, qcol);
+            pack_b_i8(qcol, nk2, positions, false, kern.nr(), pcol);
+            kern.run_band_i8(pw, pcol, nk2, positions, 0..g.out_channels, acc);
+            for m in 0..g.out_channels {
+                let factor = in_scale * scales[m];
+                let bm = bv[m];
+                let arow = &acc[m * positions..(m + 1) * positions];
+                let drow = &mut dst[m * positions..(m + 1) * positions];
+                for (d, &a) in drow.iter_mut().zip(arow) {
+                    *d = a as f32 * factor + bm;
                 }
             }
         };

@@ -13,6 +13,12 @@
 //! `INSITU_THREADS` environment variable, and results are bitwise
 //! identical for any setting.
 //!
+//! A symmetric-i8 fixed-point inference path ([`matmul_i8`],
+//! [`conv2d_forward_i8_ws`], [`linear_forward_i8_ws`]) mirrors the
+//! paper's fixed-point FPGA PEs: same packed panel layout and kernel
+//! dispatch, i32 accumulation, bitwise identical to its naive oracle
+//! at any shape, kernel and thread count.
+//!
 //! ## Example
 //!
 //! ```
@@ -39,13 +45,14 @@ mod microkernel;
 mod pack;
 pub mod parallel;
 mod pool;
+mod quant;
 mod rng;
 mod shape;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d_backward, conv2d_backward_ws, conv2d_forward, conv2d_forward_ws, im2col,
-    ConvGeometry, ConvWorkspace,
+    col2im, conv2d_backward, conv2d_backward_ws, conv2d_forward, conv2d_forward_i8_ws,
+    conv2d_forward_ws, im2col, ConvGeometry, ConvWorkspace,
 };
 pub use error::TensorError;
 pub use matmul::{
@@ -54,6 +61,10 @@ pub use matmul::{
 };
 pub use parallel::{num_threads, par_chunks_mut, parallel_for, set_num_threads};
 pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolGeometry};
+pub use quant::{
+    dequantize_i8, linear_forward_i8_ws, matmul_i8, matmul_i8_naive, matmul_i8_ws, max_abs,
+    quant_scale, quantize_i8, QuantizedMatrix, QUANT_MAX,
+};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

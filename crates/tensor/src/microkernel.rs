@@ -36,6 +36,17 @@
 //! Selection is cached per process; `INSITU_GEMM_KERNEL=scalar` (or
 //! `avx2`) overrides auto-detection, which is how the property tests
 //! pin the portable path.
+//!
+//! # i8 tiles
+//!
+//! Each variant also carries an i8 micro-kernel ([`Kernel::run_band_i8`])
+//! over the *same* packed panel layout, accumulating in i32. Integer
+//! accumulation is exact, so — unlike f32 — **any** summation order is
+//! bitwise identical to the naive reference; the AVX2 variant exploits
+//! that by pairing adjacent k-steps for `vpmaddwd` (16 i16 products per
+//! instruction). The caller must keep `k ≤ i32::MAX / 127² (≈ 133k)`
+//! so a worst-case accumulation cannot overflow; every shape in this
+//! codebase is orders of magnitude below that.
 
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -93,6 +104,193 @@ fn band_body<const MR: usize, const NR: usize>(
             for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
                 out[r * n..r * n + tile_cols].copy_from_slice(&acc_row[..tile_cols]);
             }
+        }
+    }
+}
+
+/// Generic MR×NR i8 register tile with i32 accumulators: the integer
+/// twin of [`tile_body`]. Exact, so any instruction-level reordering
+/// the autovectorizer applies is still bitwise-faithful.
+#[inline(always)]
+fn tile_body_i8<const MR: usize, const NR: usize>(
+    kc: usize,
+    ap: &[i8],
+    bp: &[i8],
+) -> [[i32; NR]; MR] {
+    let mut acc = [[0i32; NR]; MR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for r in 0..MR {
+            let ar = i32::from(a[r]);
+            for (accc, &bc) in acc[r].iter_mut().zip(b) {
+                *accc += ar * i32::from(bc);
+            }
+        }
+    }
+    acc
+}
+
+/// i8 twin of [`band_body`]: every tile of a panel-aligned row band of
+/// the i32 output. Same argument contract, i8 panels in, i32 band out.
+#[inline(always)]
+fn band_body_i8<const MR: usize, const NR: usize>(
+    ap: &[i8],
+    bp: &[i8],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    band: &mut [i32],
+) {
+    debug_assert_eq!(rows.start % MR, 0, "bands must start on a panel boundary");
+    debug_assert_eq!(band.len(), rows.len() * n);
+    let np = n.div_ceil(NR);
+    for i0 in rows.clone().step_by(MR) {
+        let tile_rows = MR.min(rows.end - i0);
+        let apanel = &ap[(i0 / MR) * MR * k..][..MR * k];
+        for jp in 0..np {
+            let j0 = jp * NR;
+            let tile_cols = NR.min(n - j0);
+            let bpanel = &bp[jp * NR * k..][..NR * k];
+            let acc = tile_body_i8::<MR, NR>(k, apanel, bpanel);
+            let out = &mut band[(i0 - rows.start) * n + j0..];
+            for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
+                out[r * n..r * n + tile_cols].copy_from_slice(&acc_row[..tile_cols]);
+            }
+        }
+    }
+}
+
+/// Hand-written AVX2 i8 band: 8×8 tiles via `vpmaddwd`, pairing two
+/// adjacent k-steps per instruction (each madd lane computes
+/// `a_k·b_k[c] + a_{k+1}·b_{k+1}[c]` — 16 widened i16 products per
+/// accumulator update). i16 intermediates cannot overflow
+/// (|a·b| ≤ 127², pair sum ≤ 2·127² < i16-pair range in i32 lanes) and
+/// i32 accumulation is exact, so this is bitwise identical to the
+/// scalar tile for any k within the module-doc bound.
+///
+/// Both operands are pair-interleaved with a byte shuffle
+/// (`vpshufb` + sign-extend turns 16 packed bytes of two adjacent
+/// k-steps directly into madd-ready dword lanes). The A side is
+/// interleaved once per row band into a stack buffer — the hot loop
+/// then runs one broadcast-load, one madd and one add per row, with no
+/// scalar pair assembly on the critical path. The buffer is a fixed
+/// 8 KiB block; larger k accumulates block partials into the output
+/// band, which is still exact (integer adds in a fixed order).
+///
+/// # Safety
+///
+/// The caller must have verified that the host supports AVX2 (see
+/// [`Kernel::select`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn band_avx2_i8_8x8(
+    ap: &[i8],
+    bp: &[i8],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    band: &mut [i32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(rows.start % 8, 0, "bands must start on a panel boundary");
+    debug_assert_eq!(band.len(), rows.len() * n);
+    if k == 0 {
+        // The k-block loop below never runs; the contract (every band
+        // element assigned) still must hold.
+        band.fill(0);
+        return;
+    }
+    let np = n.div_ceil(8);
+    // Byte-shuffle masks: `interleave` turns the 16 bytes of two
+    // adjacent packed k-steps into (x_k[i], x_{k+1}[i]) byte pairs;
+    // `spread` does the same for a lone final k-step with a zero
+    // partner (0x80 index ⇒ pshufb writes 0).
+    #[rustfmt::skip]
+    let interleave =
+        _mm_setr_epi8(0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15);
+    #[rustfmt::skip]
+    let spread = _mm_setr_epi8(
+        0, -128, 1, -128, 2, -128, 3, -128, 4, -128, 5, -128, 6, -128, 7, -128,
+    );
+    // A-pair staging: dword p·8+r holds rows' (a_k, a_{k+1}) i16 pair
+    // for pair index p within the current k block.
+    const KBLK_PAIRS: usize = 256;
+    let mut apairs = [0i32; 8 * KBLK_PAIRS];
+    for i0 in rows.clone().step_by(8) {
+        let tile_rows = 8.min(rows.end - i0);
+        let apanel = &ap[(i0 / 8) * 8 * k..][..8 * k];
+        let mut k0 = 0usize;
+        while k0 < k {
+            let kc = (2 * KBLK_PAIRS).min(k - k0);
+            let kend = k0 + kc;
+            // Interleave this block's A pairs once; every column tile
+            // of the band reuses them.
+            let mut p = 0usize;
+            let mut kk = k0;
+            while kk + 1 < kend {
+                // SAFETY: apanel holds 8·k bytes and kk+2 ≤ k, so the
+                // 16-byte load covering both k-steps is in bounds.
+                let raw = _mm_loadu_si128(apanel.as_ptr().add(kk * 8).cast());
+                let wide = _mm256_cvtepi8_epi16(_mm_shuffle_epi8(raw, interleave));
+                _mm256_storeu_si256(apairs.as_mut_ptr().add(p * 8).cast(), wide);
+                kk += 2;
+                p += 1;
+            }
+            if kk < kend {
+                let raw = _mm_loadl_epi64(apanel.as_ptr().add(kk * 8).cast());
+                let wide = _mm256_cvtepi8_epi16(_mm_shuffle_epi8(raw, spread));
+                _mm256_storeu_si256(apairs.as_mut_ptr().add(p * 8).cast(), wide);
+            }
+            for jp in 0..np {
+                let j0 = jp * 8;
+                let tile_cols = 8.min(n - j0);
+                let bpanel = &bp[jp * 8 * k..][..8 * k];
+                let mut acc = [_mm256_setzero_si256(); 8];
+                let mut p = 0usize;
+                let mut kk = k0;
+                while kk + 1 < kend {
+                    // SAFETY: bpanel holds 8·k bytes and kk+2 ≤ k.
+                    let raw = _mm_loadu_si128(bpanel.as_ptr().add(kk * 8).cast());
+                    let bpair = _mm256_cvtepi8_epi16(_mm_shuffle_epi8(raw, interleave));
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let apair = _mm256_set1_epi32(*apairs.get_unchecked(p * 8 + r));
+                        *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(apair, bpair));
+                    }
+                    kk += 2;
+                    p += 1;
+                }
+                if kk < kend {
+                    let raw = _mm_loadl_epi64(bpanel.as_ptr().add(kk * 8).cast());
+                    let bpair = _mm256_cvtepi8_epi16(_mm_shuffle_epi8(raw, spread));
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let apair = _mm256_set1_epi32(*apairs.get_unchecked(p * 8 + r));
+                        *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(apair, bpair));
+                    }
+                }
+                let out = &mut band[(i0 - rows.start) * n + j0..];
+                if k0 == 0 && tile_cols == 8 {
+                    // Full-width first-block tile: store straight into
+                    // the output rows, no staging.
+                    for (r, accr) in acc.iter().enumerate().take(tile_rows) {
+                        // SAFETY: row r spans out[r·n .. r·n+8], in
+                        // bounds because tile_cols == 8 columns remain.
+                        _mm256_storeu_si256(out.as_mut_ptr().add(r * n).cast(), *accr);
+                    }
+                } else {
+                    for (r, accr) in acc.iter().enumerate().take(tile_rows) {
+                        let mut lane = [0i32; 8];
+                        _mm256_storeu_si256(lane.as_mut_ptr().cast(), *accr);
+                        let dst = &mut out[r * n..r * n + tile_cols];
+                        if k0 == 0 {
+                            dst.copy_from_slice(&lane[..tile_cols]);
+                        } else {
+                            for (d, &v) in dst.iter_mut().zip(&lane[..tile_cols]) {
+                                *d += v;
+                            }
+                        }
+                    }
+                }
+            }
+            k0 = kend;
         }
     }
 }
@@ -170,6 +368,30 @@ impl Kernel {
             // detection of AVX2 and FMA (or an explicit override, which
             // also re-checks support).
             Kernel::Avx2_8x8 => unsafe { band_avx2_8x8(ap, bp, k, n, rows, band) },
+        }
+    }
+
+    /// Runs the i8 micro-kernel over one panel-aligned row band: same
+    /// contract as [`run_band`](Kernel::run_band), i8 packed panels in,
+    /// i32 band out. Dispatching through the same selected variant is
+    /// what makes `INSITU_GEMM_KERNEL=scalar` pin the portable i8 path
+    /// together with the f32 one.
+    pub(crate) fn run_band_i8(
+        self,
+        ap: &[i8],
+        bp: &[i8],
+        k: usize,
+        n: usize,
+        rows: Range<usize>,
+        band: &mut [i32],
+    ) {
+        match self {
+            Kernel::Scalar8x4 => band_body_i8::<8, 4>(ap, bp, k, n, rows, band),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `select` only yields this variant after runtime
+            // detection of AVX2 (and FMA, a superset of what the i8
+            // band needs).
+            Kernel::Avx2_8x8 => unsafe { band_avx2_i8_8x8(ap, bp, k, n, rows, band) },
         }
     }
 

@@ -1,0 +1,155 @@
+//! The fixed-point i8 GEMM against its naive oracle.
+//!
+//! Integer accumulation is exact, so the contract is stronger than the
+//! f32 suite's: [`matmul_i8`] must equal [`matmul_i8_naive`] **exactly**
+//! at any shape, any selected kernel (the harness pins the portable
+//! kernel via `INSITU_GEMM_KERNEL=scalar` in one CI leg) and any thread
+//! count — packing, the vectorized `madd` pairing and panel
+//! partitioning can reorder the sum freely without changing a single
+//! accumulator bit. The same ragged ladder as `packed_gemm.rs` is swept
+//! so partial tiles at every edge are covered.
+//!
+//! The quantize/dequantize round-trip tests pin the numeric half of the
+//! scheme: symmetric scale `max_abs/127`, error at most half a step.
+
+use insitu_tensor::{
+    dequantize_i8, matmul_i8, matmul_i8_naive, matmul_i8_ws, max_abs, num_threads, quant_scale,
+    quantize_i8, set_num_threads, GemmScratch, Rng, QUANT_MAX,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Micro-kernel tile height (shared with the f32 kernels).
+const MR: usize = 8;
+
+/// The ragged ladder: dimension 1, tile-edge straddles (MR−1, MR,
+/// MR+1), and two-panel-plus-tail sizes.
+const RAGGED: &[usize] = &[1, MR - 1, MR, MR + 1, 2 * MR + 3, 4 * MR + 5];
+
+/// Serializes tests that sweep the global kernel thread count.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = num_threads();
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(prev);
+    out
+}
+
+/// Deterministic i8 matrix spanning the full value range (±127).
+fn rand_i8(len: usize, rng: &mut Rng) -> Vec<i8> {
+    (0..len).map(|_| (rng.below(255) as i32 - 127) as i8).collect()
+}
+
+/// Every (m, k, n) in the ragged ladder at 1/2/4 threads: exactly
+/// equal to the oracle's i32 accumulators.
+#[test]
+fn ragged_ladder_matches_naive_exactly_at_all_thread_counts() {
+    let mut rng = Rng::seed_from(303);
+    for &m in RAGGED {
+        for &k in RAGGED {
+            for &n in RAGGED {
+                let a = rand_i8(m * k, &mut rng);
+                let b = rand_i8(k * n, &mut rng);
+                let oracle = matmul_i8_naive(&a, &b, m, k, n);
+                for threads in [1usize, 2, 4] {
+                    let got = with_threads(threads, || matmul_i8(&a, &b, m, k, n).unwrap());
+                    assert_eq!(got, oracle, "matmul_i8 {m}x{k}x{n} @ t{threads}");
+                }
+            }
+        }
+    }
+}
+
+/// One warm scratch serves the whole ladder; growth goes flat after
+/// the first pass and reuse never changes an accumulator.
+#[test]
+fn i8_scratch_reuse_is_allocation_free_and_exact() {
+    let mut rng = Rng::seed_from(404);
+    let mut scratch = GemmScratch::new();
+    let shapes: Vec<(usize, Vec<i8>, Vec<i8>)> = RAGGED
+        .iter()
+        .map(|&d| {
+            (
+                d,
+                rand_i8(d * (2 * MR + 3), &mut rng),
+                rand_i8((2 * MR + 3) * d, &mut rng),
+            )
+        })
+        .collect();
+    let k = 2 * MR + 3;
+    let run = |scratch: &mut GemmScratch| -> Vec<Vec<i32>> {
+        shapes
+            .iter()
+            .map(|(d, a, b)| {
+                let mut out = vec![0i32; d * d];
+                matmul_i8_ws(a, b, *d, k, *d, scratch, &mut out).unwrap();
+                out
+            })
+            .collect()
+    };
+    let first = run(&mut scratch);
+    for ((d, a, b), got) in shapes.iter().zip(&first) {
+        assert_eq!(got, &matmul_i8_naive(a, b, *d, k, *d), "d={d}");
+    }
+    let warm_grows = scratch.reallocations();
+    assert!(warm_grows >= 1, "first pass must size the arena");
+    for _ in 0..3 {
+        assert_eq!(run(&mut scratch), first, "scratch reuse changed results");
+    }
+    assert_eq!(
+        scratch.reallocations(),
+        warm_grows,
+        "steady-state i8 kernel path must not allocate"
+    );
+}
+
+/// Symmetric round-trip: `dequant(quant(x))` is within half a
+/// quantization step of `x` for every in-range value, and the scale
+/// maps `max_abs` to exactly ±127.
+#[test]
+fn quantize_round_trip_stays_within_half_a_step() {
+    let mut rng = Rng::seed_from(505);
+    let src: Vec<f32> = (0..1000)
+        .map(|_| (rng.below(20001) as f32 - 10000.0) / 1234.5)
+        .collect();
+    let scale = quant_scale(max_abs(&src));
+    let mut q = vec![0i8; src.len()];
+    quantize_i8(&src, scale, &mut q);
+    let mut back = vec![0.0f32; src.len()];
+    dequantize_i8(&q, scale, &mut back);
+    for (i, (&x, &y)) in src.iter().zip(&back).enumerate() {
+        assert!(
+            (x - y).abs() <= scale * 0.5 + f32::EPSILON,
+            "element {i}: {x} -> {y}, step {scale}"
+        );
+    }
+    // The extreme value uses the full i8 range.
+    let peak = src.iter().cloned().fold(0.0f32, |m, v| m.max(v.abs()));
+    let qpeak = q.iter().map(|&v| i32::from(v).unsigned_abs()).max().unwrap();
+    assert_eq!(qpeak, QUANT_MAX as u32);
+    assert!((peak / scale - QUANT_MAX).abs() < 1e-3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized ragged shapes stay exactly equal to the oracle at
+    /// every thread count.
+    #[test]
+    fn random_shapes_match_naive_exactly(
+        m in 1usize..(4 * MR + 6), k in 1usize..40, n in 1usize..(4 * MR + 6),
+        seed in 0u64..10_000
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = rand_i8(m * k, &mut rng);
+        let b = rand_i8(k * n, &mut rng);
+        let oracle = matmul_i8_naive(&a, &b, m, k, n);
+        for threads in [1usize, 2, 4] {
+            let got = with_threads(threads, || matmul_i8(&a, &b, m, k, n).unwrap());
+            prop_assert_eq!(&got, &oracle);
+        }
+    }
+}
