@@ -23,6 +23,13 @@ cargo test -q -p insitu-tensor --test quant_gemm
 INSITU_GEMM_KERNEL=scalar cargo test -q -p insitu-tensor --test quant_gemm
 cargo test -q -p insitu-core --test quantized_inference
 
+# SIMD dispatch gates: every dispatched op must match its scalar body
+# bitwise across ragged shapes and 1/2/4 threads, under both the
+# auto-detected ISA and the forced portable path (INSITU_SIMD=scalar —
+# the suite itself asserts the override is in force).
+cargo test -q -p insitu-tensor --test simd_ops
+INSITU_SIMD=scalar cargo test -q -p insitu-tensor --test simd_ops
+
 # Telemetry gates: the end-to-end trace test, then a smoke of the
 # Chrome-trace exporter through the bench bin (trace goes to stderr,
 # snapshot JSON to stdout — both must stay well-formed). --quick keeps
@@ -34,6 +41,14 @@ grep -q '"ns_per_iter"' /tmp/ci_kernels.json
 grep -q '"speedup_vs_baseline"' /tmp/ci_kernels.json
 grep -q '"precision": "i8"' /tmp/ci_kernels.json
 grep -q '"speedup_vs_f32"' /tmp/ci_kernels.json
+# The per-op SIMD rows: each dispatched op must report its scalar
+# comparison, and the header must name the ISA it ran under.
+grep -q '"simd_isa"' /tmp/ci_kernels.json
+grep -q '"op": "relu"' /tmp/ci_kernels.json
+grep -q '"op": "maxpool"' /tmp/ci_kernels.json
+grep -q '"op": "softmax"' /tmp/ci_kernels.json
+grep -q '"op": "quantize_i8"' /tmp/ci_kernels.json
+grep -q '"speedup_vs_scalar"' /tmp/ci_kernels.json
 grep -q '"traceEvents"' /tmp/ci_trace.json
 rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
 

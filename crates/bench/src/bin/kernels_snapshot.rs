@@ -27,13 +27,26 @@
 //! earlier snapshots. With `INSITU_TRACE=1` the final counted pass's
 //! Chrome trace is written to stderr.
 //!
+//! After the GEMM sweep the snapshot times the dispatched SIMD ops
+//! (`op` rows: relu, maxpool, softmax, quantize_i8) at the paper's
+//! activation shapes: each row measures the op's scalar body against
+//! the auto-selected body interleaved — `speedup_vs_scalar` is a
+//! median of per-rep ratios, so clock drift cancels — and reports
+//! `gbps` from the op's own byte accounting. The header records which
+//! ISA `speedup_vs_scalar` compares against (`simd_isa`); under
+//! `INSITU_SIMD=scalar` both legs run the same body and the ratio
+//! hovers at 1.
+//!
 //! `--quick` runs a shortened sweep (fewer timing reps) for CI smoke:
 //! same fields, noisier numbers.
 
 use insitu_telemetry as telemetry;
+use insitu_tensor::simd::{
+    dispatch_on, simd_isa_name, MaxPool2d, QuantizeI8, ReluTrain, SimdIsa, SimdOp, SoftmaxRows,
+};
 use insitu_tensor::{
-    gemm_kernel_name, matmul, matmul_i8, max_abs, quant_scale, quantize_i8, set_num_threads, Rng,
-    Tensor,
+    gemm_kernel_name, matmul, matmul_i8, max_abs, quant_scale, quantize_i8, set_num_threads,
+    PoolGeometry, Rng, Tensor,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -116,6 +129,69 @@ fn time_matmul_i8_vs_f32(
     i8_ns.sort_unstable();
     ratios.sort_by(f64::total_cmp);
     (i8_ns[i8_ns.len() / 2], ratios[ratios.len() / 2])
+}
+
+/// Times a SIMD op's scalar body against its auto-selected body,
+/// interleaved per rep so the ratio is drift-free. Returns
+/// `(selected ns/iter, scalar ns/iter, speedup_vs_scalar)`.
+fn time_simd_pair(
+    quick: bool,
+    scalar: &mut dyn FnMut(),
+    selected: &mut dyn FnMut(),
+) -> (u128, u128, f64) {
+    for _ in 0..3 {
+        scalar();
+        selected();
+    }
+    let (reps, iters) = if quick { (3, 5u32) } else { (7, 20u32) };
+    let mut sel_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut sca_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            scalar();
+        }
+        let s = start.elapsed().as_nanos() / u128::from(iters);
+        let start = Instant::now();
+        for _ in 0..iters {
+            selected();
+        }
+        let v = start.elapsed().as_nanos() / u128::from(iters);
+        sca_ns.push(s);
+        sel_ns.push(v);
+        ratios.push(s.max(1) as f64 / v.max(1) as f64);
+    }
+    sel_ns.sort_unstable();
+    sca_ns.sort_unstable();
+    ratios.sort_by(f64::total_cmp);
+    (sel_ns[sel_ns.len() / 2], sca_ns[sca_ns.len() / 2], ratios[ratios.len() / 2])
+}
+
+/// Appends one `op` row; `extra` carries op-specific fields (already
+/// comma-prefixed or empty).
+#[allow(clippy::too_many_arguments)]
+fn push_op_row(
+    rows: &mut String,
+    op: &str,
+    n: usize,
+    threads: usize,
+    bytes: u64,
+    ns: u128,
+    scalar_ns: u128,
+    speedup: f64,
+    extra: &str,
+) {
+    if !rows.is_empty() {
+        rows.push_str(",\n");
+    }
+    let gbps = bytes as f64 / ns.max(1) as f64;
+    let _ = write!(
+        rows,
+        "    {{\"op\": \"{op}\", \"n\": {n}, \"threads\": {threads}{extra}, \
+         \"ns_per_iter\": {ns}, \"scalar_ns_per_iter\": {scalar_ns}, \
+         \"gbps\": {gbps:.2}, \"speedup_vs_scalar\": {speedup:.2}}}"
+    );
 }
 
 /// Iterations of the separately-counted (telemetry-enabled) pass.
@@ -204,6 +280,101 @@ fn main() {
             );
         }
     }
+
+    // ---- Dispatched SIMD ops at the paper's activation shapes. ------
+    // conv1 activation of the mini-AlexNet at batch 8: (8, 16, 36, 36).
+    let sel = SimdIsa::select();
+    let n_act: usize = 8 * 16 * 36 * 36;
+    let act: Vec<f32> = (0..n_act).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let inv_scale = 1.0 / quant_scale(max_abs(&act));
+    let g = PoolGeometry::new(16, 36, 36, 2, 2).unwrap();
+    let planes = 8 * 16;
+    let out_len = planes * g.out_h * g.out_w;
+    // Classifier-head logits: the narrow gather path (CIFAR k=10) and
+    // a wide row (k=24) exercising the row-at-a-time path.
+    let softmax_shapes: [(usize, usize); 2] = [(4096, 10), (2048, 24)];
+    for &t in THREADS {
+        if t > cores {
+            continue;
+        }
+        set_num_threads(t);
+
+        // relu: train-mode forward (clamp + bit-packed keep mask).
+        {
+            let mut buf_s = act.clone();
+            let mut mask_s = vec![0u8; n_act.div_ceil(8)];
+            let mut buf_v = act.clone();
+            let mut mask_v = vec![0u8; n_act.div_ceil(8)];
+            let bytes = ReluTrain { buf: &mut buf_s, mask: &mut mask_s }.bytes();
+            let (ns, sns, sp) = time_simd_pair(
+                quick,
+                &mut || {
+                    dispatch_on(
+                        SimdIsa::Scalar,
+                        ReluTrain { buf: &mut buf_s, mask: &mut mask_s },
+                    )
+                },
+                &mut || dispatch_on(sel, ReluTrain { buf: &mut buf_v, mask: &mut mask_v }),
+            );
+            push_op_row(&mut rows, "relu", n_act, t, bytes, ns, sns, sp, "");
+        }
+
+        // maxpool: 2x2 stride-2 forward with argmax.
+        {
+            let mut out_s = vec![0f32; out_len];
+            let mut arg_s = vec![0usize; out_len];
+            let mut out_v = vec![0f32; out_len];
+            let mut arg_v = vec![0usize; out_len];
+            let bytes =
+                MaxPool2d { x: &act, g, planes, out: &mut out_s, argmax: &mut arg_s }.bytes();
+            let (ns, sns, sp) = time_simd_pair(
+                quick,
+                &mut || {
+                    dispatch_on(
+                        SimdIsa::Scalar,
+                        MaxPool2d { x: &act, g, planes, out: &mut out_s, argmax: &mut arg_s },
+                    )
+                },
+                &mut || {
+                    dispatch_on(
+                        sel,
+                        MaxPool2d { x: &act, g, planes, out: &mut out_v, argmax: &mut arg_v },
+                    )
+                },
+            );
+            push_op_row(&mut rows, "maxpool", n_act, t, bytes, ns, sns, sp, "");
+        }
+
+        // softmax: three-pass shift-invariant rows.
+        for &(b, k) in &softmax_shapes {
+            let n_sm = b * k;
+            let logits: Vec<f32> = (0..n_sm).map(|_| rng.uniform(-12.0, 12.0)).collect();
+            let mut buf_s = logits.clone();
+            let mut buf_v = logits;
+            let bytes = SoftmaxRows { buf: &mut buf_s, k }.bytes();
+            let (ns, sns, sp) = time_simd_pair(
+                quick,
+                &mut || dispatch_on(SimdIsa::Scalar, SoftmaxRows { buf: &mut buf_s, k }),
+                &mut || dispatch_on(sel, SoftmaxRows { buf: &mut buf_v, k }),
+            );
+            push_op_row(&mut rows, "softmax", n_sm, t, bytes, ns, sns, sp, &format!(", \"k\": {k}"));
+        }
+
+        // quantize_i8: f32 -> i8 at the calibration scale.
+        {
+            let mut dst_s = vec![0i8; n_act];
+            let mut dst_v = vec![0i8; n_act];
+            let bytes = QuantizeI8 { src: &act, inv_scale, dst: &mut dst_s }.bytes();
+            let (ns, sns, sp) = time_simd_pair(
+                quick,
+                &mut || {
+                    dispatch_on(SimdIsa::Scalar, QuantizeI8 { src: &act, inv_scale, dst: &mut dst_s })
+                },
+                &mut || dispatch_on(sel, QuantizeI8 { src: &act, inv_scale, dst: &mut dst_v }),
+            );
+            push_op_row(&mut rows, "quantize_i8", n_act, t, bytes, ns, sns, sp, "");
+        }
+    }
     set_num_threads(1);
     if want_trace {
         // Smoke for the exporter pipeline: the last counted pass as a
@@ -216,7 +387,9 @@ fn main() {
     let _ = writeln!(
         std::io::stdout(),
         "{{\n  \"bench\": \"packed_gemm\",\n  \"host_cores\": {cores},\n  \
-         \"kernel\": \"{}\",\n  \"quick\": {quick},\n  \"results\": [\n{rows}\n  ]\n}}",
-        gemm_kernel_name()
+         \"kernel\": \"{}\",\n  \"simd_isa\": \"{}\",\n  \"quick\": {quick},\n  \
+         \"results\": [\n{rows}\n  ]\n}}",
+        gemm_kernel_name(),
+        simd_isa_name()
     );
 }

@@ -4,7 +4,7 @@ use crate::diagnosis::{
     diagnose, diagnose_with_logits, valuable_indices, DiagnosisPolicy, Verdict,
 };
 use crate::error::CoreError;
-use crate::metrics::{DataMovementMeter, IMAGE_BYTES};
+use crate::metrics::{DataMovementMeter, ScoreSummary, IMAGE_BYTES};
 use crate::update::ModelUpdate;
 use crate::Result;
 use insitu_data::{Dataset, PermutationSet};
@@ -46,6 +46,8 @@ pub struct StageOutcome {
     pub valuable: Vec<usize>,
     /// Bytes the node sent to the Cloud for this stage.
     pub uploaded_bytes: u64,
+    /// Distribution of the stage's diagnosis scores.
+    pub scores: ScoreSummary,
 }
 
 impl StageOutcome {
@@ -387,7 +389,9 @@ impl InsituNode {
         let valuable = valuable_indices(&verdicts);
         let uploaded_bytes = valuable.len() as u64 * IMAGE_BYTES;
         self.movement.record(data.len() as u64, valuable.len() as u64);
-        Ok(StageOutcome { predictions, verdicts, valuable, uploaded_bytes })
+        let score_buf: Vec<f32> = verdicts.iter().map(|v| v.score).collect();
+        let scores = ScoreSummary::from_scores(&score_buf);
+        Ok(StageOutcome { predictions, verdicts, valuable, uploaded_bytes, scores })
     }
 
     /// Extracts the valuable subset chosen by

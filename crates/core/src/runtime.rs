@@ -7,6 +7,16 @@
 //! deployment would run — the node consuming a sensor stream on its
 //! own thread, shipping valuable data upstream, and hot-swapping model
 //! updates as they arrive.
+//!
+//! Because updates install *opportunistically* (the node drains the
+//! downlink with `try_recv` between batches), which batch first sees
+//! update `k` depends on the wall-clock race between Cloud training
+//! and node inference. A session's trajectory is therefore stable
+//! across reruns of one build but **not** byte-stable across hosts,
+//! thread counts or kernel selections — unlike the tensor layer, whose
+//! results are bitwise identical under all of those knobs. Experiments
+//! that compare system variants on identical streams use the
+//! sequential batch APIs directly for exactly this reason.
 
 use crate::error::CoreError;
 use crate::node::InsituNode;

@@ -172,13 +172,13 @@ impl Condition {
         let bias = rng.uniform(self.bias.0, self.bias.1);
         let noise = self.noise_std;
         let mut noise_rng = rng.fork();
-        out.map_inplace(|v| v * gain + bias);
+        insitu_tensor::simd::affine(out.as_mut_slice(), gain, bias);
         if noise > 0.0 {
             for v in out.as_mut_slice() {
                 *v += noise_rng.normal_with(0.0, noise);
             }
         }
-        out.map_inplace(|v| v.clamp(0.0, 1.0));
+        insitu_tensor::simd::clamp(out.as_mut_slice(), 0.0, 1.0);
         Ok(out)
     }
 

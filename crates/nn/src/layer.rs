@@ -57,6 +57,19 @@ pub trait Layer: std::fmt::Debug + Send {
     /// Returns an error if the input shape disagrees with the layer.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
 
+    /// Like [`forward`](Layer::forward), but consumes the input, so
+    /// layers that can compute in place (ReLU) may reuse its buffer
+    /// instead of allocating a fresh output tensor.
+    /// [`Sequential`](crate::Sequential) chains activations through
+    /// this entry point; the default simply borrows and delegates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape disagrees with the layer.
+    fn forward_owned(&mut self, input: Tensor, mode: Mode) -> Result<Tensor> {
+        self.forward(&input, mode)
+    }
+
     /// Propagates the upstream gradient, accumulating parameter
     /// gradients and returning the gradient with respect to the input.
     ///

@@ -3,19 +3,31 @@
 use crate::error::NnError;
 use crate::layer::{Layer, LayerKind, Mode};
 use crate::Result;
-use insitu_tensor::Tensor;
+use insitu_tensor::{simd, Tensor};
 
 /// Rectified linear unit: `y = max(0, x)`, applied elementwise.
+///
+/// Computes in place through [`Layer::forward_owned`] — the hot path
+/// in [`Sequential`](crate::Sequential) — so steady-state forwards
+/// allocate nothing: the activation buffer is rewritten where it
+/// stands and the training keep-mask is a persistent bit-packed
+/// buffer (one *bit* per element, 1/32 the traffic of the `Vec<bool>`
+/// it replaced) that is reused across steps.
 #[derive(Debug, Clone)]
 pub struct Relu {
     name: String,
-    mask: Option<Vec<bool>>,
+    /// Bit-packed keep mask from the last training forward; kept
+    /// allocated across steps.
+    mask: Vec<u8>,
+    /// `Some(n)`: `mask` is valid for an `n`-element activation and
+    /// backward has not consumed it yet.
+    mask_elems: Option<usize>,
 }
 
 impl Relu {
     /// Creates a ReLU activation layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Relu { name: name.into(), mask: None }
+        Relu { name: name.into(), mask: Vec::new(), mask_elems: None }
     }
 }
 
@@ -29,32 +41,38 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = input.map(|x| x.max(0.0));
-        if mode == Mode::Train {
-            self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
-        } else {
-            self.mask = None;
+        self.forward_owned(input.clone(), mode)
+    }
+
+    fn forward_owned(&mut self, mut input: Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Eval => {
+                simd::relu(input.as_mut_slice());
+                self.mask_elems = None;
+            }
+            Mode::Train => {
+                let n = input.len();
+                self.mask.resize(n.div_ceil(8), 0);
+                simd::relu_train(input.as_mut_slice(), &mut self.mask);
+                self.mask_elems = Some(n);
+            }
         }
-        Ok(out)
+        Ok(input)
     }
 
     fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.take().ok_or_else(|| NnError::NoForwardCache {
+        let n = self.mask_elems.take().ok_or_else(|| NnError::NoForwardCache {
             layer: self.name.clone(),
         })?;
-        if mask.len() != dout.len() {
+        if n != dout.len() {
             return Err(NnError::BadInputShape {
                 layer: self.name.clone(),
-                expected: vec![mask.len()],
+                expected: vec![n],
                 actual: vec![dout.len()],
             });
         }
         let mut dx = dout.clone();
-        for (g, &m) in dx.as_mut_slice().iter_mut().zip(&mask) {
-            if !m {
-                *g = 0.0;
-            }
-        }
+        simd::relu_backward(dx.as_mut_slice(), &self.mask);
         Ok(dx)
     }
 
@@ -88,6 +106,16 @@ mod tests {
     }
 
     #[test]
+    fn forward_owned_computes_in_place() {
+        let mut l = Relu::new("r");
+        let x = Tensor::from_vec([4], vec![-1.0, 0.5, 2.0, -3.0]).unwrap();
+        let ptr = x.as_slice().as_ptr();
+        let y = l.forward_owned(x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 2.0, 0.0]);
+        assert_eq!(y.as_slice().as_ptr(), ptr, "owned forward must reuse the input buffer");
+    }
+
+    #[test]
     fn backward_masks_gradient() {
         let mut l = Relu::new("r");
         let x = Tensor::from_vec([4], vec![-1.0, 0.5, 2.0, -3.0]).unwrap();
@@ -95,6 +123,18 @@ mod tests {
         let dout = Tensor::filled([4], 1.0);
         let dx = l.backward(&dout).unwrap();
         assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn mask_allocation_is_reused_across_steps() {
+        let mut l = Relu::new("r");
+        for _ in 0..3 {
+            let x = Tensor::from_vec([9], (0..9).map(|i| i as f32 - 4.0).collect()).unwrap();
+            let _ = l.forward(&x, Mode::Train).unwrap();
+            let dx = l.backward(&Tensor::filled([9], 1.0)).unwrap();
+            assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+        }
+        assert_eq!(l.mask.len(), 2);
     }
 
     #[test]

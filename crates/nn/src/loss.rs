@@ -7,6 +7,20 @@ use insitu_tensor::Tensor;
 /// Numerically stable softmax over the last dimension of a `(B, K)`
 /// logit matrix.
 ///
+/// Deliberately *not* dispatched through the tensor SIMD layer: these
+/// probabilities feed training gradients (via
+/// [`softmax_cross_entropy`]) and the diagnosis scores that decide
+/// which samples a node uploads, so they sit inside the seeded
+/// end-to-end feedback loop. The vectorized
+/// [`simd::softmax_rows`](insitu_tensor::simd::softmax_rows) computes
+/// `exp` with a degree-5 polynomial that agrees with libm only to
+/// ~1.2e-7 per element — enough, over a few incremental-update rounds,
+/// to fork an entire session trajectory away from the seeds the
+/// regression suite pins. Keeping the historical libm loop here keeps
+/// every recorded trajectory bit-for-bit reproducible; throughput
+/// contexts that only need probabilities (no feedback) should call the
+/// SIMD op directly.
+///
 /// # Errors
 ///
 /// Returns an error if `logits` is not 2-D.
@@ -15,21 +29,21 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
     if d.len() != 2 {
         return Err(NnError::BadLabels { reason: format!("softmax expects (B, K), got {d:?}") });
     }
-    let (b, k) = (d[0], d[1]);
+    let k = d[1];
     let mut out = logits.clone();
-    let s = out.as_mut_slice();
-    for row in s.chunks_mut(k) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
+    if k > 0 {
+        for row in out.as_mut_slice().chunks_mut(k) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
         }
     }
-    debug_assert_eq!(s.len(), b * k);
     Ok(out)
 }
 

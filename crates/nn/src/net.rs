@@ -249,7 +249,9 @@ impl Network for Sequential {
             } else {
                 mode
             };
-            x = layer.forward(&x, layer_mode)?;
+            // forward_owned lets in-place layers (ReLU) rewrite the
+            // intermediate activation instead of allocating a copy.
+            x = layer.forward_owned(x, layer_mode)?;
         }
         if mode == Mode::Train {
             self.first_active = first_unfrozen;

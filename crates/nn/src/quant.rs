@@ -162,7 +162,9 @@ impl QuantizedNet {
                 QLayer::Linear { qweight, bias, in_scale, scratch } => {
                     linear_forward_i8_ws(&x, qweight, bias, *in_scale, scratch)?
                 }
-                QLayer::Passthrough(l) => l.forward(&x, Mode::Eval)?,
+                // forward_owned: in-place layers (ReLU) rewrite x
+                // instead of allocating.
+                QLayer::Passthrough(l) => l.forward_owned(x, Mode::Eval)?,
             };
         }
         Ok(x)

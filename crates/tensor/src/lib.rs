@@ -13,6 +13,12 @@
 //! `INSITU_THREADS` environment variable, and results are bitwise
 //! identical for any setting.
 //!
+//! The non-GEMM hot ops (ReLU, maxpool, softmax, quantization,
+//! metric reductions) go through the [`simd`] dispatch layer: one
+//! [`simd::SimdOp`] trait, a scalar oracle body per op, and
+//! runtime-detected AVX2 bodies, all overridable with
+//! `INSITU_SIMD=scalar`.
+//!
 //! A symmetric-i8 fixed-point inference path ([`matmul_i8`],
 //! [`conv2d_forward_i8_ws`], [`linear_forward_i8_ws`]) mirrors the
 //! paper's fixed-point FPGA PEs: same packed panel layout and kernel
@@ -48,6 +54,7 @@ mod pool;
 mod quant;
 mod rng;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{

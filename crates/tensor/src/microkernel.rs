@@ -33,9 +33,11 @@
 //! keeps a single ascending-k accumulation chain per element inherits
 //! the determinism guarantee for free.
 //!
-//! Selection is cached per process; `INSITU_GEMM_KERNEL=scalar` (or
-//! `avx2`) overrides auto-detection, which is how the property tests
-//! pin the portable path.
+//! Selection is cached per process and follows the crate-wide
+//! [`SimdIsa`](crate::simd::SimdIsa) choice (the `INSITU_SIMD` knob);
+//! the legacy `INSITU_GEMM_KERNEL=scalar` (or `avx2`) override still
+//! takes precedence for the GEMM alone, which is how the property
+//! tests pin the portable path.
 //!
 //! # i8 tiles
 //!
@@ -48,6 +50,7 @@
 //! so a worst-case accumulation cannot overflow; every shape in this
 //! codebase is orders of magnitude below that.
 
+use crate::simd::SimdIsa;
 use std::ops::Range;
 use std::sync::OnceLock;
 
@@ -395,33 +398,31 @@ impl Kernel {
         }
     }
 
-    /// The kernel every GEMM in this process uses: the widest variant
-    /// the host supports, resolved once and cached. The
-    /// `INSITU_GEMM_KERNEL` environment variable (`scalar` / `avx2` /
-    /// `auto`) overrides detection — an unsupported request falls back
-    /// to the portable kernel rather than faulting.
+    /// The kernel every GEMM in this process uses, resolved once and
+    /// cached. ISA choice comes from the crate-wide SIMD dispatcher
+    /// ([`SimdIsa::select`], governed by `INSITU_SIMD`); the legacy
+    /// `INSITU_GEMM_KERNEL` variable (`scalar` / `avx2` / `auto`)
+    /// still overrides it for the GEMM alone — an unsupported request
+    /// falls back to the portable kernel rather than faulting.
     pub(crate) fn select() -> Kernel {
         static SELECTED: OnceLock<Kernel> = OnceLock::new();
         *SELECTED.get_or_init(|| {
             let want = std::env::var("INSITU_GEMM_KERNEL").unwrap_or_default();
             match want.trim() {
                 "scalar" => Kernel::Scalar8x4,
-                _ => Kernel::detect(),
+                "avx2" => Kernel::from_isa(SimdIsa::detect()),
+                _ => Kernel::from_isa(SimdIsa::select()),
             }
         })
     }
 
-    /// The widest variant the host supports.
-    fn detect() -> Kernel {
-        #[cfg(target_arch = "x86_64")]
-        {
-            if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                return Kernel::Avx2_8x8;
-            }
+    /// The tile geometry matching an ISA chosen by the dispatcher.
+    fn from_isa(isa: SimdIsa) -> Kernel {
+        match isa {
+            SimdIsa::Scalar => Kernel::Scalar8x4,
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx2 => Kernel::Avx2_8x8,
         }
-        Kernel::Scalar8x4
     }
 
     /// Every variant the current host can run — the portable kernel is
@@ -429,11 +430,6 @@ impl Kernel {
     /// runnable kernels agree bitwise.
     #[cfg(test)]
     pub(crate) fn supported() -> Vec<Kernel> {
-        let mut v = vec![Kernel::Scalar8x4];
-        #[cfg(target_arch = "x86_64")]
-        if let k @ Kernel::Avx2_8x8 = Kernel::detect() {
-            v.push(k);
-        }
-        v
+        SimdIsa::supported().into_iter().map(Kernel::from_isa).collect()
     }
 }

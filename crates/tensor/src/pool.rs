@@ -80,36 +80,15 @@ pub fn maxpool2d_forward(input: &Tensor, g: &PoolGeometry) -> Result<(Tensor, Ve
         });
     }
     let b = d[0];
-    let x = input.as_slice();
     let mut out = Tensor::zeros([b, g.channels, g.out_h, g.out_w]);
-    let o = out.as_mut_slice();
-    let mut argmax = vec![0usize; o.len()];
-    let mut oi = 0;
-    for s in 0..b {
-        for c in 0..g.channels {
-            let plane = (s * g.channels + c) * g.in_h * g.in_w;
-            for oy in 0..g.out_h {
-                for ox in 0..g.out_w {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0;
-                    for wy in 0..g.window {
-                        let iy = oy * g.stride + wy;
-                        for wx in 0..g.window {
-                            let ix = ox * g.stride + wx;
-                            let idx = plane + iy * g.in_w + ix;
-                            if x[idx] > best {
-                                best = x[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    o[oi] = best;
-                    argmax[oi] = best_idx;
-                    oi += 1;
-                }
-            }
-        }
-    }
+    let mut argmax = vec![0usize; out.len()];
+    crate::simd::dispatch(crate::simd::MaxPool2d {
+        x: input.as_slice(),
+        g: *g,
+        planes: b * g.channels,
+        out: out.as_mut_slice(),
+        argmax: &mut argmax,
+    });
     Ok((out, argmax))
 }
 

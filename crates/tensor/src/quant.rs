@@ -57,13 +57,10 @@ pub fn quant_scale(max_abs: f32) -> f32 {
 
 /// Largest absolute value in `values` (0.0 for an empty slice);
 /// non-finite entries are ignored so one corrupt activation cannot
-/// blow up a layer's scale.
+/// blow up a layer's scale. Dispatched through the SIMD layer — the
+/// calibration scan walks every activation of every layer.
 pub fn max_abs(values: &[f32]) -> f32 {
-    values
-        .iter()
-        .map(|v| v.abs())
-        .filter(|v| v.is_finite())
-        .fold(0.0f32, f32::max)
+    crate::simd::max_abs(values)
 }
 
 /// Quantizes `src` into `dst` with round-to-nearest (ties to even, the
@@ -71,25 +68,23 @@ pub fn max_abs(values: &[f32]) -> f32 {
 /// positive (see [`quant_scale`]). Non-finite inputs quantize to 0
 /// (NaN) or ±127 (infinities).
 ///
-/// Runs on every activation tensor of every quantized forward, so the
-/// loop must vectorize at the portable SSE2 baseline: rounding goes
-/// through the `1.5·2²³` magic constant (adding and subtracting it
-/// forces the mantissa to integer granularity in the hardware rounding
-/// mode), because both `f32::round` and `f32::round_ties_even` lower
-/// to a libcall per element without SSE4.1. Clamping *before* the
-/// round keeps the value inside the trick's exact range (`|v| ≤ 2²²`).
+/// Runs on every activation tensor of every quantized forward, so it
+/// goes through the SIMD dispatch layer
+/// ([`simd::QuantizeI8`](crate::simd::QuantizeI8)): rounding uses the
+/// `1.5·2²³` magic constant (adding and subtracting it forces the
+/// mantissa to integer granularity in the hardware rounding mode) in
+/// both bodies, because both `f32::round` and `f32::round_ties_even`
+/// lower to a libcall per element without SSE4.1. Clamping *before*
+/// the round keeps the value inside the trick's exact range
+/// (`|v| ≤ 2²²`), and the AVX2 body is bitwise identical to the
+/// scalar loop for every input.
 ///
 /// # Panics
 ///
-/// Panics in debug builds if the slices differ in length.
+/// Panics if the slices differ in length.
 pub fn quantize_i8(src: &[f32], scale: f32, dst: &mut [i8]) {
-    debug_assert_eq!(src.len(), dst.len());
     let inv = 1.0 / scale;
-    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
-    for (d, &s) in dst.iter_mut().zip(src) {
-        let v = (s * inv).clamp(-QUANT_MAX, QUANT_MAX);
-        *d = ((v + MAGIC) - MAGIC) as i8;
-    }
+    crate::simd::dispatch(crate::simd::QuantizeI8 { src, inv_scale: inv, dst });
 }
 
 /// Reconstructs f32 values from quantized `src`: `x ≈ q · scale`. The

@@ -1,0 +1,190 @@
+//! The instruction-set selector and the [`SimdOp`] dispatcher.
+//!
+//! Every vectorized non-GEMM kernel in this crate is a [`SimdOp`]: a
+//! small struct borrowing its operands, with one `scalar` body (the
+//! portable oracle, always available) and one `avx2` body (hand-written
+//! intrinsics, runtime-detected on x86-64). [`dispatch`] resolves the
+//! ISA once per process and runs the matching body under a
+//! `tensor.simd.*` telemetry span, so traces show exactly how much time
+//! each op spends on which path.
+//!
+//! The GEMM micro-kernels predate this layer and keep their own
+//! [`Kernel`](crate::microkernel::Kernel) enum (their dispatch carries
+//! tile-geometry state no other op needs), but their ISA choice now
+//! comes from [`SimdIsa::select`] too, so one knob governs the whole
+//! crate: `INSITU_SIMD=scalar` pins every op — GEMM included — to the
+//! portable path, and the legacy `INSITU_GEMM_KERNEL` override keeps
+//! working for the GEMM alone.
+
+use insitu_telemetry as telemetry;
+use std::sync::OnceLock;
+
+/// An instruction set the op bodies can be compiled for.
+///
+/// `Scalar` is plain safe Rust — whatever the autovectorizer makes of
+/// it at the portable baseline (SSE2 on x86-64). It is the bitwise (or
+/// documented-ULP, see the module docs of [`crate::simd`]) oracle every
+/// other variant is property-tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdIsa {
+    /// Portable baseline; always available.
+    Scalar,
+    /// AVX2 + FMA, runtime-detected on x86-64.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl SimdIsa {
+    /// The ISA every dispatched op in this process uses: the widest the
+    /// host supports, resolved once and cached. The `INSITU_SIMD`
+    /// environment variable (`scalar` / `avx2` / `auto`) overrides
+    /// detection; an unsupported request falls back to the portable
+    /// path rather than faulting.
+    pub fn select() -> SimdIsa {
+        static SELECTED: OnceLock<SimdIsa> = OnceLock::new();
+        *SELECTED.get_or_init(|| {
+            let want = std::env::var("INSITU_SIMD").unwrap_or_default();
+            match want.trim() {
+                "scalar" => SimdIsa::Scalar,
+                _ => SimdIsa::detect(),
+            }
+        })
+    }
+
+    /// The widest ISA the host supports.
+    pub fn detect() -> SimdIsa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdIsa::Avx2;
+            }
+        }
+        SimdIsa::Scalar
+    }
+
+    /// Every ISA the current host can run — the portable baseline is
+    /// always included. The equivalence tests iterate this to assert
+    /// that every runnable body agrees with the scalar oracle.
+    pub fn supported() -> Vec<SimdIsa> {
+        let mut v = vec![SimdIsa::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        if let isa @ SimdIsa::Avx2 = SimdIsa::detect() {
+            v.push(isa);
+        }
+        v
+    }
+
+    /// Stable name, for telemetry labels and benchmark rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The name of the ISA the dispatcher resolved for this process.
+pub fn simd_isa_name() -> &'static str {
+    SimdIsa::select().name()
+}
+
+/// One vectorizable operation: operands borrowed in the struct, one
+/// body per ISA. `scalar` is mandatory and is the oracle; `avx2`
+/// defaults to the scalar body so an op can be added portably first and
+/// gain a vector body later without touching its call sites.
+pub trait SimdOp {
+    /// Span name recorded by the dispatcher, e.g. `"tensor.simd.relu"`.
+    const NAME: &'static str;
+
+    /// What the op produces (often `()` for in-place ops).
+    type Output;
+
+    /// Bytes the op reads plus writes; fed to the
+    /// `tensor.simd.bytes` counter so traces can derive per-op
+    /// bandwidth.
+    fn bytes(&self) -> u64;
+
+    /// The portable body — the oracle all other bodies must match.
+    fn scalar(self) -> Self::Output;
+
+    /// The AVX2+FMA body.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified that the host supports AVX2 and
+    /// FMA (the dispatcher only passes ISAs from [`SimdIsa::select`] or
+    /// [`SimdIsa::supported`], which both check).
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(self) -> Self::Output
+    where
+        Self: Sized,
+    {
+        self.scalar()
+    }
+}
+
+/// Runs `op` on the process-wide ISA from [`SimdIsa::select`].
+pub fn dispatch<O: SimdOp>(op: O) -> O::Output {
+    dispatch_on(SimdIsa::select(), op)
+}
+
+/// Runs `op` on an explicit ISA — the entry point the equivalence
+/// tests and the benchmark's scalar-vs-vector timing use. The ISA must
+/// come from [`SimdIsa::select`] or [`SimdIsa::supported`] so the
+/// vector body's feature requirement is known to hold.
+pub fn dispatch_on<O: SimdOp>(isa: SimdIsa, op: O) -> O::Output {
+    let _t = telemetry::span_with(O::NAME, || isa.name().to_string());
+    telemetry::counter_add("tensor.simd.bytes", O::NAME, op.bytes());
+    match isa {
+        SimdIsa::Scalar => op.scalar(),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `isa` values only come from `select`/`supported`,
+        // which gate Avx2 behind runtime detection of AVX2 and FMA.
+        SimdIsa::Avx2 => unsafe { op.avx2() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_supported() {
+        let isas = SimdIsa::supported();
+        assert_eq!(isas[0], SimdIsa::Scalar);
+        assert!(isas.contains(&SimdIsa::select()) || SimdIsa::select() == SimdIsa::Scalar);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SimdIsa::Scalar.name(), "scalar");
+        assert!(!simd_isa_name().is_empty());
+    }
+
+    struct Double<'a>(&'a mut [f32]);
+    impl SimdOp for Double<'_> {
+        const NAME: &'static str = "tensor.simd.test_double";
+        type Output = ();
+        fn bytes(&self) -> u64 {
+            8 * self.0.len() as u64
+        }
+        fn scalar(self) {
+            for v in self.0 {
+                *v *= 2.0;
+            }
+        }
+        // No avx2 body: the default must fall back to scalar.
+    }
+
+    #[test]
+    fn default_avx2_body_falls_back_to_scalar() {
+        for isa in SimdIsa::supported() {
+            let mut x = [1.0f32, -2.0, 3.5];
+            dispatch_on(isa, Double(&mut x));
+            assert_eq!(x, [2.0, -4.0, 7.0]);
+        }
+    }
+}

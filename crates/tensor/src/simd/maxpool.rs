@@ -1,0 +1,215 @@
+//! Max-pool forward: window max plus argmax, vectorized for the
+//! window-2 / stride-2 geometry every pool layer in the paper's
+//! networks uses.
+//!
+//! The AVX2 body computes 8 output columns at once: two unaligned row
+//! loads are deinterleaved into even/odd columns
+//! (`shuffle_ps` + `permute4x64`), and the four window candidates are
+//! folded with the same first-strictly-greater compare chain the
+//! scalar loop runs (`_CMP_GT_OQ` ≡ `>`), carrying i32 absolute-index
+//! lanes alongside the values. That makes value *and* argmax selection
+//! — including NaN windows and the all-`-inf` `best_idx = 0` corner —
+//! **bitwise exact** against the scalar oracle. Other geometries, and
+//! tensors whose linear indices overflow `i32`, fall back to the
+//! scalar plane kernel inside the AVX2 body.
+//!
+//! Planes (batch × channel) are independent, so parallelism splits
+//! planes; outputs never depend on the split.
+
+use super::dispatch::SimdOp;
+use crate::parallel::{parallel_for, plan_parts, split_range, SendPtr};
+use crate::pool::PoolGeometry;
+
+/// One output plane, naive windows. `x` is the full input slice;
+/// `plane` the linear offset of this plane; `out`/`arg` the plane's
+/// own output slices.
+fn pool_plane_scalar(x: &[f32], plane: usize, g: &PoolGeometry, out: &mut [f32], arg: &mut [usize]) {
+    let mut oi = 0;
+    for oy in 0..g.out_h {
+        for ox in 0..g.out_w {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_idx = 0;
+            for wy in 0..g.window {
+                let iy = oy * g.stride + wy;
+                for wx in 0..g.window {
+                    let ix = ox * g.stride + wx;
+                    let idx = plane + iy * g.in_w + ix;
+                    if x[idx] > best {
+                        best = x[idx];
+                        best_idx = idx;
+                    }
+                }
+            }
+            out[oi] = best;
+            arg[oi] = best_idx;
+            oi += 1;
+        }
+    }
+}
+
+/// Window-2 / stride-2 plane: 8 outputs per step. Caller guarantees
+/// the geometry and that `plane + in_h * in_w <= i32::MAX`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pool_plane_avx2_w2s2(
+    x: &[f32],
+    plane: usize,
+    g: &PoolGeometry,
+    out: &mut [f32],
+    arg: &mut [usize],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(g.window == 2 && g.stride == 2);
+    // Even/odd column deinterleave of two consecutive 8-float loads.
+    let deint = |v0: __m256, v1: __m256, imm_evens: bool| -> __m256 {
+        let s = if imm_evens {
+            _mm256_shuffle_ps(v0, v1, 0x88)
+        } else {
+            _mm256_shuffle_ps(v0, v1, 0xDD)
+        };
+        _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(s), 0xD8))
+    };
+    let iota = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+    let xp = x.as_ptr();
+    let neg_inf = _mm256_set1_ps(f32::NEG_INFINITY);
+    for oy in 0..g.out_h {
+        let row0 = plane + (2 * oy) * g.in_w;
+        let row1 = row0 + g.in_w;
+        let orow = oy * g.out_w;
+        let mut ox = 0;
+        while ox + 8 <= g.out_w && 2 * ox + 16 <= g.in_w {
+            // SAFETY: 2*ox + 16 <= in_w keeps both 8-lane loads of each
+            // row inside the plane; row1 < in_h rows by geometry.
+            let t0 = _mm256_loadu_ps(xp.add(row0 + 2 * ox));
+            let t1 = _mm256_loadu_ps(xp.add(row0 + 2 * ox + 8));
+            let b0 = _mm256_loadu_ps(xp.add(row1 + 2 * ox));
+            let b1 = _mm256_loadu_ps(xp.add(row1 + 2 * ox + 8));
+            let cands = [
+                (deint(t0, t1, true), row0 + 2 * ox),
+                (deint(t0, t1, false), row0 + 2 * ox + 1),
+                (deint(b0, b1, true), row1 + 2 * ox),
+                (deint(b0, b1, false), row1 + 2 * ox + 1),
+            ];
+            let mut best = neg_inf;
+            let mut bidx = _mm256_setzero_si256();
+            for (v, base) in cands {
+                // Same order and predicate as the scalar `if x > best`.
+                let vidx = _mm256_add_epi32(_mm256_set1_epi32(base as i32), iota);
+                let m = _mm256_cmp_ps(v, best, _CMP_GT_OQ);
+                best = _mm256_blendv_ps(best, v, m);
+                bidx = _mm256_castps_si256(_mm256_blendv_ps(
+                    _mm256_castsi256_ps(bidx),
+                    _mm256_castsi256_ps(vidx),
+                    m,
+                ));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(orow + ox), best);
+            let mut idx_lanes = [0i32; 8];
+            _mm256_storeu_si256(idx_lanes.as_mut_ptr().cast(), bidx);
+            for (l, &il) in idx_lanes.iter().enumerate() {
+                *arg.get_unchecked_mut(orow + ox + l) = il as usize;
+            }
+            ox += 8;
+        }
+        // Ragged output columns: the identical scalar chain.
+        while ox < g.out_w {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_idx = 0;
+            for (row, base) in [(row0, 2 * ox), (row1, 2 * ox)] {
+                for dx in 0..2 {
+                    let idx = row + base + dx;
+                    if x[idx] > best {
+                        best = x[idx];
+                        best_idx = idx;
+                    }
+                }
+            }
+            out[orow + ox] = best;
+            arg[orow + ox] = best_idx;
+            ox += 1;
+        }
+    }
+}
+
+/// Batched max-pool forward over `planes = batch * channels`
+/// independent planes of `x`, writing window maxima to `out` and the
+/// absolute input index of each maximum to `argmax`.
+pub struct MaxPool2d<'a> {
+    /// Full input, `planes * in_h * in_w` elements.
+    pub x: &'a [f32],
+    /// Pooling geometry.
+    pub g: PoolGeometry,
+    /// Batch × channels.
+    pub planes: usize,
+    /// Output values, `planes * out_h * out_w`.
+    pub out: &'a mut [f32],
+    /// Argmax indices, same length as `out`.
+    pub argmax: &'a mut [usize],
+}
+
+impl MaxPool2d<'_> {
+    /// Splits planes across threads and hands each plane to `f`.
+    fn for_planes(self, f: impl Fn(&[f32], usize, &PoolGeometry, &mut [f32], &mut [usize]) + Sync) {
+        let g = self.g;
+        let in_sz = g.in_h * g.in_w;
+        let out_sz = g.out_h * g.out_w;
+        assert_eq!(self.x.len(), self.planes * in_sz);
+        assert_eq!(self.out.len(), self.planes * out_sz);
+        assert_eq!(self.argmax.len(), self.out.len());
+        let flops = self.out.len() as u64 * (g.window * g.window) as u64;
+        let parts = plan_parts(self.planes, flops);
+        let x = self.x;
+        let (op, ap) = (SendPtr(self.out.as_mut_ptr()), SendPtr(self.argmax.as_mut_ptr()));
+        let run = |plane_range: std::ops::Range<usize>| {
+            for pi in plane_range {
+                // SAFETY: each plane's output slice is disjoint.
+                let (out, arg) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(op.get().add(pi * out_sz), out_sz),
+                        std::slice::from_raw_parts_mut(ap.get().add(pi * out_sz), out_sz),
+                    )
+                };
+                f(x, pi * in_sz, &g, out, arg);
+            }
+        };
+        if parts <= 1 {
+            run(0..self.planes);
+        } else {
+            let planes = self.planes;
+            parallel_for(parts, |p| run(split_range(planes, parts, p)));
+        }
+    }
+}
+
+impl SimdOp for MaxPool2d<'_> {
+    const NAME: &'static str = "tensor.simd.maxpool";
+    type Output = ();
+
+    fn bytes(&self) -> u64 {
+        4 * self.x.len() as u64 + 12 * self.out.len() as u64
+    }
+
+    fn scalar(self) {
+        self.for_planes(pool_plane_scalar);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(self) {
+        let g = self.g;
+        // Index lanes are i32: bail to scalar if the input can outgrow
+        // them (no real workload here comes close).
+        let fast = g.window == 2
+            && g.stride == 2
+            && g.in_w >= 16
+            && self.x.len() <= i32::MAX as usize;
+        if fast {
+            self.for_planes(|x, plane, g, out, arg| {
+                // SAFETY: AVX2 verified by the dispatcher; geometry and
+                // index range checked above.
+                unsafe { pool_plane_avx2_w2s2(x, plane, g, out, arg) }
+            });
+        } else {
+            self.for_planes(pool_plane_scalar);
+        }
+    }
+}

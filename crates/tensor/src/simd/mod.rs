@@ -1,0 +1,105 @@
+//! The SIMD dispatch layer: every non-GEMM hot op as a [`SimdOp`]
+//! with a scalar oracle body and a runtime-detected AVX2 body.
+//!
+//! # Equivalence policy
+//!
+//! The scalar body of each op is the reference semantics — it is what
+//! the op *means* — and every vector body is **bitwise exact** against
+//! it (compared with `to_bits`): ReLU forward / train / backward,
+//! clamp, affine, `quantize_i8`, max-abs, max-abs-diff, the 8-lane
+//! sum, softmax, and maxpool (values *and* argmax). Exactness includes
+//! NaN, infinities and `-0.0` for the elementwise ops, and holds at
+//! any thread count — parallel splits are aligned so no partial result
+//! crosses a task boundary, and ragged tails replicate the vector
+//! computation lane for lane. The property tests in
+//! `tests/simd_ops.rs` hold every op to this under both
+//! `INSITU_SIMD` modes.
+//!
+//! Softmax earns its bitwise slot differently from the rest: instead
+//! of the vector body chasing libm, *both* bodies compute the same
+//! polynomial `exp` (~1.2e-7 max relative error vs libm — see
+//! `softmax.rs`). That accuracy delta is documented semantics, not a
+//! cross-ISA divergence; it is also why the `nn` loss layer keeps its
+//! own libm softmax for the seeded training/diagnosis feedback loop.
+//!
+//! # Selection
+//!
+//! [`SimdIsa::select`] resolves the ISA once per process: AVX2+FMA
+//! when the host has it, scalar otherwise, and `INSITU_SIMD=scalar`
+//! forces the portable path everywhere (the GEMM micro-kernels obey
+//! the same knob; their legacy `INSITU_GEMM_KERNEL` override still
+//! works on top). Each dispatch runs under a `tensor.simd.*`
+//! telemetry span labeled with the ISA, and feeds the
+//! `tensor.simd.bytes` counter.
+
+mod dispatch;
+mod elementwise;
+mod maxpool;
+mod quantize;
+mod reduce;
+mod softmax;
+
+pub use dispatch::{dispatch, dispatch_on, simd_isa_name, SimdIsa, SimdOp};
+pub use elementwise::{Affine, Clamp, Relu, ReluBackward, ReluTrain};
+pub use maxpool::MaxPool2d;
+pub use quantize::QuantizeI8;
+pub use reduce::{MaxAbs, MaxAbsDiff, MinMax, Sum8};
+pub use softmax::SoftmaxRows;
+
+/// In-place eval-mode ReLU.
+pub fn relu(buf: &mut [f32]) {
+    dispatch(Relu { buf });
+}
+
+/// In-place train-mode ReLU; writes the bit-packed keep mask
+/// (`mask.len() == buf.len().div_ceil(8)`).
+pub fn relu_train(buf: &mut [f32], mask: &mut [u8]) {
+    dispatch(ReluTrain { buf, mask });
+}
+
+/// Zeroes `grad` wherever the bit-packed `mask` says the forward
+/// input was not positive.
+pub fn relu_backward(grad: &mut [f32], mask: &[u8]) {
+    dispatch(ReluBackward { grad, mask });
+}
+
+/// In-place row-wise softmax over rows of width `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `buf.len()` is not a multiple of `k`.
+pub fn softmax_rows(buf: &mut [f32], k: usize) {
+    assert!(k > 0, "softmax row width must be nonzero");
+    assert_eq!(buf.len() % k, 0, "softmax buffer must be whole rows");
+    dispatch(SoftmaxRows { buf, k });
+}
+
+/// In-place `x = x * gain + bias`.
+pub fn affine(buf: &mut [f32], gain: f32, bias: f32) {
+    dispatch(Affine { buf, gain, bias });
+}
+
+/// In-place clamp to `[lo, hi]` with `f32::clamp` semantics.
+pub fn clamp(buf: &mut [f32], lo: f32, hi: f32) {
+    dispatch(Clamp { buf, lo, hi });
+}
+
+/// `max |x|` over finite elements.
+pub fn max_abs(src: &[f32]) -> f32 {
+    dispatch(MaxAbs { src })
+}
+
+/// `max |a - b|` over two equal-length slices.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    dispatch(MaxAbsDiff { a, b })
+}
+
+/// Deterministic 8-lane-accumulator sum.
+pub fn sum8(src: &[f32]) -> f32 {
+    dispatch(Sum8 { src })
+}
+
+/// `(min, max)` over a slice, NaN skipped; `(inf, -inf)` when empty.
+pub fn min_max(src: &[f32]) -> (f32, f32) {
+    dispatch(MinMax { src })
+}

@@ -1,0 +1,123 @@
+//! Fixed-point quantization: `f32 -> i8` with magic-constant rounding.
+//!
+//! The AVX2 body is **bitwise exact** against the scalar oracle for
+//! every input, NaN and infinities included. The subtle parts:
+//!
+//! * the scalar `clamp` is replicated with compare+blend (not
+//!   `min`/`max` ps, whose NaN operand rules differ): NaN stays NaN
+//!   through the clamp, exactly like `f32::clamp`;
+//! * scalar `NaN as i8` saturates to 0, but `_mm256_cvtps_epi32(NaN)`
+//!   yields `i32::MIN`, which would pack-saturate to -128 — so NaN
+//!   lanes are zeroed (ordered-compare mask) *before* the convert;
+//! * rounding is the same `(v + 1.5·2^23) - 1.5·2^23` trick in both
+//!   bodies, so ties break identically (to even).
+
+use super::dispatch::SimdOp;
+use super::elementwise::par_groups;
+use crate::parallel::SendPtr;
+
+/// Clamp limit: i8 range is symmetric at ±127 so a negated scale
+/// never overflows.
+const QUANT_MAX: f32 = 127.0;
+/// 1.5 * 2^23 — add/subtract rounds to nearest-even for |v| <= 127.
+const MAGIC: f32 = 12_582_912.0;
+
+fn quantize_scalar_range(src: &[f32], inv: f32, dst: &mut [i8]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let v = (s * inv).clamp(-QUANT_MAX, QUANT_MAX);
+        *d = ((v + MAGIC) - MAGIC) as i8;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_avx2_range(src: &[f32], inv: f32, dst: &mut [i8]) {
+    use std::arch::x86_64::*;
+    let vinv = _mm256_set1_ps(inv);
+    let lo = _mm256_set1_ps(-QUANT_MAX);
+    let hi = _mm256_set1_ps(QUANT_MAX);
+    let magic = _mm256_set1_ps(MAGIC);
+    // Restores sequential byte order after the two 128-bit-lane packs.
+    let fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    let n = src.len();
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let mut i = 0;
+    while i + 32 <= n {
+        let mut q = [_mm256_setzero_si256(); 4];
+        for (u, qu) in q.iter_mut().enumerate() {
+            // SAFETY: i + 32 <= n bounds all four 8-lane loads.
+            let v = _mm256_mul_ps(_mm256_loadu_ps(sp.add(i + 8 * u)), vinv);
+            // f32::clamp replica: blend on ordered compares so NaN
+            // lanes pass through untouched.
+            let v = _mm256_blendv_ps(v, lo, _mm256_cmp_ps(v, lo, _CMP_LT_OQ));
+            let v = _mm256_blendv_ps(v, hi, _mm256_cmp_ps(v, hi, _CMP_GT_OQ));
+            let v = _mm256_sub_ps(_mm256_add_ps(v, magic), magic);
+            // Zero NaN lanes: scalar `NaN as i8` is 0, while cvtps
+            // would give i32::MIN and pack to -128.
+            let v = _mm256_and_ps(v, _mm256_cmp_ps(v, v, _CMP_ORD_Q));
+            *qu = _mm256_cvtps_epi32(v);
+        }
+        // 4×8 i32 -> 32 i8; values are already in [-127, 127] so the
+        // saturating packs never clip.
+        let ab = _mm256_packs_epi32(q[0], q[1]);
+        let cd = _mm256_packs_epi32(q[2], q[3]);
+        let bytes = _mm256_permutevar8x32_epi32(_mm256_packs_epi16(ab, cd), fix);
+        _mm256_storeu_si256(dp.add(i).cast(), bytes);
+        i += 32;
+    }
+    quantize_scalar_range(&src[i..], inv, &mut dst[i..]);
+}
+
+/// Quantize `src` to `dst[i] = round(src[i] * inv_scale)` clamped to
+/// ±127, with NaN mapping to 0.
+pub struct QuantizeI8<'a> {
+    /// Source activations.
+    pub src: &'a [f32],
+    /// Reciprocal of the quantization scale.
+    pub inv_scale: f32,
+    /// Destination, same length as `src`.
+    pub dst: &'a mut [i8],
+}
+
+impl SimdOp for QuantizeI8<'_> {
+    const NAME: &'static str = "tensor.simd.quantize_i8";
+    type Output = ();
+
+    fn bytes(&self) -> u64 {
+        5 * self.src.len() as u64
+    }
+
+    fn scalar(self) {
+        assert_eq!(self.src.len(), self.dst.len());
+        let inv = self.inv_scale;
+        let (sp, dp) = (SendPtr(self.src.as_ptr().cast_mut()), SendPtr(self.dst.as_mut_ptr()));
+        par_groups(self.src.len(), self.src.len() as u64 * 4, move |r| {
+            // SAFETY: disjoint sub-ranges of src/dst per task.
+            unsafe {
+                quantize_scalar_range(
+                    std::slice::from_raw_parts(sp.get().add(r.start), r.len()),
+                    inv,
+                    std::slice::from_raw_parts_mut(dp.get().add(r.start), r.len()),
+                );
+            }
+        });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(self) {
+        assert_eq!(self.src.len(), self.dst.len());
+        let inv = self.inv_scale;
+        let (sp, dp) = (SendPtr(self.src.as_ptr().cast_mut()), SendPtr(self.dst.as_mut_ptr()));
+        par_groups(self.src.len(), self.src.len() as u64 * 4, move |r| {
+            // SAFETY: disjoint sub-ranges; AVX2 verified by the caller.
+            unsafe {
+                quantize_avx2_range(
+                    std::slice::from_raw_parts(sp.get().add(r.start), r.len()),
+                    inv,
+                    std::slice::from_raw_parts_mut(dp.get().add(r.start), r.len()),
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,237 @@
+//! Reductions: max-abs (quantization calibration), max-abs-diff
+//! (tensor comparison), 8-lane sum and min/max (drift and verdict
+//! metrics).
+//!
+//! Max-style reductions are order-independent over their filtered
+//! inputs, so the vector bodies are bitwise exact. The sum is made
+//! exact a different way: *both* bodies accumulate into the same 8-lane
+//! virtual accumulator (lane `i % 8`) folded in a fixed order at the
+//! end, so the scalar oracle and the AVX2 body perform the identical
+//! sequence of additions per lane. Reductions here run over small
+//! buffers (scores, calibration scans), so they stay sequential.
+
+use super::dispatch::SimdOp;
+
+/// `max |x|` over finite elements (NaN and infinities are skipped) —
+/// the quantization calibration scan. Returns 0 for an empty or
+/// all-non-finite slice.
+pub struct MaxAbs<'a> {
+    /// Values to scan.
+    pub src: &'a [f32],
+}
+
+fn max_abs_scalar(src: &[f32]) -> f32 {
+    src.iter().map(|v| v.abs()).filter(|v| v.is_finite()).fold(0.0, f32::max)
+}
+
+impl SimdOp for MaxAbs<'_> {
+    const NAME: &'static str = "tensor.simd.max_abs";
+    type Output = f32;
+
+    fn bytes(&self) -> u64 {
+        4 * self.src.len() as u64
+    }
+
+    fn scalar(self) -> f32 {
+        max_abs_scalar(self.src)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(self) -> f32 {
+        use std::arch::x86_64::*;
+        let sign = _mm256_set1_ps(-0.0);
+        let inf = _mm256_set1_ps(f32::INFINITY);
+        let mut acc = _mm256_setzero_ps();
+        let n = self.src.len();
+        let p = self.src.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the load.
+            let a = _mm256_andnot_ps(sign, _mm256_loadu_ps(p.add(i)));
+            // Non-finite lanes (|x| not < inf, including NaN) drop to
+            // 0, which is the fold's identity — same as scalar's
+            // filter.
+            let finite = _mm256_cmp_ps(a, inf, _CMP_LT_OQ);
+            acc = _mm256_max_ps(acc, _mm256_and_ps(a, finite));
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut best = lanes.iter().copied().fold(0.0, f32::max);
+        best = best.max(max_abs_scalar(&self.src[i..]));
+        best
+    }
+}
+
+/// `max |a - b|`, the tensor comparison metric. NaN differences are
+/// ignored (as the scalar fold's `f32::max` does); infinite
+/// differences propagate.
+pub struct MaxAbsDiff<'a> {
+    /// Left operand.
+    pub a: &'a [f32],
+    /// Right operand, same length.
+    pub b: &'a [f32],
+}
+
+fn max_abs_diff_scalar(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+impl SimdOp for MaxAbsDiff<'_> {
+    const NAME: &'static str = "tensor.simd.max_abs_diff";
+    type Output = f32;
+
+    fn bytes(&self) -> u64 {
+        8 * self.a.len() as u64
+    }
+
+    fn scalar(self) -> f32 {
+        max_abs_diff_scalar(self.a, self.b)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(self) -> f32 {
+        use std::arch::x86_64::*;
+        assert_eq!(self.a.len(), self.b.len());
+        let sign = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_setzero_ps();
+        let n = self.a.len();
+        let (pa, pb) = (self.a.as_ptr(), self.b.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds both loads.
+            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            let ad = _mm256_andnot_ps(sign, d);
+            // NaN lanes drop to 0 — scalar's fold ignores them too
+            // (f32::max returns the non-NaN operand).
+            let ord = _mm256_cmp_ps(ad, ad, _CMP_ORD_Q);
+            acc = _mm256_max_ps(acc, _mm256_and_ps(ad, ord));
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut best = lanes.iter().copied().fold(0.0, f32::max);
+        best = best.max(max_abs_diff_scalar(&self.a[i..], &self.b[i..]));
+        best
+    }
+}
+
+/// Sum with an 8-lane virtual accumulator: element `i` adds into lane
+/// `i % 8`, lanes fold left-to-right at the end. Deterministic and
+/// identical across ISAs by construction.
+pub struct Sum8<'a> {
+    /// Values to sum.
+    pub src: &'a [f32],
+}
+
+fn sum8_lanes_scalar(src: &[f32], acc: &mut [f32; 8]) {
+    let mut chunks = src.chunks_exact(8);
+    for c in &mut chunks {
+        for (l, &v) in acc.iter_mut().zip(c) {
+            *l += v;
+        }
+    }
+    for (l, &v) in acc.iter_mut().zip(chunks.remainder()) {
+        *l += v;
+    }
+}
+
+fn fold_lanes(acc: [f32; 8]) -> f32 {
+    acc.into_iter().fold(0.0, |s, l| s + l)
+}
+
+impl SimdOp for Sum8<'_> {
+    const NAME: &'static str = "tensor.simd.sum8";
+    type Output = f32;
+
+    fn bytes(&self) -> u64 {
+        4 * self.src.len() as u64
+    }
+
+    fn scalar(self) -> f32 {
+        let mut acc = [0.0f32; 8];
+        sum8_lanes_scalar(self.src, &mut acc);
+        fold_lanes(acc)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(self) -> f32 {
+        use std::arch::x86_64::*;
+        let mut vacc = _mm256_setzero_ps();
+        let n = self.src.len();
+        let p = self.src.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the load. Lane l accumulates
+            // elements ≡ l (mod 8) in index order — the exact additions
+            // the scalar body performs on acc[l].
+            vacc = _mm256_add_ps(vacc, _mm256_loadu_ps(p.add(i)));
+            i += 8;
+        }
+        let mut acc = [0.0f32; 8];
+        _mm256_storeu_ps(acc.as_mut_ptr(), vacc);
+        sum8_lanes_scalar(&self.src[i..], &mut acc);
+        fold_lanes(acc)
+    }
+}
+
+/// `(min, max)` over a slice, NaN elements skipped. Returns
+/// `(inf, -inf)` for an empty (or all-NaN) slice, like the scalar
+/// fold. Exact by value; for inputs mixing `-0.0` and `+0.0` the sign
+/// of a zero result may differ between ISAs (the values still compare
+/// equal).
+pub struct MinMax<'a> {
+    /// Values to scan.
+    pub src: &'a [f32],
+}
+
+fn min_max_scalar(src: &[f32], mut lo: f32, mut hi: f32) -> (f32, f32) {
+    for &v in src {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+impl SimdOp for MinMax<'_> {
+    const NAME: &'static str = "tensor.simd.min_max";
+    type Output = (f32, f32);
+
+    fn bytes(&self) -> u64 {
+        4 * self.src.len() as u64
+    }
+
+    fn scalar(self) -> (f32, f32) {
+        min_max_scalar(self.src, f32::INFINITY, f32::NEG_INFINITY)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(self) -> (f32, f32) {
+        use std::arch::x86_64::*;
+        let pinf = _mm256_set1_ps(f32::INFINITY);
+        let ninf = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut vlo = pinf;
+        let mut vhi = ninf;
+        let n = self.src.len();
+        let p = self.src.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the load. NaN lanes are
+            // replaced with the fold identity so min/max ps never see
+            // an unordered operand — matching scalar f32::min/max,
+            // which skip NaN.
+            let v = _mm256_loadu_ps(p.add(i));
+            let ord = _mm256_cmp_ps(v, v, _CMP_ORD_Q);
+            vlo = _mm256_min_ps(vlo, _mm256_blendv_ps(pinf, v, ord));
+            vhi = _mm256_max_ps(vhi, _mm256_blendv_ps(ninf, v, ord));
+            i += 8;
+        }
+        let mut lo_lanes = [0.0f32; 8];
+        let mut hi_lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lo_lanes.as_mut_ptr(), vlo);
+        _mm256_storeu_ps(hi_lanes.as_mut_ptr(), vhi);
+        let lo = lo_lanes.into_iter().fold(f32::INFINITY, f32::min);
+        let hi = hi_lanes.into_iter().fold(f32::NEG_INFINITY, f32::max);
+        min_max_scalar(&self.src[i..], lo, hi)
+    }
+}

@@ -1,0 +1,422 @@
+//! Row-wise three-pass shift-invariant softmax.
+//!
+//! Softmax probabilities feed training gradients and diagnosis
+//! decisions, and this repository's contract is that those are
+//! **bitwise identical** at any ISA and any thread count — a 1e-7
+//! probability wobble between the scalar and AVX2 paths would fork
+//! the whole end-to-end trajectory of a session depending on the
+//! host. So unlike the other ops, the scalar body here is not "the
+//! loop we always had": both bodies compute the *same* polynomial
+//! `exp` ([`vexp`], Cephes-style degree-5, ≤ ~1.2e-7 vs libm) with
+//! the same fold orders, and the scalar body replicates the vector
+//! lanes bit for bit (`f32::mul_add` guarantees fused semantics;
+//! rounding uses the same magic-constant trick). The semantics
+//! changed once — from libm `exp` to `vexp`, well inside every
+//! consumer's tolerance — and in exchange softmax joins the bitwise
+//! class of the equivalence policy.
+//!
+//! Two strategies, chosen by row width `k` (both ISAs use the same
+//! cutoff and the same per-row op sequence):
+//!
+//! * `k < 16` (the paper's classifier heads: CIFAR k=10, jigsaw k=4):
+//!   AVX2 processes eight rows at a time, lane `i` = row `i`,
+//!   gathering column `j` across the rows; leftover rows — and the
+//!   whole scalar body — run the identical per-row chain with
+//!   [`scalar_vexp`]. A row's bits never depend on whether it landed
+//!   in a gather group, a ragged tail, or the scalar path.
+//! * `k >= 16`: row at a time, 8 columns per step, 8-lane virtual
+//!   max/sum accumulators folded in a fixed tree order. The scalar
+//!   body walks the same virtual lanes, so the horizontal reductions
+//!   match bitwise too.
+//!
+//! Rows are independent, so parallelism is a plain row split.
+
+use super::dispatch::SimdOp;
+use crate::parallel::{parallel_for, plan_parts, split_range, SendPtr};
+
+/// Row widths at or above this use the row-at-a-time wide path.
+const WIDE_K: usize = 16;
+
+/// Approximate flops per element; sizes the parallel split.
+const EXP_COST: u64 = 32;
+
+/// `exp(x)` for `x <= 0`, matching the AVX2 [`vexp`] lane computation
+/// bit for bit: same clamp, same magic-constant round-to-nearest-even,
+/// same fused polynomial steps (`f32::mul_add` guarantees single
+/// rounding), same exponent-bits scaling.
+// 0.693359375 = 355/512: ln(2)'s leading bits with an exactly
+// representable tail of zeros, so `n * c1` is exact — the whole point
+// of the Cephes two-constant reduction. Spelling it shorter would
+// hide that.
+#[allow(clippy::excessive_precision)]
+fn scalar_vexp(x: f32) -> f32 {
+    // 1.5 * 2^23: adding then subtracting rounds to nearest-even for
+    // |t| < 2^22; t = x * log2(e) is in [-126, 0] after the clamp.
+    const MAGIC: f32 = 12_582_912.0;
+    let x = x.max(-87.336_55);
+    let n = (x * std::f32::consts::LOG2_E + MAGIC) - MAGIC;
+    // Two-constant Cephes range reduction — plain mul and sub, no FMA,
+    // mirroring the vector body exactly.
+    let r = x - n * 0.693_359_375;
+    let r = r - n * (-2.121_944_4e-4);
+    let mut p = 1.987_569_1e-4_f32;
+    p = p.mul_add(r, 1.398_199_9e-3);
+    p = p.mul_add(r, 8.333_452e-3);
+    p = p.mul_add(r, 4.166_579_6e-2);
+    p = p.mul_add(r, 1.666_666_5e-1);
+    p = p.mul_add(r, 0.5);
+    let y = p.mul_add(r * r, r) + 1.0;
+    let pow2 = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    y * pow2
+}
+
+/// Vectorized `exp` for all lanes `<= 0` (softmax shifts by the row
+/// max first). Max error vs libm measured at ~1.2e-7 over the softmax
+/// input range.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::excessive_precision)] // 0.693359375 is exact; see scalar_vexp
+unsafe fn vexp(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+    let c1 = _mm256_set1_ps(0.693_359_375);
+    let c2 = _mm256_set1_ps(-2.121_944_4e-4);
+    let x = _mm256_max_ps(x, _mm256_set1_ps(-87.336_55));
+    let n = _mm256_round_ps(
+        _mm256_mul_ps(x, log2e),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC,
+    );
+    let r = _mm256_sub_ps(x, _mm256_mul_ps(n, c1));
+    let r = _mm256_sub_ps(r, _mm256_mul_ps(n, c2));
+    let mut p = _mm256_set1_ps(1.987_569_1e-4);
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.398_199_9e-3));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.333_452e-3));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.166_579_6e-2));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.666_666_5e-1));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(0.5));
+    let r2 = _mm256_mul_ps(r, r);
+    let y = _mm256_add_ps(_mm256_fmadd_ps(p, r2, r), _mm256_set1_ps(1.0));
+    let ni = _mm256_cvtps_epi32(n);
+    let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_add_epi32(ni, _mm256_set1_epi32(127)),
+        23,
+    ));
+    _mm256_mul_ps(y, pow2)
+}
+
+/// Softmax of one row using [`scalar_vexp`] — the scalar body for
+/// narrow rows and the gather path's ragged tail, bit-identical to
+/// what the same row would get inside a gather group (same max order,
+/// same exp bits, same in-order sum, same divide).
+fn softmax_row_scalar_vexp(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = scalar_vexp(*v - max);
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// `_mm256_max_ps` per-lane semantics: returns `b` unless `a > b`
+/// (so ties and unordered comparisons pick the second operand).
+#[inline]
+fn maxps(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Scalar body for wide rows (`k >= WIDE_K`): walks the same virtual
+/// 8-lane max/sum accumulators as [`softmax_wide`] and folds them in
+/// the same tree order, so the result matches the AVX2 path bit for
+/// bit.
+fn softmax_row_scalar_wide(row: &mut [f32]) {
+    let k = row.len();
+    let full = k - k % 8;
+    let mut m = [f32::NEG_INFINITY; 8];
+    for block in row[..full].chunks_exact(8) {
+        for (l, &v) in block.iter().enumerate() {
+            m[l] = maxps(m[l], v);
+        }
+    }
+    // Horizontal max: hi/lo halves, then movehl pairs, then the last
+    // two lanes — the exact shuffle sequence of the vector reduction.
+    let m4 = [
+        maxps(m[4], m[0]),
+        maxps(m[5], m[1]),
+        maxps(m[6], m[2]),
+        maxps(m[7], m[3]),
+    ];
+    let mut mm = maxps(maxps(m4[0], m4[2]), maxps(m4[1], m4[3]));
+    for &v in &row[full..] {
+        mm = mm.max(v);
+    }
+    let mut s = [0.0f32; 8];
+    let mut sum_tail = 0.0f32;
+    for block in row[..full].chunks_exact_mut(8) {
+        for (l, v) in block.iter_mut().enumerate() {
+            *v = scalar_vexp(*v - mm);
+            s[l] += *v;
+        }
+    }
+    for v in &mut row[full..] {
+        *v = scalar_vexp(*v - mm);
+        sum_tail += *v;
+    }
+    let s4 = [s[4] + s[0], s[5] + s[1], s[6] + s[2], s[7] + s[3]];
+    let sum = ((s4[0] + s4[2]) + (s4[1] + s4[3])) + sum_tail;
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// The scalar dispatch body: same `WIDE_K` split, same per-row
+/// computation as the AVX2 paths, lane for lane.
+fn softmax_rows_scalar(buf: &mut [f32], k: usize) {
+    if k >= WIDE_K {
+        for row in buf.chunks_mut(k) {
+            softmax_row_scalar_wide(row);
+        }
+    } else {
+        for row in buf.chunks_mut(k) {
+            softmax_row_scalar_vexp(row);
+        }
+    }
+}
+
+/// Narrow rows (`k < WIDE_K`): eight rows per iteration, lane `i` =
+/// row `i`, gathering each column across the rows.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn softmax_gather8(buf: &mut [f32], k: usize) {
+    use std::arch::x86_64::*;
+    let rows = buf.len() / k;
+    let p = buf.as_mut_ptr();
+    let mut r = 0;
+    while r + 8 <= rows {
+        // SAFETY: rows r..r+8 are in bounds; every access below stays
+        // within base[0 .. 8 * k].
+        let base = p.add(r * k);
+        let gather = |j: usize| -> __m256 {
+            _mm256_setr_ps(
+                *base.add(j),
+                *base.add(k + j),
+                *base.add(2 * k + j),
+                *base.add(3 * k + j),
+                *base.add(4 * k + j),
+                *base.add(5 * k + j),
+                *base.add(6 * k + j),
+                *base.add(7 * k + j),
+            )
+        };
+        let mut m = _mm256_set1_ps(f32::NEG_INFINITY);
+        for j in 0..k {
+            m = _mm256_max_ps(m, gather(j));
+        }
+        let mut s = _mm256_setzero_ps();
+        for j in 0..k {
+            let e = vexp(_mm256_sub_ps(gather(j), m));
+            s = _mm256_add_ps(s, e);
+            let mut lane = [0f32; 8];
+            _mm256_storeu_ps(lane.as_mut_ptr(), e);
+            for (i, &l) in lane.iter().enumerate() {
+                *base.add(i * k + j) = l;
+            }
+        }
+        for j in 0..k {
+            let q = _mm256_div_ps(gather(j), s);
+            let mut lane = [0f32; 8];
+            _mm256_storeu_ps(lane.as_mut_ptr(), q);
+            for (i, &l) in lane.iter().enumerate() {
+                *base.add(i * k + j) = l;
+            }
+        }
+        r += 8;
+    }
+    for row in buf[r * k..].chunks_mut(k) {
+        softmax_row_scalar_vexp(row);
+    }
+}
+
+/// Wide rows (`k >= WIDE_K`): one row at a time, 8 columns per step.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn softmax_wide(buf: &mut [f32], k: usize) {
+    use std::arch::x86_64::*;
+    for row in buf.chunks_mut(k) {
+        // SAFETY: all pointer offsets below are < k = row.len().
+        let p = row.as_mut_ptr();
+        let mut m = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut j = 0;
+        while j + 8 <= k {
+            m = _mm256_max_ps(m, _mm256_loadu_ps(p.add(j)));
+            j += 8;
+        }
+        let mut mm = {
+            let hi = _mm256_extractf128_ps(m, 1);
+            let lo = _mm256_castps256_ps128(m);
+            let m4 = _mm_max_ps(hi, lo);
+            let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+            let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1));
+            _mm_cvtss_f32(m1)
+        };
+        while j < k {
+            mm = mm.max(*p.add(j));
+            j += 1;
+        }
+        let mv = _mm256_set1_ps(mm);
+        let mut sv = _mm256_setzero_ps();
+        let mut sum_tail = 0.0f32;
+        j = 0;
+        while j + 8 <= k {
+            let e = vexp(_mm256_sub_ps(_mm256_loadu_ps(p.add(j)), mv));
+            _mm256_storeu_ps(p.add(j), e);
+            sv = _mm256_add_ps(sv, e);
+            j += 8;
+        }
+        while j < k {
+            let e = scalar_vexp(*p.add(j) - mm);
+            *p.add(j) = e;
+            sum_tail += e;
+            j += 1;
+        }
+        let sum = {
+            let hi = _mm256_extractf128_ps(sv, 1);
+            let lo = _mm256_castps256_ps128(sv);
+            let s4 = _mm_add_ps(hi, lo);
+            let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+            let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+            _mm_cvtss_f32(s1)
+        } + sum_tail;
+        let sumv = _mm256_set1_ps(sum);
+        j = 0;
+        while j + 8 <= k {
+            _mm256_storeu_ps(p.add(j), _mm256_div_ps(_mm256_loadu_ps(p.add(j)), sumv));
+            j += 8;
+        }
+        while j < k {
+            *p.add(j) /= sum;
+            j += 1;
+        }
+    }
+}
+
+/// In-place softmax over `rows = buf.len() / k` independent rows of
+/// width `k`. Parallelized by splitting rows; every per-row result is
+/// independent of the split, so output bits do not depend on the
+/// thread count.
+pub struct SoftmaxRows<'a> {
+    /// Row-major logits, overwritten with probabilities.
+    pub buf: &'a mut [f32],
+    /// Row width (class count).
+    pub k: usize,
+}
+
+impl SoftmaxRows<'_> {
+    fn for_row_ranges(&mut self, f: impl Fn(&mut [f32]) + Sync) {
+        let k = self.k;
+        let rows = self.buf.len() / k;
+        let parts = plan_parts(rows, (rows * k) as u64 * EXP_COST);
+        if parts <= 1 {
+            f(self.buf);
+            return;
+        }
+        let base = SendPtr(self.buf.as_mut_ptr());
+        parallel_for(parts, |part| {
+            let rr = split_range(rows, parts, part);
+            if rr.is_empty() {
+                return;
+            }
+            // SAFETY: split_range yields disjoint row ranges, so the
+            // element ranges are disjoint too.
+            f(unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(rr.start * k), rr.len() * k)
+            });
+        });
+    }
+}
+
+impl SimdOp for SoftmaxRows<'_> {
+    const NAME: &'static str = "tensor.simd.softmax";
+    type Output = ();
+
+    fn bytes(&self) -> u64 {
+        8 * self.buf.len() as u64
+    }
+
+    fn scalar(mut self) {
+        let k = self.k;
+        self.for_row_ranges(move |chunk| softmax_rows_scalar(chunk, k));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx2(mut self) {
+        let k = self.k;
+        if k >= WIDE_K {
+            // SAFETY: AVX2+FMA verified by the dispatcher.
+            self.for_row_ranges(move |chunk| unsafe { softmax_wide(chunk, k) });
+        } else {
+            // SAFETY: as above.
+            self.for_row_ranges(move |chunk| unsafe { softmax_gather8(chunk, k) });
+        }
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+
+    /// The whole thread-invariance story rests on `scalar_vexp`
+    /// reproducing the vector lanes bit for bit — pin it down.
+    #[test]
+    fn scalar_vexp_matches_vector_lanes_bitwise() {
+        if !(std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")) {
+            return;
+        }
+        let mut xs = Vec::new();
+        let mut x = 0.0f32;
+        while x > -90.0 {
+            xs.push(x);
+            x -= 0.137;
+        }
+        xs.extend_from_slice(&[-1e-8, -0.5, -1.0, -20.25, -87.0, -88.0, -200.0]);
+        for chunk in xs.chunks(8) {
+            let mut lanes = [0.0f32; 8];
+            lanes[..chunk.len()].copy_from_slice(chunk);
+            let mut out = [0.0f32; 8];
+            unsafe {
+                use std::arch::x86_64::*;
+                let v = vexp(_mm256_loadu_ps(lanes.as_ptr()));
+                _mm256_storeu_ps(out.as_mut_ptr(), v);
+            }
+            for (i, &xi) in lanes.iter().enumerate() {
+                assert_eq!(
+                    scalar_vexp(xi).to_bits(),
+                    out[i].to_bits(),
+                    "scalar_vexp({xi}) diverged from vexp lane"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vexp_tracks_libm_closely() {
+        if !(std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")) {
+            return;
+        }
+        let mut worst = 0.0f32;
+        let mut x = 0.0f32;
+        while x > -30.0 {
+            let got = scalar_vexp(x);
+            let want = x.exp();
+            worst = worst.max((got - want).abs() / want.max(1e-30));
+            x -= 0.013;
+        }
+        assert!(worst < 5e-7, "relative error {worst} too large");
+    }
+}

@@ -281,12 +281,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
         self.check_same_shape(other, "max_abs_diff")?;
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max))
+        Ok(crate::simd::max_abs_diff(&self.data, &other.data))
     }
 
     /// Copies `other`'s contents into `self` (shapes must match).

@@ -1,0 +1,347 @@
+//! Scalar↔SIMD equivalence for every dispatched op.
+//!
+//! The scalar body of each [`SimdOp`] is the reference semantics;
+//! these properties hold every other runnable body
+//! ([`SimdIsa::supported`]) to it **bitwise** (compared via `to_bits`)
+//! across ragged shapes and 1/2/4 threads, per the policy in
+//! `insitu_tensor::simd`: relu forward / train / backward, clamp,
+//! affine, quantize_i8, max_abs, max_abs_diff, sum8, softmax, and
+//! maxpool values *and* argmax. Softmax is additionally checked
+//! against a plain libm reference within 1e-6 absolute, pinning the
+//! documented accuracy of its polynomial `exp`.
+//!
+//! CI runs this suite twice: once with auto detection and once with
+//! `INSITU_SIMD=scalar`, which `dispatch_env_override_is_honored`
+//! checks is actually in force.
+
+use insitu_tensor::simd::{
+    dispatch_on, simd_isa_name, Affine, Clamp, MaxAbs, MaxAbsDiff, MaxPool2d, MinMax, QuantizeI8,
+    Relu, ReluBackward, ReluTrain, SimdIsa, SoftmaxRows, Sum8,
+};
+use insitu_tensor::{maxpool2d_forward, num_threads, set_num_threads, PoolGeometry, Rng, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that sweep the global kernel thread count.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = num_threads();
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(prev);
+    out
+}
+
+/// Values with sign changes, exact zeros (both signs) and magnitude
+/// spread down to the denormal range, from the repo's seeded RNG.
+fn values(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::seed_from(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => rng.uniform(-1e-30, 1e-30),
+            _ => rng.uniform(-100.0, 100.0),
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relu_eval_bitwise(n in 0usize..300, seed in 0u64..1000) {
+        let src = values(n, seed);
+        let mut oracle = src.clone();
+        dispatch_on(SimdIsa::Scalar, Relu { buf: &mut oracle });
+        for isa in SimdIsa::supported() {
+            let mut got = src.clone();
+            dispatch_on(isa, Relu { buf: &mut got });
+            assert_bits_eq(&got, &oracle, isa.name());
+        }
+    }
+
+    #[test]
+    fn relu_train_and_backward_bitwise(n in 0usize..300, seed in 0u64..1000) {
+        let src = values(n, seed);
+        let grad = values(n, seed.wrapping_add(7001));
+        let (src, grad) = (&src[..], &grad[..]);
+        let mut obuf = src.to_vec();
+        let mut omask = vec![0u8; n.div_ceil(8)];
+        dispatch_on(SimdIsa::Scalar, ReluTrain { buf: &mut obuf, mask: &mut omask });
+        let mut ograd = grad.to_vec();
+        dispatch_on(SimdIsa::Scalar, ReluBackward { grad: &mut ograd, mask: &omask });
+        for isa in SimdIsa::supported() {
+            let mut buf = src.to_vec();
+            let mut mask = vec![0u8; n.div_ceil(8)];
+            dispatch_on(isa, ReluTrain { buf: &mut buf, mask: &mut mask });
+            assert_bits_eq(&buf, &obuf, "relu_train values");
+            prop_assert!(mask == omask, "relu_train mask @ {}", isa.name());
+            let mut g = grad.to_vec();
+            dispatch_on(isa, ReluBackward { grad: &mut g, mask: &mask });
+            assert_bits_eq(&g, &ograd, "relu_backward");
+        }
+    }
+
+    #[test]
+    fn affine_and_clamp_bitwise(
+        n in 0usize..300,
+        seed in 0u64..1000,
+        gain in -3.0f32..3.0,
+        bias in -1.0f32..1.0,
+    ) {
+        let src = values(n, seed);
+        let mut oracle = src.clone();
+        dispatch_on(SimdIsa::Scalar, Affine { buf: &mut oracle, gain, bias });
+        dispatch_on(SimdIsa::Scalar, Clamp { buf: &mut oracle, lo: 0.0, hi: 1.0 });
+        for isa in SimdIsa::supported() {
+            let mut got = src.clone();
+            dispatch_on(isa, Affine { buf: &mut got, gain, bias });
+            dispatch_on(isa, Clamp { buf: &mut got, lo: 0.0, hi: 1.0 });
+            assert_bits_eq(&got, &oracle, isa.name());
+        }
+    }
+
+    #[test]
+    fn quantize_i8_bitwise(
+        n in 0usize..300,
+        seed in 0u64..1000,
+        scale in 1e-3f32..10.0,
+    ) {
+        let src = values(n, seed);
+        let mut oracle = vec![0i8; src.len()];
+        dispatch_on(
+            SimdIsa::Scalar,
+            QuantizeI8 { src: &src, inv_scale: 1.0 / scale, dst: &mut oracle },
+        );
+        for isa in SimdIsa::supported() {
+            let mut got = vec![0i8; src.len()];
+            dispatch_on(isa, QuantizeI8 { src: &src, inv_scale: 1.0 / scale, dst: &mut got });
+            prop_assert!(got == oracle, "quantize_i8 @ {}", isa.name());
+        }
+    }
+
+    #[test]
+    fn reductions_match_scalar(n in 1usize..300, seed in 0u64..1000) {
+        let a = values(n, seed);
+        let b = values(n, seed.wrapping_add(7919));
+        let (a, b) = (&a[..], &b[..]);
+        let o_abs = dispatch_on(SimdIsa::Scalar, MaxAbs { src: a });
+        let o_diff = dispatch_on(SimdIsa::Scalar, MaxAbsDiff { a, b });
+        let o_sum = dispatch_on(SimdIsa::Scalar, Sum8 { src: a });
+        let o_mm = dispatch_on(SimdIsa::Scalar, MinMax { src: a });
+        for isa in SimdIsa::supported() {
+            prop_assert_eq!(dispatch_on(isa, MaxAbs { src: a }).to_bits(), o_abs.to_bits());
+            prop_assert_eq!(dispatch_on(isa, MaxAbsDiff { a, b }).to_bits(), o_diff.to_bits());
+            prop_assert_eq!(dispatch_on(isa, Sum8 { src: a }).to_bits(), o_sum.to_bits());
+            // min/max: value-exact (±0 sign may legally differ).
+            prop_assert_eq!(dispatch_on(isa, MinMax { src: a }), o_mm);
+        }
+    }
+
+    #[test]
+    fn softmax_bitwise_and_near_libm(
+        rows in 0usize..24,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let src: Vec<f32> = (0..rows * k).map(|_| rng.uniform(-12.0, 12.0)).collect();
+        let mut oracle = src.clone();
+        dispatch_on(SimdIsa::Scalar, SoftmaxRows { buf: &mut oracle, k });
+        for isa in SimdIsa::supported() {
+            let mut got = src.clone();
+            dispatch_on(isa, SoftmaxRows { buf: &mut got, k });
+            assert_bits_eq(&got, &oracle, isa.name());
+        }
+        // Documented accuracy: the polynomial exp keeps probabilities
+        // within 1e-6 absolute of a plain libm softmax.
+        for (row, orow) in src.chunks(k).zip(oracle.chunks(k)) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (i, (e, o)) in exps.iter().zip(orow).enumerate() {
+                prop_assert!(
+                    (e / sum - o).abs() <= 1e-6,
+                    "softmax[{}] {} vs libm {}", i, o, e / sum
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maxpool_bitwise_across_geometries(
+        b in 1usize..3,
+        c in 1usize..3,
+        hw_pick in 0usize..6,
+        ws_pick in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        const HW: [(usize, usize); 6] = [(4, 4), (5, 7), (16, 16), (17, 19), (36, 36), (37, 18)];
+        const WS: [(usize, usize); 3] = [(2, 2), (3, 2), (2, 1)];
+        let (h, w) = HW[hw_pick];
+        let (window, stride) = WS[ws_pick];
+        prop_assume!(window <= h && window <= w);
+        let g = PoolGeometry::new(c, h, w, window, stride).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let x: Vec<f32> = (0..b * c * h * w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let out_len = b * c * g.out_h * g.out_w;
+        let mut o_out = vec![0f32; out_len];
+        let mut o_arg = vec![0usize; out_len];
+        dispatch_on(
+            SimdIsa::Scalar,
+            MaxPool2d { x: &x, g, planes: b * c, out: &mut o_out, argmax: &mut o_arg },
+        );
+        for isa in SimdIsa::supported() {
+            let mut out = vec![0f32; out_len];
+            let mut arg = vec![0usize; out_len];
+            dispatch_on(
+                isa,
+                MaxPool2d { x: &x, g, planes: b * c, out: &mut out, argmax: &mut arg },
+            );
+            assert_bits_eq(&out, &o_out, "maxpool values");
+            prop_assert!(arg == o_arg, "maxpool argmax @ {}", isa.name());
+        }
+    }
+}
+
+/// Large enough to cross the parallel-split threshold: every op must
+/// produce identical bits at 1, 2 and 4 threads on every runnable ISA.
+#[test]
+fn thread_count_never_changes_bits() {
+    let mut rng = Rng::seed_from(77);
+    let n: usize = 300_000;
+    let src: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let grad: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    // Softmax: enough rows × width to split; narrow (paper head
+    // width, gather path) and wide (row-at-a-time path).
+    let k = 10;
+    let soft: Vec<f32> = (0..4096 * k).map(|_| rng.uniform(-12.0, 12.0)).collect();
+    let kw = 24;
+    let soft_w: Vec<f32> = (0..2048 * kw).map(|_| rng.uniform(-12.0, 12.0)).collect();
+    for isa in SimdIsa::supported() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut relu = src.clone();
+                let mut mask = vec![0u8; n.div_ceil(8)];
+                dispatch_on(isa, ReluTrain { buf: &mut relu, mask: &mut mask });
+                let mut g = grad.clone();
+                dispatch_on(isa, ReluBackward { grad: &mut g, mask: &mask });
+                let mut q = vec![0i8; n];
+                dispatch_on(isa, QuantizeI8 { src: &src, inv_scale: 93.7, dst: &mut q });
+                let mut sm = soft.clone();
+                dispatch_on(isa, SoftmaxRows { buf: &mut sm, k });
+                let mut smw = soft_w.clone();
+                dispatch_on(isa, SoftmaxRows { buf: &mut smw, k: kw });
+                (relu, mask, g, q, sm, smw)
+            })
+        };
+        let base = run(1);
+        for threads in [2usize, 4] {
+            let got = run(threads);
+            assert_eq!(got.1, base.1, "mask @ t{threads} {}", isa.name());
+            assert_eq!(got.3, base.3, "quantize @ t{threads} {}", isa.name());
+            for (name, a, b) in [
+                ("relu", &got.0, &base.0),
+                ("relu_bwd", &got.2, &base.2),
+                ("softmax", &got.4, &base.4),
+                ("softmax_wide", &got.5, &base.5),
+            ] {
+                assert_bits_eq(a, b, &format!("{name} @ t{threads} {}", isa.name()));
+            }
+        }
+    }
+}
+
+/// Maxpool at a parallel-sized shape: the public entry point must be
+/// thread-invariant too (values and argmax).
+#[test]
+fn maxpool_thread_invariance_at_scale() {
+    let g = PoolGeometry::new(32, 64, 64, 2, 2).unwrap();
+    let mut rng = Rng::seed_from(78);
+    let x = Tensor::rand_uniform([8, 32, 64, 64], -1.0, 1.0, &mut rng);
+    let (base_y, base_arg) = with_threads(1, || maxpool2d_forward(&x, &g).unwrap());
+    for threads in [2usize, 4] {
+        let (y, arg) = with_threads(threads, || maxpool2d_forward(&x, &g).unwrap());
+        assert_bits_eq(y.as_slice(), base_y.as_slice(), "maxpool values");
+        assert_eq!(arg, base_arg, "maxpool argmax @ t{threads}");
+    }
+}
+
+/// Special values: NaN, infinities and -0.0 follow the scalar oracle
+/// bit for bit through the bitwise ops.
+#[test]
+fn special_values_follow_the_oracle() {
+    let src = vec![
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -0.0,
+        0.0,
+        1.5,
+        -1.5,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+        42.0,
+        -42.0,
+        7.25,
+        -7.25,
+        1e-40,
+        -1e-40,
+    ];
+    let mut o_relu = src.clone();
+    let mut o_mask = vec![0u8; src.len().div_ceil(8)];
+    dispatch_on(SimdIsa::Scalar, ReluTrain { buf: &mut o_relu, mask: &mut o_mask });
+    let mut o_clamp = src.clone();
+    dispatch_on(SimdIsa::Scalar, Clamp { buf: &mut o_clamp, lo: 0.0, hi: 1.0 });
+    let mut o_q = vec![0i8; src.len()];
+    dispatch_on(SimdIsa::Scalar, QuantizeI8 { src: &src, inv_scale: 2.0, dst: &mut o_q });
+    let o_abs = dispatch_on(SimdIsa::Scalar, MaxAbs { src: &src });
+    assert_eq!(o_q[0], 0, "NaN must quantize to 0");
+    assert_eq!(o_q[1], 127, "inf must saturate to 127");
+    assert_eq!(o_q[2], -127, "-inf must saturate to -127");
+    assert!(o_abs.is_finite(), "max_abs must skip non-finite values");
+    for isa in SimdIsa::supported() {
+        let mut relu = src.clone();
+        let mut mask = vec![0u8; src.len().div_ceil(8)];
+        dispatch_on(isa, ReluTrain { buf: &mut relu, mask: &mut mask });
+        assert_bits_eq(&relu, &o_relu, "relu specials");
+        assert_eq!(mask, o_mask, "relu mask specials @ {}", isa.name());
+        let mut cl = src.clone();
+        dispatch_on(isa, Clamp { buf: &mut cl, lo: 0.0, hi: 1.0 });
+        assert_bits_eq(&cl, &o_clamp, "clamp specials");
+        let mut q = vec![0i8; src.len()];
+        dispatch_on(isa, QuantizeI8 { src: &src, inv_scale: 2.0, dst: &mut q });
+        assert_eq!(q, o_q, "quantize specials @ {}", isa.name());
+        assert_eq!(
+            dispatch_on(isa, MaxAbs { src: &src }).to_bits(),
+            o_abs.to_bits(),
+            "max_abs specials @ {}",
+            isa.name()
+        );
+    }
+}
+
+/// The `INSITU_SIMD=scalar` CI leg must actually pin the portable
+/// path (and the default leg must resolve to a supported ISA).
+#[test]
+fn dispatch_env_override_is_honored() {
+    let want = std::env::var("INSITU_SIMD").unwrap_or_default();
+    if want.trim() == "scalar" {
+        assert_eq!(simd_isa_name(), "scalar");
+        assert_eq!(SimdIsa::select(), SimdIsa::Scalar);
+    } else {
+        assert!(SimdIsa::supported().contains(&SimdIsa::select()));
+    }
+}

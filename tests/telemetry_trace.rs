@@ -85,6 +85,7 @@ fn traced_session_exports_chrome_trace() {
     for prefix in [
         "tensor.",
         "tensor.pack",
+        "tensor.simd.",
         "pool.job",
         "node.stage",
         "cloud.update_cycle",
@@ -93,6 +94,19 @@ fn traced_session_exports_chrome_trace() {
         assert!(snap.has_span(prefix), "missing {prefix} spans:\n{}", snap.summary());
     }
     assert!(snap.counter("pool.jobs", "").unwrap().calls >= 1);
+    // The SIMD dispatch layer accounts its traffic per op: the session
+    // runs ReLU and maxpool forward on every image, so both ops must
+    // show up with nonzero bytes.
+    for op in ["tensor.simd.relu", "tensor.simd.maxpool"] {
+        assert!(snap.has_span(op), "missing {op} spans:\n{}", snap.summary());
+        let bytes: u64 = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "tensor.simd.bytes" && c.label == op)
+            .map(|c| c.total)
+            .sum();
+        assert!(bytes > 0, "{op} should account bytes:\n{}", snap.summary());
+    }
     let gemm_bytes: u64 = snap
         .counters
         .iter()
