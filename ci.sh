@@ -49,8 +49,20 @@ grep -q '"op": "maxpool"' /tmp/ci_kernels.json
 grep -q '"op": "softmax"' /tmp/ci_kernels.json
 grep -q '"op": "quantize_i8"' /tmp/ci_kernels.json
 grep -q '"speedup_vs_scalar"' /tmp/ci_kernels.json
+# Dispatch-latency percentiles from the counted pass.
+grep -q '"p99_ns"' /tmp/ci_kernels.json
 grep -q '"traceEvents"' /tmp/ci_trace.json
 rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
+
+# Observability gates: the log-bucketed histogram property suite
+# (bucket bounds, merge algebra, percentile monotonicity, bitwise
+# stability across 1/2/4 recording threads), the flight-recorder and
+# metrics-hub unit tests, and the closed-loop integration suite whose
+# end-to-end case perturbs a live session and requires it to re-plan.
+cargo test -q -p insitu-telemetry --test hist
+cargo test -q -p insitu-core --lib recorder::
+cargo test -q -p insitu-core --lib hub::
+cargo test -q -p insitu-core --test observability
 
 # Activation-reuse gates: the fused co-running stage must stay bitwise
 # identical to the unfused reference (property suite across policies,
@@ -60,12 +72,21 @@ rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
 # emit the reuse fields CI consumes.
 cargo test -q -p insitu-core --test reuse_properties
 cargo test -q -p insitu-core --test trunk_pass_telemetry
-cargo run --release -q -p insitu-bench --bin node_snapshot -- --quick >/tmp/ci_node.json
+INSITU_METRICS=1 cargo run --release -q -p insitu-bench --bin node_snapshot -- --quick \
+    >/tmp/ci_node.json 2>/tmp/ci_node.prom
 grep -q '"diag_speedup"' /tmp/ci_node.json
 grep -q '"trunk_passes_fused"' /tmp/ci_node.json
 grep -q '"identical": true' /tmp/ci_node.json
 grep -q '"i8_ns_per_stage"' /tmp/ci_node.json
 grep -q '"accuracy_delta_points"' /tmp/ci_node.json
-rm -f /tmp/ci_node.json
+# The closed-loop fields: header ISA + telemetry totals, per-policy
+# stage percentiles, and the measured re-plan record. The bin itself
+# exits non-zero if its Prometheus export fails validation; the grep
+# below additionally pins that the dump reached stderr.
+grep -q '"simd_isa"' /tmp/ci_node.json
+grep -q '"stage_p99_ns"' /tmp/ci_node.json
+grep -q '"replan"' /tmp/ci_node.json
+grep -q '^# TYPE insitu_h_node_stage summary$' /tmp/ci_node.prom
+rm -f /tmp/ci_node.json /tmp/ci_node.prom
 
 echo "ci: all gates passed"

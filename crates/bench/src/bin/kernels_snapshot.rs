@@ -22,7 +22,8 @@
 //! the f32 packed time at the same thread count *in this run*, so the
 //! ratio is host-noise-free. Rows also carry
 //! telemetry counter totals (GEMM calls, bytes per iteration, pool
-//! jobs) from a separate *counted* pass — the timed loop always runs
+//! jobs) and dispatch-latency percentiles (`p50_ns`/`p99_ns` from the
+//! span-fed histogram) from a separate *counted* pass — the timed loop always runs
 //! with telemetry disabled, so the ns/iter numbers stay comparable to
 //! earlier snapshots. With `INSITU_TRACE=1` the final counted pass's
 //! Chrome trace is written to stderr.
@@ -245,6 +246,10 @@ fn main() {
             let bytes_per_iter =
                 snap.counter("tensor.bytes", "gemm_nn").map_or(0, |c| c.total / COUNT_ITERS);
             let pool_jobs = snap.counter("pool.jobs", "").map_or(0, |c| c.calls);
+            // Dispatch-latency percentiles from the span auto-feed
+            // histogram of the same counted pass.
+            let (p50_ns, p99_ns) =
+                snap.hist("tensor.gemm_nn", "").map_or((0, 0), |h| (h.p50, h.p99));
             last_snap = snap;
             if !rows.is_empty() {
                 rows.push_str(",\n");
@@ -255,7 +260,7 @@ fn main() {
                  \"m\": {m}, \"k\": {k}, \"n\": {n}, \
                  \"threads\": {t}, \"ns_per_iter\": {ns}, \"gflops\": {gflops:.2}, \
                  \"gemm_calls\": {gemm_calls}, \"bytes_per_iter\": {bytes_per_iter}, \
-                 \"pool_jobs\": {pool_jobs}"
+                 \"pool_jobs\": {pool_jobs}, \"p50_ns\": {p50_ns}, \"p99_ns\": {p99_ns}"
             );
             // The baseline is single-threaded; compare only t1 rows.
             if let (Some(base), 1) = (baseline, t) {

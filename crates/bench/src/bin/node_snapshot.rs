@@ -13,7 +13,14 @@
 //! acquisition stage of 32 images at batch 8. Timed loops run with
 //! telemetry disabled; a separate counted pass per pipeline records
 //! `jigsaw.trunk_passes`, the direct witness of the reuse (fused:
-//! one per image; unfused under `JigsawProbe{3}`: three per image).
+//! one per image; unfused under `JigsawProbe{3}`: three per image),
+//! plus the stage latency histograms (`stage_p50/p90/p99_ns`,
+//! `per_image_p50/p99_ns` per row). The header carries the GEMM
+//! kernel and SIMD ISA in force and the counted pass's telemetry
+//! totals; a `replan` record re-runs the planner on the measured
+//! profile, and the counted passes' metrics hub must export valid
+//! Prometheus text (dumped on stderr under `INSITU_METRICS=1`) or the
+//! process exits non-zero.
 //!
 //! Before any timing, both pipelines are run once from the same seed
 //! and their outcomes compared bit-for-bit; a divergence makes the
@@ -29,13 +36,19 @@
 //! `--quick` shortens the timing sweep for CI smoke: same fields,
 //! noisier numbers.
 
-use insitu_core::{diagnose, diagnose_with_logits, DiagnosisPolicy, InsituNode, StageOutcome};
+use insitu_core::{
+    diagnose, diagnose_with_logits, plan_with_measurements, validate_prometheus, Availability,
+    DiagnosisPolicy, InferencePrecision, InsituNode, MeasuredProfile, MetricsHub, PlanRequest,
+    StageOutcome,
+};
 use insitu_data::{Condition, Dataset, PermutationSet};
+use insitu_devices::NetworkShapes;
 use insitu_nn::models::{jigsaw_network, mini_alexnet};
 use insitu_nn::transfer::transfer_and_freeze;
 use insitu_nn::{JigsawNet, Sequential};
 use insitu_telemetry as telemetry;
-use insitu_tensor::{Rng, Tensor};
+use insitu_tensor::{gemm_kernel_name, Rng, Tensor};
+use insitu_tensor::simd::simd_isa_name;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -182,19 +195,38 @@ fn time_stage_i8_vs_f32(
     (f32_ns[reps / 2], i8_ns[reps / 2], ratios[reps / 2])
 }
 
-/// `jigsaw.trunk_passes` total over one telemetry-enabled stage.
-fn counted_trunk_passes(
+/// Stage repetitions of the telemetry-enabled counted pass — enough
+/// for the latency histograms to hold a small population while the
+/// counter totals stay exact multiples of one stage.
+const COUNTED_REPS: u64 = 3;
+
+/// Runs [`COUNTED_REPS`] telemetry-enabled stages in a fresh epoch and
+/// returns the snapshot (kept apart from the timed loops so tracing
+/// overhead never touches the ns numbers).
+fn counted_stage(
     node: &mut InsituNode,
     data: &Dataset,
     run: impl Fn(&mut InsituNode, &Dataset) -> StageOutcome,
-) -> u64 {
+) -> telemetry::TelemetrySnapshot {
     telemetry::set_enabled(true);
-    telemetry::reset();
-    std::hint::black_box(run(node, data));
+    telemetry::advance_epoch();
+    for _ in 0..COUNTED_REPS {
+        std::hint::black_box(run(node, data));
+    }
     let snap = telemetry::snapshot();
     telemetry::set_enabled(false);
     telemetry::reset();
-    snap.counter("jigsaw.trunk_passes", "").map_or(0, |c| c.total)
+    snap
+}
+
+/// `jigsaw.trunk_passes` per stage in a counted snapshot.
+fn trunk_passes(snap: &telemetry::TelemetrySnapshot) -> u64 {
+    snap.counter("jigsaw.trunk_passes", "").map_or(0, |c| c.total) / COUNTED_REPS
+}
+
+/// `(p50, p90, p99)` of a histogram in a counted snapshot, in ns.
+fn hist_percentiles(snap: &telemetry::TelemetrySnapshot, name: &str, label: &str) -> (u64, u64, u64) {
+    snap.hist(name, label).map_or((0, 0, 0), |h| (h.p50, h.p90, h.p99))
 }
 
 fn main() {
@@ -208,6 +240,8 @@ fn main() {
         |n: &mut InsituNode, d: &Dataset| n.process_stage_unfused(d, BATCH).expect("stage");
     let mut rows = String::new();
     let mut all_identical = true;
+    let mut hub = MetricsHub::new();
+    let mut probe_snap = telemetry::TelemetrySnapshot::default();
     for &(name, policy) in POLICIES {
         // Equivalence gate first: same seed, both pipelines, bit-equal
         // outcomes — the reuse layer's contract, checked end to end.
@@ -223,8 +257,18 @@ fn main() {
         let diag_fused_ns = time_diagnosis(&data, policy, quick, true);
         let diag_unfused_ns = time_diagnosis(&data, policy, quick, false);
         let diag_speedup = diag_unfused_ns as f64 / diag_fused_ns.max(1) as f64;
-        let passes_fused = counted_trunk_passes(&mut make_node(policy), &data, fused);
-        let passes_unfused = counted_trunk_passes(&mut make_node(policy), &data, unfused);
+        let fused_snap = counted_stage(&mut make_node(policy), &data, fused);
+        let unfused_snap = counted_stage(&mut make_node(policy), &data, unfused);
+        let passes_fused = trunk_passes(&fused_snap);
+        let passes_unfused = trunk_passes(&unfused_snap);
+        // Latency histograms from the counted pass: per-stage wall time
+        // (span auto-feed) and the per-image samples the re-planner eats.
+        let (stage_p50, stage_p90, stage_p99) = hist_percentiles(&fused_snap, "node.stage", "");
+        let (img_p50, _, img_p99) = hist_percentiles(&fused_snap, "node.stage_per_image", "f32");
+        hub.fold(&fused_snap);
+        if name == "jigsaw_probe_3" {
+            probe_snap = fused_snap;
+        }
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
@@ -234,7 +278,9 @@ fn main() {
              \"fused_ns_per_stage\": {fused_ns}, \"unfused_ns_per_stage\": {unfused_ns}, \
              \"speedup\": {speedup:.2}, \"diag_fused_ns\": {diag_fused_ns}, \
              \"diag_unfused_ns\": {diag_unfused_ns}, \"diag_speedup\": {diag_speedup:.2}, \
-             \"trunk_passes_fused\": {passes_fused}, \
+             \"stage_p50_ns\": {stage_p50}, \"stage_p90_ns\": {stage_p90}, \
+             \"stage_p99_ns\": {stage_p99}, \"per_image_p50_ns\": {img_p50}, \
+             \"per_image_p99_ns\": {img_p99}, \"trunk_passes_fused\": {passes_fused}, \
              \"trunk_passes_unfused\": {passes_unfused}, \"identical\": {identical}}}"
         );
     }
@@ -275,14 +321,81 @@ fn main() {
         );
         row
     };
+    // The closed observability loop, exercised on this host's own
+    // measurements: distil the counted probe pass into a
+    // MeasuredProfile and let the planner re-admit a batch from the
+    // measured p90 instead of the analytical device model.
+    let replan_row = {
+        let measured = MeasuredProfile::from_snapshot(&probe_snap, InferencePrecision::F32)
+            .expect("counted pass must yield per-image samples");
+        let request =
+            PlanRequest { availability: Availability::AlwaysOn, t_user: 1.0, max_batch: 128 };
+        let mut row = String::new();
+        match plan_with_measurements(&request, &NetworkShapes::alexnet(), None, &measured) {
+            Ok(plan) => {
+                let _ = write!(
+                    row,
+                    "{{\"measured_per_image_p50_s\": {:.6}, \"measured_per_image_p90_s\": {:.6}, \
+                     \"uplink_bytes_per_s\": {:.0}, \"admitted_batch\": {}, \
+                     \"plan\": \"{}\", \"feasible\": true}}",
+                    measured.per_image_p50_s,
+                    measured.per_image_p90_s,
+                    measured.uplink_bytes_per_s,
+                    plan.inference_batch,
+                    plan.summary()
+                );
+            }
+            Err(e) => {
+                let _ = write!(
+                    row,
+                    "{{\"measured_per_image_p90_s\": {:.6}, \"feasible\": false, \
+                     \"reason\": \"{}\"}}",
+                    measured.per_image_p90_s,
+                    e.to_string().replace('"', "'")
+                );
+            }
+        }
+        row
+    };
+    // Exporter gate: the hub built from the counted passes must render
+    // Prometheus text the checker accepts — this binary doubles as the
+    // CI smoke for the export pipeline. `INSITU_METRICS=1` dumps the
+    // text on stderr (stdout stays pure snapshot JSON).
+    let prometheus = hub.to_prometheus();
+    if let Err(e) = validate_prometheus(&prometheus) {
+        eprintln!("node_snapshot: invalid Prometheus export: {e}");
+        std::process::exit(1);
+    }
+    if std::env::var_os("INSITU_METRICS").is_some() {
+        eprint!("{prometheus}");
+    }
+    let telemetry_header = {
+        let stage_spans: u64 =
+            probe_snap.counters.iter().filter(|c| c.name == "node.stage").map(|c| c.calls).sum();
+        let stage_ns: u64 =
+            probe_snap.counters.iter().filter(|c| c.name == "node.stage").map(|c| c.total).sum();
+        format!(
+            "{{\"epoch\": {}, \"counted_reps\": {COUNTED_REPS}, \"stage_spans\": {stage_spans}, \
+             \"stage_total_ns\": {stage_ns}, \"trunk_passes_per_stage\": {}, \
+             \"counter_series\": {}, \"hist_series\": {}, \"dropped_events\": {}}}",
+            probe_snap.epoch,
+            trunk_passes(&probe_snap),
+            probe_snap.counters.len(),
+            probe_snap.hists.len(),
+            probe_snap.dropped_events
+        )
+    };
     // Plain write, not println!: a downstream `head` closing the pipe
     // early is not worth a panic.
     use std::io::Write as _;
     let _ = writeln!(
         std::io::stdout(),
         "{{\n  \"bench\": \"node_stage\",\n  \"host_cores\": {cores},\n  \
-         \"kernel_threads\": {threads},\n  \"quick\": {quick},\n  \"results\": [\n{rows}\n  ],\n  \
-         \"precision_compare\": {precision_row}\n}}"
+         \"kernel_threads\": {threads},\n  \"kernel\": \"{}\",\n  \"simd_isa\": \"{}\",\n  \
+         \"quick\": {quick},\n  \"telemetry\": {telemetry_header},\n  \"results\": [\n{rows}\n  ],\n  \
+         \"precision_compare\": {precision_row},\n  \"replan\": {replan_row}\n}}",
+        gemm_kernel_name(),
+        simd_isa_name()
     );
     if !all_identical {
         eprintln!("node_snapshot: fused and unfused outcomes diverged");

@@ -76,6 +76,14 @@ impl CloudEndpoint for Cloud {
         let _t = telemetry::span_with("cloud.update_cycle", || {
             format!("v{} +{} uploaded", self.version, uploaded.len())
         });
+        // The latency of the cycle itself lands in the span-fed
+        // histogram on close; the ingest volume is recorded explicitly
+        // (the uplink's receive side of the node's `node.upload_bytes`).
+        telemetry::hist_record(
+            "cloud.received_bytes",
+            "",
+            uploaded.len() as u64 * insitu_core::IMAGE_BYTES,
+        );
         let mut ops = 0u64;
         let train_set = match self.archive.take() {
             Some(archive) if !uploaded.is_empty() => {
@@ -113,6 +121,7 @@ impl CloudEndpoint for Cloud {
             None
         };
         self.total_training_ops += ops;
+        telemetry::hist_record("cloud.training_ops", "", ops);
         Ok(ModelUpdate {
             version: self.version,
             inference_params: state_dict(&mut self.inference),

@@ -33,19 +33,25 @@
 
 mod diagnosis;
 mod error;
+mod hub;
 mod metrics;
 mod modes;
 mod node;
 mod planner;
+pub mod recorder;
 mod runtime;
 mod update;
 
 pub use diagnosis::{diagnose, diagnose_with_logits, valuable_indices, DiagnosisPolicy, Verdict};
 pub use error::CoreError;
+pub use hub::{validate_prometheus, MetricsHub};
 pub use metrics::{DataMovementMeter, EnergyMeter, UpdateClock, IMAGE_BYTES};
 pub use modes::{select_mode, Availability, Platform, WorkingMode};
-pub use node::{InferencePrecision, InsituNode, StageOutcome};
-pub use planner::{plan, plan_with_precision, NodePlan, PlanRequest, QuantProfile};
+pub use node::{InferencePrecision, InsituNode, ReplanConfig, StageOutcome};
+pub use planner::{
+    plan, plan_with_measurements, plan_with_precision, precision_label, MeasuredProfile, NodePlan,
+    PlanRequest, QuantProfile,
+};
 pub use runtime::{run_streaming_session, SessionStats};
 pub use update::{CloudEndpoint, ModelUpdate};
 

@@ -37,6 +37,33 @@ pub enum Platform {
     Fpga,
 }
 
+impl std::fmt::Display for Availability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Availability::Scheduled => "Scheduled",
+            Availability::AlwaysOn => "AlwaysOn",
+        })
+    }
+}
+
+impl std::fmt::Display for WorkingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WorkingMode::SingleRunning => "SingleRunning",
+            WorkingMode::CoRunning => "CoRunning",
+        })
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Platform::MobileGpu => "MobileGpu",
+            Platform::Fpga => "Fpga",
+        })
+    }
+}
+
 /// The paper's platform decision rule.
 pub fn select_mode(availability: Availability) -> (WorkingMode, Platform) {
     match availability {

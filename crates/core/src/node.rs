@@ -5,9 +5,14 @@ use crate::diagnosis::{
 };
 use crate::error::CoreError;
 use crate::metrics::{DataMovementMeter, ScoreSummary, IMAGE_BYTES};
+use crate::planner::{
+    plan_with_measurements, precision_label, MeasuredProfile, NodePlan, PlanRequest, QuantProfile,
+};
+use crate::recorder;
 use crate::update::ModelUpdate;
 use crate::Result;
 use insitu_data::{Dataset, PermutationSet};
+use insitu_devices::NetworkShapes;
 use insitu_nn::serialize::load_state_dict;
 use insitu_nn::transfer::conv_prefix_identical;
 use insitu_nn::{evaluate, JigsawNet, LabeledBatch, QuantizedNet, Sequential};
@@ -33,6 +38,32 @@ pub enum InferencePrecision {
     /// Requires a calibrated [`QuantizedNet`] — see
     /// [`InsituNode::enable_quantized`].
     I8,
+}
+
+/// Configuration of the node's telemetry-driven online re-plan loop.
+///
+/// With a config installed (see [`InsituNode::enable_replan`]) and an
+/// active [`NodePlan`], the node checks every `every_stages` fused
+/// stages whether the **measured** p90 per-image latency (from the
+/// `node.stage_per_image` histogram) has diverged from the plan's
+/// predicted per-image cost by more than `divergence`× in either
+/// direction, and if so re-runs the planner on the measurements
+/// ([`plan_with_measurements`]), emitting a `node.replan` instant with
+/// the before/after plans. Requires telemetry to be enabled — with it
+/// off there are no measurements and the check is skipped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanConfig {
+    /// Check cadence, in fused stages (`>= 1`).
+    pub every_stages: u64,
+    /// Divergence threshold θ (`> 1`): re-plan when the measured/
+    /// predicted per-image ratio leaves `[1/θ, θ]`.
+    pub divergence: f64,
+    /// The deployment constraints to re-plan under.
+    pub request: PlanRequest,
+    /// Shapes of the deployed inference network.
+    pub inference_shapes: NetworkShapes,
+    /// Measured i8 trade-off to fold in, if the node is calibrated.
+    pub quant: Option<QuantProfile>,
 }
 
 /// The outcome of processing one acquisition stage on the node.
@@ -81,6 +112,11 @@ pub struct InsituNode {
     precision: InferencePrecision,
     quantized: Option<QuantizedNet>,
     calib_images: Option<Tensor>,
+    plan: Option<NodePlan>,
+    replan: Option<ReplanConfig>,
+    stages_processed: u64,
+    replans: u64,
+    injected_stage_delay: Option<std::time::Duration>,
 }
 
 impl InsituNode {
@@ -121,6 +157,11 @@ impl InsituNode {
             precision: InferencePrecision::F32,
             quantized: None,
             calib_images: None,
+            plan: None,
+            replan: None,
+            stages_processed: 0,
+            replans: 0,
+            injected_stage_delay: None,
         })
     }
 
@@ -172,6 +213,59 @@ impl InsituNode {
         }
         self.precision = precision;
         Ok(())
+    }
+
+    /// Installs a planner decision as the node's active plan. The
+    /// plan's precision is applied when the node can honor it (i8
+    /// requires a calibrated quantized network; an i8 plan on an
+    /// uncalibrated node keeps f32). Records a `mode_decision` flight
+    /// event.
+    pub fn install_plan(&mut self, plan: NodePlan) {
+        let precision = match plan.precision {
+            InferencePrecision::I8 if self.quantized.is_none() => InferencePrecision::F32,
+            p => p,
+        };
+        self.precision = precision;
+        recorder::record("mode_decision", plan.summary());
+        self.plan = Some(plan);
+    }
+
+    /// The active plan, if one was installed.
+    pub fn plan(&self) -> Option<&NodePlan> {
+        self.plan.as_ref()
+    }
+
+    /// The inference batch size the active plan prescribes; `None`
+    /// while unplanned (callers fall back to their own batch size).
+    pub fn active_batch(&self) -> Option<usize> {
+        self.plan.as_ref().map(|p| p.inference_batch)
+    }
+
+    /// Turns the online re-plan loop on. Takes effect once a plan is
+    /// installed ([`InsituNode::install_plan`]) and telemetry is
+    /// enabled; `every_stages` is clamped to at least 1.
+    pub fn enable_replan(&mut self, mut config: ReplanConfig) {
+        config.every_stages = config.every_stages.max(1);
+        self.replan = Some(config);
+    }
+
+    /// How many times the node has re-planned itself.
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// Fused stages processed since construction.
+    pub fn stages_processed(&self) -> u64 {
+        self.stages_processed
+    }
+
+    /// Test/fault-injection hook: sleep this long inside every fused
+    /// stage span, inflating the measured stage latency without
+    /// touching predictions, verdicts or the RNG stream. This is how
+    /// the end-to-end re-plan test perturbs a seeded session
+    /// deterministically; `None` (the default) disables it.
+    pub fn set_injected_stage_delay(&mut self, delay: Option<std::time::Duration>) {
+        self.injected_stage_delay = delay;
     }
 
     /// The deployed model version.
@@ -303,6 +397,11 @@ impl InsituNode {
     pub fn process_stage(&mut self, data: &Dataset, batch: usize) -> Result<StageOutcome> {
         let _t =
             telemetry::span_with("node.stage", || format!("{} images @bs{batch}", data.len()));
+        // Stage timing for the measured planner profile. Behind the
+        // single relaxed `enabled` check so the disabled path stays
+        // clock-free.
+        let stage_start = telemetry::enabled().then(std::time::Instant::now);
+        let label = precision_label(self.effective_precision());
         // Inference task: predictions for the end application. The
         // per-chunk logits double as the diagnosis logit cache.
         let mut predictions = Vec::with_capacity(data.len());
@@ -314,26 +413,110 @@ impl InsituNode {
             while start < data.len() {
                 let end = (start + bs).min(data.len());
                 let sub = data.subset_range(start..end)?;
+                let chunk_start = stage_start.map(|_| std::time::Instant::now());
                 let logits = match (&mut self.quantized, self.precision) {
                     (Some(q), InferencePrecision::I8) => q.predict(sub.images())?,
                     _ => self.inference.predict(sub.images())?,
                 };
+                if let Some(t0) = chunk_start {
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    telemetry::hist_record("node.infer_chunk", label, ns);
+                }
                 predictions.extend(insitu_nn::predictions(&logits)?);
                 logit_chunks.push(logits);
                 start = end;
             }
         }
         // Diagnosis task: select valuable data, reusing the shared work.
-        let _diag = telemetry::span("node.diagnosis");
-        let verdicts = diagnose_with_logits(
-            self.policy,
-            &logit_chunks,
-            &mut self.jigsaw,
-            &self.perm_set,
-            data,
-            &mut self.rng,
-        )?;
-        self.finish_stage(data, predictions, verdicts)
+        let verdicts = {
+            let _diag = telemetry::span("node.diagnosis");
+            diagnose_with_logits(
+                self.policy,
+                &logit_chunks,
+                &mut self.jigsaw,
+                &self.perm_set,
+                data,
+                &mut self.rng,
+            )?
+        };
+        // Fault-injection hook: inflate the measured stage latency
+        // (inside the stage span, before the per-image sample lands).
+        if let Some(delay) = self.injected_stage_delay {
+            std::thread::sleep(delay);
+        }
+        if let Some(t0) = stage_start {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            telemetry::hist_record(
+                "node.stage_per_image",
+                label,
+                ns / data.len().max(1) as u64,
+            );
+        }
+        let outcome = self.finish_stage(data, predictions, verdicts)?;
+        self.stages_processed += 1;
+        self.maybe_replan();
+        Ok(outcome)
+    }
+
+    /// The precision the next fused stage will actually run at (i8
+    /// requires the calibrated network to exist).
+    fn effective_precision(&self) -> InferencePrecision {
+        match (&self.quantized, self.precision) {
+            (Some(_), InferencePrecision::I8) => InferencePrecision::I8,
+            _ => InferencePrecision::F32,
+        }
+    }
+
+    /// The online re-plan check: every `every_stages` fused stages,
+    /// compare the measured p90 per-image latency with the active
+    /// plan's prediction and re-plan from the measurements when they
+    /// disagree by more than the configured divergence factor.
+    fn maybe_replan(&mut self) {
+        let Some(cfg) = self.replan.clone() else { return };
+        if !telemetry::enabled()
+            || !self.stages_processed.is_multiple_of(cfg.every_stages)
+            || self.plan.is_none()
+        {
+            return;
+        }
+        let plan = self.plan.clone().expect("checked above");
+        if plan.inference_batch == 0 || plan.predicted_latency_s <= 0.0 {
+            return;
+        }
+        let snap = telemetry::snapshot();
+        let Some(measured) = MeasuredProfile::from_snapshot(&snap, self.effective_precision())
+        else {
+            return;
+        };
+        let predicted_per_image = plan.predicted_latency_s / plan.inference_batch as f64;
+        let ratio = measured.per_image_p90_s / predicted_per_image;
+        let theta = cfg.divergence.max(1.0 + 1e-9);
+        if (1.0 / theta..=theta).contains(&ratio) {
+            return;
+        }
+        match plan_with_measurements(
+            &cfg.request,
+            &cfg.inference_shapes,
+            cfg.quant.as_ref(),
+            &measured,
+        ) {
+            Ok(new_plan) => {
+                let before = plan.summary();
+                let after = new_plan.summary();
+                telemetry::instant_with("node.replan", || {
+                    format!("{before} -> {after} (p90 ratio {ratio:.2})")
+                });
+                recorder::record("replan", format!("{before} -> {after} (p90 ratio {ratio:.2})"));
+                self.replans += 1;
+                self.install_plan(new_plan);
+            }
+            Err(e) => {
+                // The measurements admit nothing: keep the old plan
+                // but leave a trace of the failed attempt.
+                telemetry::instant_with("node.replan_infeasible", || e.to_string());
+                recorder::record("replan_infeasible", e.to_string());
+            }
+        }
     }
 
     /// Processes one stage on the **unfused reference path**: the
@@ -389,6 +572,11 @@ impl InsituNode {
         let valuable = valuable_indices(&verdicts);
         let uploaded_bytes = valuable.len() as u64 * IMAGE_BYTES;
         self.movement.record(data.len() as u64, valuable.len() as u64);
+        telemetry::hist_record("node.upload_bytes", "", uploaded_bytes);
+        recorder::record(
+            "stage",
+            format!("{} images, {} uploaded (v{})", data.len(), valuable.len(), self.version),
+        );
         let score_buf: Vec<f32> = verdicts.iter().map(|v| v.score).collect();
         let scores = ScoreSummary::from_scores(&score_buf);
         Ok(StageOutcome { predictions, verdicts, valuable, uploaded_bytes, scores })

@@ -19,7 +19,10 @@
 //! sequential batch APIs directly for exactly this reason.
 
 use crate::error::CoreError;
+use crate::hub::MetricsHub;
 use crate::node::InsituNode;
+use crate::planner::precision_label;
+use crate::recorder;
 use crate::update::CloudEndpoint;
 use crate::Result;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -51,9 +54,16 @@ pub struct SessionStats {
     pub images_uploaded: u64,
     /// Model updates installed on the node.
     pub updates_installed: u64,
+    /// Times the node re-planned itself mid-session (see
+    /// [`InsituNode::enable_replan`]).
+    pub replans: u64,
     /// Telemetry captured over the session — empty unless tracing was
     /// enabled (see [`insitu_telemetry::set_enabled`]).
     pub telemetry: telemetry::TelemetrySnapshot,
+    /// Export-ready metric series folded from the session's telemetry
+    /// (Prometheus text via [`MetricsHub::to_prometheus`], JSON via
+    /// [`MetricsHub::to_json`]); empty unless tracing was enabled.
+    pub metrics: MetricsHub,
 }
 
 /// Runs a live session: feeds every dataset from `stream` through the
@@ -90,6 +100,30 @@ where
     // already-configured worker pool instead of racing to create it
     // under the first batch.
     let _kernel_threads = insitu_tensor::num_threads();
+    // Start a fresh telemetry window: back-to-back sessions in one
+    // process must not merge each other's counters and histograms
+    // (nothing to isolate while tracing is off, and resetting here
+    // would race tests that record around a disabled session).
+    if telemetry::enabled() {
+        telemetry::advance_epoch();
+    }
+    recorder::record(
+        "mode_decision",
+        node.plan().map_or_else(
+            || {
+                format!(
+                    "unplanned: bs={batch_size} {} v{}",
+                    precision_label(node.precision()),
+                    node.version()
+                )
+            },
+            |p| p.summary(),
+        ),
+    );
+    recorder::record(
+        "session_start",
+        format!("{} stages @bs{batch_size}", stream.len()),
+    );
     let session_span = telemetry::span_with("runtime.session", || {
         format!("{} stages @bs{batch_size}", stream.len())
     });
@@ -145,6 +179,7 @@ where
          -> Result<()> {
             node.install_update(update)?;
             telemetry::instant_with("runtime.model_swap", || format!("v{}", update.version));
+            recorder::record("model_swap", format!("v{}", update.version));
             stats.updates_installed += 1;
             Ok(())
         };
@@ -155,13 +190,22 @@ where
                     return (node, Some(e));
                 }
             }
-            let outcome = match node.process_stage(&data, batch_size) {
+            // A re-planning node can change its own batch size mid
+            // session; honor the active plan over the caller's value.
+            let bs = node.active_batch().unwrap_or(batch_size);
+            let outcome = match node.process_stage(&data, bs) {
                 Ok(o) => o,
                 Err(e) => return (node, Some(e)),
             };
             stats.batches += 1;
             stats.images_seen += data.len() as u64;
             stats.images_uploaded += outcome.valuable.len() as u64;
+            // Periodically fold the telemetry window into the export
+            // hub so a long session's stats stay fresh even if it is
+            // later killed.
+            if telemetry::enabled() && stats.batches % 4 == 0 {
+                stats.metrics.fold(&telemetry::snapshot());
+            }
             if !outcome.valuable.is_empty() {
                 let payload = match node.upload_payload(&data, &outcome) {
                     Ok(p) => p,
@@ -169,6 +213,10 @@ where
                 };
                 let depth = in_flight.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("runtime.uplink_depth", "", depth);
+                recorder::record(
+                    "uplink",
+                    format!("{} images, {} in flight", payload.len(), depth + 1),
+                );
                 if up_tx.send(Uplink::Valuable(payload)).is_err() {
                     let e = CoreError::BadConfig { reason: "cloud thread hung up early".into() };
                     return (node, Some(e));
@@ -191,26 +239,38 @@ where
     let (mut node, node_error) = match node_run {
         Ok(pair) => pair,
         // The Cloud thread is already joined; let the caller see the
-        // original node panic.
-        Err(payload) => resume_unwind(payload),
+        // original node panic (after leaving a post-mortem).
+        Err(payload) => {
+            recorder::dump(&format!("node panicked: {}", panic_message(&*payload)));
+            resume_unwind(payload);
+        }
     };
     // The Cloud's failure wins: a node-side send error is usually just
-    // the symptom of the Cloud dying first.
+    // the symptom of the Cloud dying first. Every error exit leaves a
+    // flight-recorder post-mortem before surfacing.
     if let Some(e) = cloud_error {
+        recorder::dump(&e.to_string());
         return Err(e);
     }
     if let Some(e) = node_error {
+        recorder::dump(&e.to_string());
         return Err(e);
     }
     // Drain the final updates so the returned node is as fresh as
     // possible.
     while let Ok(update) = down_rx.try_recv() {
-        node.install_update(&update)?;
+        if let Err(e) = node.install_update(&update) {
+            recorder::dump(&e.to_string());
+            return Err(e);
+        }
         telemetry::instant_with("runtime.model_swap", || format!("v{}", update.version));
+        recorder::record("model_swap", format!("v{}", update.version));
         stats.updates_installed += 1;
     }
     drop(session_span);
+    stats.replans = node.replans();
     stats.telemetry = telemetry::snapshot();
+    stats.metrics.fold(&stats.telemetry);
     Ok((node, stats))
 }
 
@@ -235,6 +295,28 @@ mod tests {
     use insitu_nn::serialize::state_dict;
     use insitu_nn::transfer::transfer_and_freeze;
     use insitu_tensor::Rng;
+
+    /// Finds this test's flight-recorder post-mortem (the dump store
+    /// is process-global and tests run concurrently, so scan for the
+    /// matching reason), parses it, and asserts the coarse history a
+    /// post-mortem must carry: the session's mode decision and at
+    /// least one processed stage.
+    fn assert_post_mortem(reason_fragment: &str) {
+        let dumps = recorder::last_dumps();
+        let dump = dumps
+            .iter()
+            .rev()
+            .find(|d| d.contains(reason_fragment))
+            .unwrap_or_else(|| panic!("no flight dump mentioning {reason_fragment:?}"));
+        let v = telemetry::json::parse(dump).expect("post-mortem must be valid JSON");
+        let reason = v.get("reason").and_then(|r| r.as_str()).expect("reason field");
+        assert!(reason.contains(reason_fragment), "{reason}");
+        let events = v.get("events").and_then(|e| e.as_array()).expect("events array");
+        let kinds: Vec<&str> =
+            events.iter().filter_map(|e| e.get("kind").and_then(|k| k.as_str())).collect();
+        assert!(kinds.contains(&"mode_decision"), "no mode decision in {kinds:?}");
+        assert!(kinds.contains(&"stage"), "no stage event in {kinds:?}");
+    }
 
     /// A trivially fast Cloud double: echoes back the same weights.
     #[derive(Debug)]
@@ -326,6 +408,7 @@ mod tests {
             }
             other => panic!("expected ActorPanicked, got {other:?}"),
         }
+        assert_post_mortem("injected cloud panic");
     }
 
     /// A Cloud double that fails with a plain error on every upload.
@@ -354,6 +437,7 @@ mod tests {
             }
             other => panic!("expected the cloud's error, got {other:?}"),
         }
+        assert_post_mortem("cloud says no");
     }
 
     /// A Cloud double that ships back updates no node can install.
@@ -388,6 +472,7 @@ mod tests {
             Err(CoreError::Nn(_)) => {}
             other => panic!("expected the node's install error, got {other:?}"),
         }
+        assert_post_mortem("network error");
     }
 
     #[test]

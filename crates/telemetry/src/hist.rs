@@ -1,0 +1,272 @@
+//! Log-bucketed latency/size histograms (HdrHistogram-style).
+//!
+//! A [`Histogram`] counts `u64` samples in a fixed log-linear bucket
+//! layout: values below [`LINEAR_BUCKETS`] land in exact unit-wide
+//! buckets; every larger value lands in its power-of-two octave, which
+//! is split into [`SUB_BUCKETS`] equal sub-buckets. The layout covers
+//! the full `u64` range in [`BUCKETS`] cells (~4 KB), so recording is
+//! one array increment — no allocation, no rehashing — and the
+//! relative quantization error is bounded by `1 / SUB_BUCKETS`
+//! (12.5%): plenty for latency percentiles, small enough to diff
+//! across runs.
+//!
+//! Recording happens into **per-thread** histograms owned by the
+//! registry (the same uncontended-buffer scheme spans use — the
+//! recording thread touches only its own cells, so there is no
+//! cross-thread synchronization on the hot path), and a snapshot
+//! [`Histogram::merge`]s them. Merging is a bucket-wise `u64` add:
+//! associative, commutative, and bitwise deterministic regardless of
+//! how samples were split across threads — the property the
+//! `hist` test suite pins down.
+
+/// Number of exact unit-wide buckets at the bottom of the layout
+/// (values `0..LINEAR_BUCKETS` are counted exactly).
+pub const LINEAR_BUCKETS: usize = 16;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+pub const SUB_BUCKETS: usize = 8;
+
+/// log2([`LINEAR_BUCKETS`]): the first octave index with sub-buckets.
+const FIRST_OCTAVE: usize = 4;
+
+/// log2([`SUB_BUCKETS`]): bits of sub-bucket resolution per octave.
+const SUB_SHIFT: usize = 3;
+
+/// Total bucket count: the linear range plus every octave up to
+/// `2^63`, each split [`SUB_BUCKETS`] ways.
+pub const BUCKETS: usize = LINEAR_BUCKETS + (64 - FIRST_OCTAVE) * SUB_BUCKETS;
+
+/// Index of the bucket `v` lands in.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize; // >= FIRST_OCTAVE
+        let sub = ((v >> (msb - SUB_SHIFT)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        LINEAR_BUCKETS + (msb - FIRST_OCTAVE) * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i < LINEAR_BUCKETS {
+        (i as u64, i as u64)
+    } else {
+        let octave = (i - LINEAR_BUCKETS) / SUB_BUCKETS + FIRST_OCTAVE;
+        let sub = ((i - LINEAR_BUCKETS) % SUB_BUCKETS) as u64;
+        let width = 1u64 << (octave - SUB_SHIFT);
+        let lower = (1u64 << octave) + sub * width;
+        (lower, lower + (width - 1))
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+///
+/// Tracks exact `count`, saturating `sum`, exact `min`/`max`, and the
+/// log-linear bucket counts percentiles are read from. Percentiles
+/// report the **upper bound** of the bucket holding the requested
+/// rank, clamped to the observed `[min, max]` — deterministic for a
+/// given multiset of samples, monotone in the quantile, and within
+/// one bucket width (≤ 12.5% relative) of the exact order statistic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` sentinel while empty (accessor reports 0).
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0u64; BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (bucket-wise add). Associative and
+    /// commutative: any merge order over any per-thread split of the
+    /// same samples yields the same histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 while empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 while empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples (0 while empty; from the saturating
+    /// sum, so exact until `sum` saturates).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the rank-`ceil(q·count)` sample, clamped to
+    /// the observed `[min, max]`. Returns 0 while empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, upper) = bucket_bounds(i);
+                return upper.min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets as `(lower, upper, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let (lo, hi) = bucket_bounds(i);
+            (lo, hi, c)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..LINEAR_BUCKETS as u64 {
+            h.record(v);
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v));
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        // Consecutive buckets tile the axis with no gaps or overlaps.
+        let mut expect = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect, "bucket {i} lower bound");
+            assert!(hi >= lo);
+            expect = hi.wrapping_add(1);
+        }
+        assert_eq!(expect, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn every_value_lands_within_its_bucket_bounds() {
+        for &v in &[0, 1, 15, 16, 17, 100, 1_000_003, u64::MAX / 3, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn percentile_bounds_and_extremes() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.percentile(1.0), 1000);
+        let p50 = h.percentile(0.5);
+        // Within one bucket of the exact median (30).
+        let (lo, hi) = bucket_bounds(bucket_index(30));
+        assert!(p50 >= lo && p50 <= hi.max(30), "p50 {p50}");
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_add() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..100u64 {
+            whole.record(v * 7);
+            if v % 2 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn saturating_sum() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -58,11 +58,13 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
 mod registry;
 mod report;
 
-pub use report::{CounterTotal, SpanRecord, TelemetrySnapshot};
+pub use hist::Histogram;
+pub use report::{CounterTotal, HistogramTotal, SpanRecord, TelemetrySnapshot};
 
 use std::time::Instant;
 
@@ -90,10 +92,23 @@ pub fn init_from_env() -> bool {
     enabled()
 }
 
-/// Discards every recorded span, instant and counter on every thread.
-/// The enabled state is unchanged.
+/// Discards every recorded span, instant, counter and histogram on
+/// every thread. The enabled state is unchanged.
 pub fn reset() {
     registry::reset();
+}
+
+/// Clears all recorded data and bumps the session-epoch id, returning
+/// the new id. Runtimes call this when a session starts so back-to-back
+/// sessions in one process never merge each other's telemetry;
+/// [`TelemetrySnapshot::epoch`] records which window a snapshot saw.
+pub fn advance_epoch() -> u64 {
+    registry::advance_epoch()
+}
+
+/// The current session-epoch id (0 until the first [`advance_epoch`]).
+pub fn epoch_id() -> u64 {
+    registry::epoch_id()
 }
 
 /// Merges every thread's recorded data into one snapshot. The recorded
@@ -181,6 +196,19 @@ pub fn counter_add(name: &'static str, label: &str, value: u64) {
     }
 }
 
+/// Records one sample into the log-bucketed histogram keyed by
+/// `(name, label)` — latency in nanoseconds, sizes in bytes, any `u64`
+/// distribution worth percentiles. Recording is a bucket increment in
+/// this thread's own buffer; while telemetry is disabled this is a
+/// single relaxed atomic load. Spans also auto-feed the unlabelled
+/// histogram for their name on close, so explicit calls are only
+/// needed for non-span distributions (per-image latency, byte sizes).
+pub fn hist_record(name: &'static str, label: &str, value: u64) {
+    if registry::enabled() {
+        registry::record_hist(name, label, value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +264,40 @@ mod tests {
             let snap = snapshot();
             let c = snap.counter("t.bytes", "gemm").unwrap();
             assert_eq!((c.calls, c.total, c.max), (3, 60, 30));
+        });
+    }
+
+    #[test]
+    fn hist_record_and_span_autofeed() {
+        with_telemetry(|| {
+            hist_record("t.lat", "f32", 100);
+            hist_record("t.lat", "f32", 900);
+            {
+                let _s = span("t.spanned");
+            }
+            let snap = snapshot();
+            let h = snap.hist("t.lat", "f32").expect("explicit histogram");
+            assert_eq!(h.hist.count(), 2);
+            assert_eq!(h.max, 900);
+            // Span close auto-feeds the unlabelled histogram for its name.
+            let auto = snap.hist("t.spanned", "").expect("span-fed histogram");
+            assert_eq!(auto.hist.count(), 1);
+        });
+    }
+
+    #[test]
+    fn epoch_advances_and_clears() {
+        with_telemetry(|| {
+            counter_add("t.epoch", "", 1);
+            hist_record("t.epoch.h", "", 1);
+            let before = epoch_id();
+            let id = advance_epoch();
+            assert_eq!(id, before + 1);
+            assert_eq!(epoch_id(), id);
+            let snap = snapshot();
+            assert_eq!(snap.epoch, id);
+            assert!(snap.counter("t.epoch", "").is_none(), "counter survived epoch");
+            assert!(snap.hist("t.epoch.h", "").is_none(), "hist survived epoch");
         });
     }
 

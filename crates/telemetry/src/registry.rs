@@ -6,9 +6,10 @@
 //! every buffer so a snapshot from any thread can see all of them —
 //! including live worker threads that never "finish" their buffers.
 
+use crate::hist::Histogram;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -21,6 +22,10 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_TID: AtomicU32 = AtomicU32::new(0);
 static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<ThreadBuf>>>>> = OnceLock::new();
+/// Monotonic session-epoch id, bumped by [`advance_epoch`] so
+/// back-to-back sessions in one process can prove their snapshots
+/// came from disjoint recording windows.
+static EPOCH_ID: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
@@ -74,6 +79,7 @@ pub(crate) struct ThreadBuf {
     pub thread_name: String,
     pub events: Vec<Event>,
     pub counters: HashMap<(&'static str, Box<str>), Counter>,
+    pub hists: HashMap<(&'static str, Box<str>), Histogram>,
     pub dropped: u64,
 }
 
@@ -121,6 +127,7 @@ fn local() -> Arc<Mutex<ThreadBuf>> {
             thread_name,
             events: Vec::new(),
             counters: HashMap::new(),
+            hists: HashMap::new(),
             dropped: 0,
         }));
         lock(registry()).push(Arc::clone(&buf));
@@ -142,6 +149,10 @@ pub(crate) fn record_span_close(
     let mut b = lock(&buf);
     let key_label: Box<str> = label.as_deref().unwrap_or("").into();
     b.counters.entry((name, key_label)).or_default().add(dur_ns);
+    // Every span also feeds the unlabelled duration histogram for its
+    // name, so per-stage/per-kernel latency distributions come for
+    // free wherever a span already exists.
+    b.hists.entry((name, Box::from(""))).or_default().record(dur_ns);
     if b.events.len() >= MAX_EVENTS_PER_THREAD {
         b.dropped += 1;
     } else {
@@ -170,6 +181,13 @@ pub(crate) fn record_counter(name: &'static str, label: &str, value: u64) {
     b.counters.entry((name, Box::from(label))).or_default().add(value);
 }
 
+/// Records one sample into the `(name, label)` histogram.
+pub(crate) fn record_hist(name: &'static str, label: &str, value: u64) {
+    let buf = local();
+    let mut b = lock(&buf);
+    b.hists.entry((name, Box::from(label))).or_default().record(value);
+}
+
 /// Runs `f` over every registered thread buffer, locking each in turn.
 pub(crate) fn for_each_buf(mut f: impl FnMut(&ThreadBuf)) {
     let bufs: Vec<Arc<Mutex<ThreadBuf>>> = lock(registry()).iter().map(Arc::clone).collect();
@@ -185,6 +203,20 @@ pub(crate) fn reset() {
         let mut b = lock(&buf);
         b.events.clear();
         b.counters.clear();
+        b.hists.clear();
         b.dropped = 0;
     }
+}
+
+/// The current session-epoch id (see [`advance_epoch`]).
+pub(crate) fn epoch_id() -> u64 {
+    EPOCH_ID.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded data and bumps the session-epoch id. Sessions
+/// call this at start so consecutive runs in one process never merge
+/// each other's counters or histograms.
+pub(crate) fn advance_epoch() -> u64 {
+    reset();
+    EPOCH_ID.fetch_add(1, Ordering::Relaxed) + 1
 }

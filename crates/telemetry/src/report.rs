@@ -1,6 +1,7 @@
 //! Snapshots and exporters: hierarchical text summary, Chrome
 //! `trace_event` JSON, and a machine-readable counter report.
 
+use crate::hist::Histogram;
 use crate::registry;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -41,6 +42,34 @@ pub struct CounterTotal {
     pub max: u64,
 }
 
+/// The merged histogram for one `(name, label)` key, with its headline
+/// percentiles pre-extracted for display and diffing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramTotal {
+    /// Histogram name (span names double as histogram names).
+    pub name: String,
+    /// Histogram label (e.g. precision `"f32"`/`"i8"`); empty if none.
+    pub label: String,
+    /// The merged cross-thread histogram.
+    pub hist: Histogram,
+    /// Median sample.
+    pub p50: u64,
+    /// 90th-percentile sample.
+    pub p90: u64,
+    /// 99th-percentile sample.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramTotal {
+    fn from_hist(name: String, label: String, hist: Histogram) -> Self {
+        let (p50, p90, p99, max) =
+            (hist.percentile(0.50), hist.percentile(0.90), hist.percentile(0.99), hist.max());
+        HistogramTotal { name, label, hist, p50, p90, p99, max }
+    }
+}
+
 /// A merged view of everything telemetry has recorded so far: raw span
 /// events per thread plus exact cross-thread counter aggregates.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -49,6 +78,10 @@ pub struct TelemetrySnapshot {
     pub spans: Vec<SpanRecord>,
     /// Counter aggregates summed over threads, ordered by `(name, label)`.
     pub counters: Vec<CounterTotal>,
+    /// Merged histograms with p50/p90/p99/max, ordered by `(name, label)`.
+    pub hists: Vec<HistogramTotal>,
+    /// Session-epoch id at capture (see [`crate::advance_epoch`]).
+    pub epoch: u64,
     /// Raw events discarded because a thread hit its buffer cap
     /// (counters remain exact regardless).
     pub dropped_events: u64,
@@ -58,6 +91,7 @@ pub struct TelemetrySnapshot {
 pub(crate) fn capture() -> TelemetrySnapshot {
     let mut spans = Vec::new();
     let mut counters: BTreeMap<(String, String), CounterTotal> = BTreeMap::new();
+    let mut hists: BTreeMap<(String, String), Histogram> = BTreeMap::new();
     let mut dropped = 0u64;
     registry::for_each_buf(|buf| {
         dropped += buf.dropped;
@@ -87,11 +121,22 @@ pub(crate) fn capture() -> TelemetrySnapshot {
             e.total += c.total;
             e.max = e.max.max(c.max);
         }
+        for ((name, label), h) in &buf.hists {
+            hists
+                .entry((name.to_string(), label.to_string()))
+                .or_default()
+                .merge(h);
+        }
     });
     spans.sort_by_key(|s| (s.tid, s.ts_ns, std::cmp::Reverse(s.dur_ns)));
     TelemetrySnapshot {
         spans,
         counters: counters.into_values().collect(),
+        hists: hists
+            .into_iter()
+            .map(|((name, label), h)| HistogramTotal::from_hist(name, label, h))
+            .collect(),
+        epoch: registry::epoch_id(),
         dropped_events: dropped,
     }
 }
@@ -110,6 +155,11 @@ impl TelemetrySnapshot {
     /// Whether any recorded span's name starts with `prefix`.
     pub fn has_span(&self, prefix: &str) -> bool {
         self.spans.iter().any(|s| s.name.starts_with(prefix))
+    }
+
+    /// Looks up a merged histogram by exact `(name, label)` key.
+    pub fn hist(&self, name: &str, label: &str) -> Option<&HistogramTotal> {
+        self.hists.iter().find(|h| h.name == name && h.label == label)
     }
 
     /// Human-readable hierarchical summary: spans grouped by their
@@ -166,6 +216,26 @@ impl TelemetrySnapshot {
                 out,
                 "    {key:<40} {:>9}  {:>14}  {:>12}",
                 c.calls, c.total, c.max
+            );
+        }
+        out.push_str("  histograms (count, p50, p90, p99, max):\n");
+        if self.hists.is_empty() {
+            out.push_str("    (none)\n");
+        }
+        for h in &self.hists {
+            let key = if h.label.is_empty() {
+                h.name.clone()
+            } else {
+                format!("{}[{}]", h.name, h.label)
+            };
+            let _ = writeln!(
+                out,
+                "    {key:<40} {:>9}  {:>10}  {:>10}  {:>10}  {:>10}",
+                h.hist.count(),
+                fmt_ns(h.p50),
+                fmt_ns(h.p90),
+                fmt_ns(h.p99),
+                fmt_ns(h.max),
             );
         }
         if self.dropped_events > 0 {
@@ -253,11 +323,33 @@ impl TelemetrySnapshot {
                 )
             })
             .collect();
+        let hists: Vec<String> = self
+            .hists
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"name\":{},\"label\":{},\"count\":{},\"sum\":{},\"min\":{},\
+                     \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                    json_string(&h.name),
+                    json_string(&h.label),
+                    h.hist.count(),
+                    h.hist.sum(),
+                    h.hist.min(),
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max
+                )
+            })
+            .collect();
         format!(
-            "{{\"dropped_events\":{},\"span_totals\":[{}],\"counters\":[{}]}}",
+            "{{\"epoch\":{},\"dropped_events\":{},\"span_totals\":[{}],\"counters\":[{}],\
+             \"hists\":[{}]}}",
+            self.epoch,
             self.dropped_events,
             spans.join(","),
-            counters.join(",")
+            counters.join(","),
+            hists.join(",")
         )
     }
 }
@@ -341,6 +433,14 @@ mod tests {
                 total: 64,
                 max: 48,
             }],
+            hists: vec![{
+                let mut h = Histogram::new();
+                for v in [100u64, 200, 300] {
+                    h.record(v);
+                }
+                HistogramTotal::from_hist("a.lat".into(), String::new(), h)
+            }],
+            epoch: 3,
             dropped_events: 0,
         }
     }
@@ -385,6 +485,31 @@ mod tests {
             v.get("span_totals").and_then(|c| c.as_array()).map(Vec::len),
             Some(2)
         );
+        assert_eq!(v.get("epoch").and_then(|e| e.as_f64()), Some(3.0));
+        let hists = v.get("hists").and_then(|h| h.as_array()).unwrap();
+        assert_eq!(hists.len(), 1);
+        let h = &hists[0];
+        assert_eq!(h.get("name").and_then(|n| n.as_str()), Some("a.lat"));
+        assert_eq!(h.get("count").and_then(|c| c.as_f64()), Some(3.0));
+        assert!(h.get("p50").and_then(|p| p.as_f64()).unwrap() >= 100.0);
+        assert!(h.get("p99").is_some() && h.get("max").is_some());
+    }
+
+    #[test]
+    fn summary_lists_histograms() {
+        let s = sample().summary();
+        assert!(s.contains("histograms"), "{s}");
+        assert!(s.contains("a.lat"), "{s}");
+    }
+
+    #[test]
+    fn hist_lookup() {
+        let snap = sample();
+        let h = snap.hist("a.lat", "").expect("histogram present");
+        assert_eq!(h.hist.count(), 3);
+        assert_eq!(h.max, 300);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max);
+        assert!(snap.hist("a.lat", "zz").is_none());
     }
 
     #[test]

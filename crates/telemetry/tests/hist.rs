@@ -1,0 +1,168 @@
+//! Property tests for the log-bucketed histogram layer.
+//!
+//! Pins the contracts the closed-loop observability tier leans on:
+//! bucket bounds actually contain their values (and tile the `u64`
+//! axis), merge is associative and commutative (so any per-thread
+//! split of a sample multiset folds to the same histogram),
+//! percentiles are monotone in the quantile and bracketed by
+//! `[min, max]`, and registry snapshots are **bitwise stable** when
+//! the same samples are recorded from 1, 2 or 4 threads.
+
+use insitu_telemetry::hist::{bucket_bounds, Histogram, BUCKETS, LINEAR_BUCKETS, SUB_BUCKETS};
+use insitu_telemetry::{self as telemetry};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the global telemetry registry.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// A spread of magnitudes from 0 to near `u64::MAX`, seeded.
+fn samples(len: usize, seed: u64) -> Vec<u64> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        // SplitMix64 step: deterministic, full-period.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..len)
+        .map(|_| {
+            let raw = next();
+            match raw % 4 {
+                0 => raw % 16,                    // linear range
+                1 => raw % 100_000,               // small octaves
+                2 => raw % 10_000_000_000,        // ns-scale latencies
+                _ => raw,                         // full range
+            }
+        })
+        .collect()
+}
+
+fn build(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn values_land_within_their_bucket(seed in 0u64..5000) {
+        for v in samples(64, seed) {
+            let h = build(&[v]);
+            let (lo, hi, c) = h.nonzero_buckets().next().expect("one bucket");
+            prop_assert_eq!(c, 1);
+            prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+            // Relative bucket width stays under 1/SUB_BUCKETS above the
+            // linear range (exact below it).
+            if v >= LINEAR_BUCKETS as u64 {
+                let width = hi - lo + 1;
+                prop_assert!(
+                    (width as f64) <= lo as f64 / SUB_BUCKETS as f64 + 1.0,
+                    "bucket [{}, {}] too wide for {}", lo, hi, v
+                );
+            } else {
+                prop_assert_eq!(lo, hi);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_whole_and_commutes(n in 1usize..200, seed in 0u64..5000, cut in 0usize..200) {
+        let vals = samples(n, seed);
+        let cut = cut % vals.len();
+        let whole = build(&vals);
+        let (left, right) = (build(&vals[..cut]), build(&vals[cut..]));
+
+        let mut lr = left.clone();
+        lr.merge(&right);
+        prop_assert_eq!(&lr, &whole);
+
+        let mut rl = right.clone();
+        rl.merge(&left);
+        prop_assert_eq!(&rl, &whole);
+    }
+
+    #[test]
+    fn merge_is_associative(n in 3usize..150, seed in 0u64..5000) {
+        let vals = samples(n, seed);
+        let third = vals.len() / 3;
+        let (a, b, c) =
+            (build(&vals[..third]), build(&vals[third..2 * third]), build(&vals[2 * third..]));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracketed(n in 1usize..300, seed in 0u64..5000) {
+        let vals = samples(n, seed);
+        let h = build(&vals);
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let p = h.percentile(i as f64 / 20.0);
+            prop_assert!(p >= prev, "percentile decreased: {} -> {}", prev, p);
+            prop_assert!(p >= h.min() && p <= h.max(), "{} outside [{}, {}]", p, h.min(), h.max());
+            prev = p;
+        }
+        prop_assert_eq!(h.percentile(1.0), h.max());
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.sum(), vals.iter().fold(0u64, |acc, &v| acc.saturating_add(v)));
+    }
+
+    #[test]
+    fn snapshots_are_bitwise_stable_across_thread_counts(n in 1usize..200, seed in 0u64..2000) {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let vals = samples(n, seed);
+        let expected = build(&vals);
+
+        let mut merged: Vec<Histogram> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            telemetry::set_enabled(true);
+            telemetry::reset();
+            // Deal samples round-robin across `threads` recording threads.
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let shard: Vec<u64> =
+                        vals.iter().copied().skip(t).step_by(threads).collect();
+                    s.spawn(move || {
+                        for v in shard {
+                            telemetry::hist_record("prop.stable", "", v);
+                        }
+                    });
+                }
+            });
+            let snap = telemetry::snapshot();
+            telemetry::set_enabled(false);
+            telemetry::reset();
+            merged.push(snap.hist("prop.stable", "").expect("histogram recorded").hist.clone());
+        }
+        prop_assert_eq!(&merged[0], &expected);
+        prop_assert_eq!(&merged[1], &expected);
+        prop_assert_eq!(&merged[2], &expected);
+    }
+}
+
+#[test]
+fn bucket_bounds_tile_the_axis() {
+    let mut expect = 0u64;
+    for i in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(lo, expect, "bucket {i}");
+        expect = hi.wrapping_add(1);
+    }
+    assert_eq!(expect, 0, "layout must end exactly at u64::MAX");
+}

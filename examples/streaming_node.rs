@@ -9,12 +9,20 @@
 //! Set `INSITU_TRACE=1` to trace the session: a hierarchical summary
 //! is printed and the full Chrome trace is written to
 //! `streaming_trace.json` (load it in chrome://tracing or
-//! <https://ui.perfetto.dev>).
+//! <https://ui.perfetto.dev>). Tracing also activates the closed
+//! observability loop — the node re-plans its batch size from the
+//! measured per-image p90 every few stages — and exports the
+//! session's metrics hub to `streaming_metrics.prom` (Prometheus
+//! text) and `streaming_metrics.json`.
 
 use insitu::cloud::{
     build_inference, pretrain, Cloud, DeployConfig, IncrementalConfig, PretrainConfig,
 };
-use insitu::core::{run_streaming_session, DiagnosisPolicy, InsituNode};
+use insitu::core::{
+    plan, run_streaming_session, validate_prometheus, Availability, DiagnosisPolicy, InsituNode,
+    PlanRequest, ReplanConfig,
+};
+use insitu::devices::NetworkShapes;
 use insitu::data::{Condition, Dataset};
 use insitu::tensor::Rng;
 use parking_lot::Mutex;
@@ -39,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &DeployConfig { epochs: 8, ..Default::default() },
         &mut rng,
     )?;
-    let node = InsituNode::new(
+    let mut node = InsituNode::new(
         inference.clone(),
         pre.jigsaw.clone(),
         pre.set.clone(),
@@ -47,6 +55,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         77,
     )?;
+    if tracing {
+        // Close the loop: start from the analytical plan, then let the
+        // node re-plan its batch from the measured per-image p90 every
+        // other stage once the measurement diverges 1.5x from it.
+        let shapes = NetworkShapes::alexnet();
+        let request =
+            PlanRequest { availability: Availability::AlwaysOn, t_user: 0.5, max_batch: 64 };
+        let analytical = plan(&request, &shapes, &NetworkShapes::diagnosis_of(&shapes, 9))?;
+        println!("analytical plan: {}", analytical.summary());
+        node.install_plan(analytical);
+        node.enable_replan(ReplanConfig {
+            every_stages: 2,
+            divergence: 1.5,
+            request,
+            inference_shapes: shapes,
+            quant: None,
+        });
+    }
     let cloud = Arc::new(Mutex::new(Cloud::new(
         inference,
         pre,
@@ -87,6 +113,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", stats.telemetry.summary());
         std::fs::write("streaming_trace.json", stats.telemetry.chrome_trace_json())?;
         println!("Chrome trace written to streaming_trace.json (open in ui.perfetto.dev)");
+        if let Some(p) = node.plan() {
+            println!("final plan after {} re-plan(s): {}", stats.replans, p.summary());
+        }
+        let prometheus = stats.metrics.to_prometheus();
+        validate_prometheus(&prometheus).map_err(|e| format!("invalid metrics export: {e}"))?;
+        std::fs::write("streaming_metrics.prom", &prometheus)?;
+        std::fs::write("streaming_metrics.json", stats.metrics.to_json())?;
+        println!(
+            "metrics hub: {} series (epoch {}) written to streaming_metrics.prom / .json",
+            stats.metrics.len(),
+            stats.metrics.epoch()
+        );
     }
     Ok(())
 }
