@@ -72,6 +72,16 @@ cargo test -q -p insitu-core --test observability
 # emit the reuse fields CI consumes.
 cargo test -q -p insitu-core --test reuse_properties
 cargo test -q -p insitu-core --test trunk_pass_telemetry
+
+# Update-cache gates: cached fine-tuning must be bitwise identical to
+# uncached — same weights, ModelUpdates and seeded session trajectory —
+# property-tested across archive sizes, epochs, eviction pressure
+# (budget 0 / tiny / default) and 1/2/4 threads, plus the nn-level
+# prefix/suffix split against the full forward.
+cargo test -q -p insitu-cloud --test cache_equivalence
+cargo test -q -p insitu-nn --lib net::tests::prefix
+cargo test -q -p insitu-nn --lib train_from_activations
+
 INSITU_METRICS=1 cargo run --release -q -p insitu-bench --bin node_snapshot -- --quick \
     >/tmp/ci_node.json 2>/tmp/ci_node.prom
 grep -q '"diag_speedup"' /tmp/ci_node.json
@@ -79,6 +89,14 @@ grep -q '"trunk_passes_fused"' /tmp/ci_node.json
 grep -q '"identical": true' /tmp/ci_node.json
 grep -q '"i8_ns_per_stage"' /tmp/ci_node.json
 grep -q '"accuracy_delta_points"' /tmp/ci_node.json
+# The update_cache record: cached vs uncached update-cycle ns, hit
+# rate and resident bytes must all be present (the bin exits non-zero
+# if any cycle's cached ModelUpdate diverges from the uncached one).
+grep -q '"update_cache"' /tmp/ci_node.json
+grep -q '"cached_ns_per_cycle"' /tmp/ci_node.json
+grep -q '"uncached_ns_per_cycle"' /tmp/ci_node.json
+grep -q '"hit_rate"' /tmp/ci_node.json
+grep -q '"cache_bytes"' /tmp/ci_node.json
 # The closed-loop fields: header ISA + telemetry totals, per-policy
 # stage percentiles, and the measured re-plan record. The bin itself
 # exits non-zero if its Prometheus export fails validation; the grep

@@ -33,13 +33,20 @@
 //! held-out accuracy delta in points — the measured numbers behind the
 //! planner's `QuantProfile`.
 //!
+//! An `update_cache` record compares the Cloud's incremental update
+//! cycle with and without the frozen-prefix activation cache:
+//! interleaved cycles over the same upload schedule, per-cycle
+//! `ModelUpdate`s compared bit-for-bit (divergence exits non-zero),
+//! warm-cycle ns plus hit rate and resident cache bytes reported.
+//!
 //! `--quick` shortens the timing sweep for CI smoke: same fields,
 //! noisier numbers.
 
+use insitu_cloud::{Cloud, IncrementalConfig, Pretrained};
 use insitu_core::{
     diagnose, diagnose_with_logits, plan_with_measurements, validate_prometheus, Availability,
-    DiagnosisPolicy, InferencePrecision, InsituNode, MeasuredProfile, MetricsHub, PlanRequest,
-    StageOutcome,
+    CloudEndpoint, DiagnosisPolicy, InferencePrecision, InsituNode, MeasuredProfile, MetricsHub,
+    PlanRequest, StageOutcome,
 };
 use insitu_data::{Condition, Dataset, PermutationSet};
 use insitu_devices::NetworkShapes;
@@ -195,6 +202,80 @@ fn time_stage_i8_vs_f32(
     (f32_ns[reps / 2], i8_ns[reps / 2], ratios[reps / 2])
 }
 
+/// Interleaves cached and uncached Cloud update cycles on the paper
+/// shapes: two identically seeded Clouds (conv1–3 frozen, the
+/// deployment recipe) consume the identical upload schedule; one
+/// serves fine-tunes through the frozen-prefix activation cache, the
+/// other recomputes the prefix every epoch. Every cycle's
+/// `ModelUpdate` pair is compared bit-for-bit (the cache's contract),
+/// and the warm cycles — where the retained archive produces hits —
+/// are timed pairwise. Returns the JSON record plus the equivalence
+/// verdict.
+fn update_cache_row(quick: bool) -> (String, bool) {
+    const UPLOAD: usize = 16;
+    const EPOCHS: usize = 2;
+    let cycles: usize = if quick { 3 } else { 5 };
+    let make_cloud = || {
+        let (inference, jigsaw, set) = make_parts();
+        let pre = Pretrained { jigsaw, set, task_accuracy: 0.0, ops: 0 };
+        let cfg = IncrementalConfig {
+            epochs: EPOCHS,
+            batch_size: BATCH,
+            lr: 0.01,
+            threads: None,
+            holdout: None,
+        };
+        Cloud::new(inference, pre, cfg, SEED ^ 0x33)
+    };
+    let mut cached = make_cloud();
+    let mut uncached = make_cloud().without_activation_cache();
+    let uploads: Vec<Dataset> = {
+        let mut rng = Rng::seed_from(SEED + 4);
+        (0..cycles)
+            .map(|_| {
+                Dataset::generate(UPLOAD, CLASSES, &Condition::in_situ(), &mut rng)
+                    .expect("upload data")
+            })
+            .collect()
+    };
+    let mut identical = true;
+    let (mut cached_warm_ns, mut uncached_warm_ns) = (0u128, 0u128);
+    for (cycle, upload) in uploads.iter().enumerate() {
+        let t0 = Instant::now();
+        let ua = cached.incremental_update(upload).expect("cached update");
+        let cached_ns = t0.elapsed().as_nanos();
+        let t0 = Instant::now();
+        let ub = uncached.incremental_update(upload).expect("uncached update");
+        let uncached_ns = t0.elapsed().as_nanos();
+        identical &= ua == ub;
+        // Cycle 0 is cold for both sides; the archive-reuse cycles are
+        // where the cache pays off.
+        if cycle > 0 {
+            cached_warm_ns += cached_ns;
+            uncached_warm_ns += uncached_ns;
+        }
+    }
+    let stats = cached.cache_stats().expect("cache enabled");
+    let warm = cycles.saturating_sub(1).max(1) as u128;
+    let speedup = uncached_warm_ns as f64 / cached_warm_ns.max(1) as f64;
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"cycles\": {cycles}, \"upload_per_cycle\": {UPLOAD}, \"epochs\": {EPOCHS}, \
+         \"archive_len\": {}, \"cached_ns_per_cycle\": {}, \"uncached_ns_per_cycle\": {}, \
+         \"speedup\": {speedup:.2}, \"hit_rate\": {:.4}, \"cache_bytes\": {}, \
+         \"cache_entries\": {}, \"evictions\": {}, \"identical\": {identical}}}",
+        cached.archive_len(),
+        cached_warm_ns / warm,
+        uncached_warm_ns / warm,
+        stats.hit_rate(),
+        stats.resident_bytes,
+        stats.entries,
+        stats.evictions
+    );
+    (row, identical)
+}
+
 /// Stage repetitions of the telemetry-enabled counted pass — enough
 /// for the latency histograms to hold a small population while the
 /// counter totals stay exact multiples of one stage.
@@ -321,6 +402,10 @@ fn main() {
         );
         row
     };
+    // The frozen-prefix activation cache: cached vs uncached update
+    // cycles, bitwise-gated like the fused/unfused stage pipelines.
+    let (update_cache_record, cache_identical) = update_cache_row(quick);
+    all_identical &= cache_identical;
     // The closed observability loop, exercised on this host's own
     // measurements: distil the counted probe pass into a
     // MeasuredProfile and let the planner re-admit a batch from the
@@ -393,12 +478,16 @@ fn main() {
         "{{\n  \"bench\": \"node_stage\",\n  \"host_cores\": {cores},\n  \
          \"kernel_threads\": {threads},\n  \"kernel\": \"{}\",\n  \"simd_isa\": \"{}\",\n  \
          \"quick\": {quick},\n  \"telemetry\": {telemetry_header},\n  \"results\": [\n{rows}\n  ],\n  \
-         \"precision_compare\": {precision_row},\n  \"replan\": {replan_row}\n}}",
+         \"precision_compare\": {precision_row},\n  \"update_cache\": {update_cache_record},\n  \
+         \"replan\": {replan_row}\n}}",
         gemm_kernel_name(),
         simd_isa_name()
     );
     if !all_identical {
-        eprintln!("node_snapshot: fused and unfused outcomes diverged");
+        eprintln!(
+            "node_snapshot: an optimized pipeline diverged from its reference \
+             (fused stage or cached update cycle)"
+        );
         std::process::exit(1);
     }
 }

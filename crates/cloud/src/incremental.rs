@@ -2,7 +2,9 @@
 
 use crate::Result;
 use insitu_data::Dataset;
-use insitu_nn::{train, LabeledBatch, Sequential, TrainConfig, TrainReport};
+use insitu_nn::{
+    train, train_from_activations, LabeledBatch, Sequential, TrainConfig, TrainReport,
+};
 use insitu_tensor::Rng;
 use insitu_telemetry as telemetry;
 
@@ -19,12 +21,35 @@ pub struct IncrementalConfig {
     /// process-wide setting; see [`insitu_tensor::set_num_threads`]).
     /// Never affects results.
     pub threads: Option<usize>,
+    /// Hold out up to this many samples (taken from the end of the
+    /// fine-tune set, capped so at least one training sample remains)
+    /// as a per-epoch eval split, so the update can report post-update
+    /// accuracy without a second manual pass. `None` trains on
+    /// everything and reports no accuracy.
+    pub holdout: Option<usize>,
 }
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
-        IncrementalConfig { epochs: 6, batch_size: 16, lr: 0.005, threads: None }
+        IncrementalConfig { epochs: 6, batch_size: 16, lr: 0.005, threads: None, holdout: None }
     }
+}
+
+/// Splits `data` into (train, held-out) the way [`fine_tune`] does:
+/// the last `min(holdout, len - 1)` samples are held out. Exposed so
+/// the cached activation path can reproduce the split exactly.
+///
+/// # Errors
+///
+/// Returns an error if the split is out of range (cannot happen for
+/// the clamped sizes used here).
+pub fn split_holdout(data: &Dataset, holdout: Option<usize>) -> Result<(Dataset, Option<Dataset>)> {
+    let hold = holdout.unwrap_or(0).min(data.len().saturating_sub(1));
+    if hold == 0 {
+        return Ok((data.clone(), None));
+    }
+    let (train_part, hold_part) = data.split_at(data.len() - hold)?;
+    Ok((train_part, Some(hold_part)))
 }
 
 /// Fine-tunes `net` in place on `uploaded`. The network's freezing
@@ -44,20 +69,52 @@ pub fn fine_tune(
     let _t = telemetry::span_with("cloud.fine_tune", || {
         format!("{} uploaded samples x{} epochs", uploaded.len(), cfg.epochs)
     });
-    let train_cfg = TrainConfig {
+    let (train_part, hold_part) = split_holdout(uploaded, cfg.holdout)?;
+    let eval = match &hold_part {
+        Some(h) => Some(LabeledBatch::new(h.images(), h.labels())?),
+        None => None,
+    };
+    Ok(train(
+        net,
+        LabeledBatch::new(train_part.images(), train_part.labels())?,
+        eval,
+        &train_config(cfg),
+        rng,
+    )?)
+}
+
+/// The cached-activation twin of [`fine_tune`]: trains the unfrozen
+/// suffix of `net` from precomputed prefix activations (see
+/// [`ActivationCache::prefix_activations`](crate::ActivationCache::prefix_activations)).
+/// `acts`/`eval_acts` must correspond to the [`split_holdout`] parts of
+/// the same fine-tune set; the loop, RNG trajectory and cost accounting
+/// are shared with [`fine_tune`], so results are bitwise identical.
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements between the suffix and the
+/// activations.
+pub fn fine_tune_from_activations(
+    net: &mut Sequential,
+    acts: LabeledBatch<'_>,
+    eval_acts: Option<LabeledBatch<'_>>,
+    cfg: &IncrementalConfig,
+    rng: &mut Rng,
+) -> Result<TrainReport> {
+    let _t = telemetry::span_with("cloud.fine_tune", || {
+        format!("{} cached activations x{} epochs", acts.len(), cfg.epochs)
+    });
+    Ok(train_from_activations(net, acts, eval_acts, &train_config(cfg), rng)?)
+}
+
+fn train_config(cfg: &IncrementalConfig) -> TrainConfig {
+    TrainConfig {
         epochs: cfg.epochs,
         batch_size: cfg.batch_size,
         lr: cfg.lr,
         threads: cfg.threads,
         ..Default::default()
-    };
-    Ok(train(
-        net,
-        LabeledBatch::new(uploaded.images(), uploaded.labels())?,
-        None,
-        &train_cfg,
-        rng,
-    )?)
+    }
 }
 
 #[cfg(test)]
@@ -72,7 +129,7 @@ mod tests {
         let mut rng = Rng::seed_from(41);
         let mut net = mini_alexnet(4, &mut rng).unwrap();
         let data = Dataset::generate(24, 4, &Condition::in_situ(), &mut rng).unwrap();
-        let cfg = IncrementalConfig { epochs: 2, batch_size: 8, lr: 0.01, threads: None };
+        let cfg = IncrementalConfig { epochs: 2, batch_size: 8, lr: 0.01, threads: None, holdout: None };
         let report = fine_tune(&mut net, &data, &cfg, &mut rng).unwrap();
         assert_eq!(report.history.len(), 2);
         assert!(report.total_ops > 0);
@@ -88,7 +145,7 @@ mod tests {
         shared.freeze_first_convs(3).unwrap();
         assert!(shared.training_ops_per_sample() < full.training_ops_per_sample());
         let data = Dataset::generate(16, 4, &Condition::in_situ(), &mut rng).unwrap();
-        let cfg = IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None };
+        let cfg = IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None, holdout: None };
         let r_full = fine_tune(&mut full, &data, &cfg, &mut rng).unwrap();
         let r_shared = fine_tune(&mut shared, &data, &cfg, &mut rng).unwrap();
         assert!(r_shared.total_ops < r_full.total_ops);

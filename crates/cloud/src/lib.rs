@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod deploy;
 mod endpoint;
 mod error;
@@ -32,10 +33,13 @@ mod incremental;
 mod pretrain;
 mod systems;
 
+pub use cache::{sample_ids, ActivationCache, CacheStats, DEFAULT_CACHE_BUDGET};
 pub use deploy::{build_from_scratch, build_inference, DeployConfig};
 pub use endpoint::Cloud;
 pub use error::CloudError;
-pub use incremental::{fine_tune, IncrementalConfig};
+pub use incremental::{
+    fine_tune, fine_tune_from_activations, split_holdout, IncrementalConfig,
+};
 pub use pretrain::{continue_pretrain, pretrain, Pretrained, PretrainConfig};
 pub use systems::{run_campaign, IotSystem, StageReport, SystemConfig, SystemKind};
 

@@ -158,7 +158,7 @@ impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig {
             incremental: IncrementalConfig::default(),
-            bootstrap: IncrementalConfig { epochs: 12, batch_size: 16, lr: 0.005, threads: None },
+            bootstrap: IncrementalConfig { epochs: 12, batch_size: 16, lr: 0.005, threads: None, holdout: None },
             uplink: UplinkSpec::lte(),
             cloud_gpu: CloudGpuSpec::titan_x(),
             eval_per_stage: 200,
@@ -346,8 +346,8 @@ mod tests {
 
     fn tiny_cfg() -> SystemConfig {
         SystemConfig {
-            incremental: IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None },
-            bootstrap: IncrementalConfig { epochs: 2, batch_size: 8, lr: 0.02, threads: None },
+            incremental: IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None, holdout: None },
+            bootstrap: IncrementalConfig { epochs: 2, batch_size: 8, lr: 0.02, threads: None, holdout: None },
             eval_per_stage: 24,
             ..Default::default()
         }

@@ -1,0 +1,244 @@
+//! The frozen-prefix activation cache contract: a Cloud serving
+//! fine-tunes from cached prefix activations must be **bitwise
+//! identical** to one recomputing the frozen prefix every epoch — same
+//! weights, same `ModelUpdate`s (version, params, ops, eval accuracy),
+//! same seeded end-to-end session trajectory — across archive sizes,
+//! epochs, byte budgets (including 0 and constant-eviction budgets),
+//! holdout splits, duplicate re-uploads and 1/2/4 kernel threads.
+//!
+//! Two Clouds are built from the same seed; one keeps the default
+//! cached path, the other runs `without_activation_cache()`. Every
+//! update they produce is compared with `ModelUpdate`'s `PartialEq`
+//! (tensor contents compare exactly), and the final inference state
+//! dicts are compared bit for bit.
+
+use insitu_cloud::{Cloud, IncrementalConfig, Pretrained, DEFAULT_CACHE_BUDGET};
+use insitu_core::{CloudEndpoint, DiagnosisPolicy, InsituNode, ModelUpdate};
+use insitu_data::{Condition, Dataset, PermutationSet};
+use insitu_nn::models::{jigsaw_network, mini_alexnet};
+use insitu_nn::serialize::state_dict;
+use insitu_nn::transfer::transfer_and_freeze;
+use insitu_tensor::{num_threads, set_num_threads, Rng, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes access to the global kernel thread count.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = num_threads();
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(prev);
+    out
+}
+
+const CLASSES: usize = 4;
+const PERMS: usize = 4;
+
+/// One prefix activation of the deployed mini-AlexNet (32·9·9 floats)
+/// plus entry overhead — used to size eviction-pressure budgets.
+const ENTRY_BYTES: usize = 32 * 9 * 9 * 4 + 64;
+
+/// Builds a deployed Cloud: jigsaw trunk transferred into the
+/// inference net, conv1–3 frozen (the paper's deployment recipe).
+fn make_cloud(seed: u64, cfg: IncrementalConfig) -> Cloud {
+    let mut rng = Rng::seed_from(seed);
+    let jigsaw = jigsaw_network(PERMS, &mut rng).unwrap();
+    let mut inference = mini_alexnet(CLASSES, &mut rng).unwrap();
+    transfer_and_freeze(jigsaw.trunk(), &mut inference, 3, 3).unwrap();
+    let set = PermutationSet::generate(PERMS, &mut rng).unwrap();
+    let pre = Pretrained { jigsaw, set, task_accuracy: 0.0, ops: 0 };
+    Cloud::new(inference, pre, cfg, seed ^ 0x5A)
+}
+
+fn weights(c: &mut Cloud) -> Vec<Tensor> {
+    state_dict(c.inference_mut())
+}
+
+/// Drives both Clouds through the same upload schedule and returns
+/// (per-cycle update pairs, final weight pairs, cached-side stats).
+#[allow(clippy::type_complexity)]
+fn run_session(
+    seed: u64,
+    cycles: usize,
+    upload: usize,
+    cfg: &IncrementalConfig,
+    budget: usize,
+    duplicate_every: usize,
+) -> (Vec<(ModelUpdate, ModelUpdate)>, (Vec<Tensor>, Vec<Tensor>), (u64, u64, u64)) {
+    let mut cached = make_cloud(seed, cfg.clone()).with_activation_cache(budget);
+    let mut uncached = make_cloud(seed, cfg.clone()).without_activation_cache();
+    let mut data_rng = Rng::seed_from(seed ^ 0x77);
+    let mut previous: Option<Dataset> = None;
+    let mut updates = Vec::new();
+    for cycle in 0..cycles {
+        // Every `duplicate_every`-th cycle re-uploads the previous
+        // upload verbatim (dedup pressure: the archive must not grow,
+        // the cache keys must stay stable).
+        let data = match (&previous, duplicate_every > 0 && cycle % duplicate_every.max(1) == 1) {
+            (Some(prev), true) => prev.clone(),
+            _ => Dataset::generate(upload, CLASSES, &Condition::in_situ(), &mut data_rng).unwrap(),
+        };
+        let ua = cached.incremental_update(&data).unwrap();
+        let ub = uncached.incremental_update(&data).unwrap();
+        previous = Some(data);
+        updates.push((ua, ub));
+    }
+    let stats = cached.cache_stats().unwrap();
+    assert_eq!(cached.archive_len(), uncached.archive_len());
+    (updates, (weights(&mut cached), weights(&mut uncached)), (
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: cached == uncached, bitwise, across
+    /// archive growth, epochs, eviction pressure (budget 0, a ~3-entry
+    /// budget that evicts constantly, and the roomy default), holdout
+    /// splits, duplicate uploads and 1/2/4 kernel threads.
+    #[test]
+    fn cached_update_cycles_are_bitwise_identical(
+        seed in 0u64..200,
+        cycles in 1usize..4,
+        upload in 2usize..7,
+        epochs in 1usize..3,
+        budget_sel in 0usize..3,
+        holdout_sel in 0usize..2,
+        threads_sel in 0usize..3,
+    ) {
+        let budget = [0, 3 * ENTRY_BYTES, DEFAULT_CACHE_BUDGET][budget_sel];
+        let holdout = [None, Some(2)][holdout_sel];
+        let threads = [1usize, 2, 4][threads_sel];
+        let cfg = IncrementalConfig {
+            epochs,
+            batch_size: 4,
+            lr: 0.01,
+            threads: None,
+            holdout,
+        };
+        let (updates, (wa, wb), (hits, misses, _)) = with_threads(threads, || {
+            run_session(seed, cycles, upload, &cfg, budget, 2)
+        });
+        for (cycle, (ua, ub)) in updates.iter().enumerate() {
+            prop_assert!(ua == ub, "cycle {} diverged", cycle);
+            prop_assert_eq!(ua.eval_accuracy.is_some(), holdout.is_some());
+        }
+        prop_assert_eq!(&wa, &wb);
+        // A roomy budget actually reuses entries across cycles.
+        if cycles > 1 && budget == DEFAULT_CACHE_BUDGET {
+            prop_assert!(hits > 0, "no hits: misses {}", misses);
+        }
+    }
+}
+
+/// Budget-0 and tiny-budget caches stay bitwise correct over many more
+/// cycles than the property test covers, with the archive under
+/// constant duplicate pressure.
+#[test]
+fn eviction_pressure_long_session_stays_identical() {
+    let cfg = IncrementalConfig {
+        epochs: 2,
+        batch_size: 4,
+        lr: 0.01,
+        threads: None,
+        holdout: Some(1),
+    };
+    for budget in [0, 2 * ENTRY_BYTES] {
+        let (updates, (wa, wb), _) = run_session(9, 5, 3, &cfg, budget, 2);
+        for (cycle, (ua, ub)) in updates.iter().enumerate() {
+            assert_eq!(ua, ub, "budget {budget}, cycle {cycle} diverged");
+        }
+        assert_eq!(wa, wb, "budget {budget}: final weights diverged");
+    }
+}
+
+/// The seeded end-to-end session: a node streaming stages against a
+/// cached Cloud takes the exact trajectory of a node against an
+/// uncached Cloud — predictions, upload selections, versions and
+/// installed weights all match. (The sequential loop is used because
+/// the threaded runtime's install timing is intentionally
+/// opportunistic; bitwise-equal updates are what make even that racy
+/// path distributionally identical.)
+#[test]
+fn seeded_session_trajectory_matches_uncached() {
+    let make_node = |seed: u64| {
+        let mut rng = Rng::seed_from(seed);
+        let jigsaw = jigsaw_network(PERMS, &mut rng).unwrap();
+        let mut inference = mini_alexnet(CLASSES, &mut rng).unwrap();
+        transfer_and_freeze(jigsaw.trunk(), &mut inference, 3, 3).unwrap();
+        let set = PermutationSet::generate(PERMS, &mut rng).unwrap();
+        InsituNode::new(
+            inference,
+            jigsaw,
+            set,
+            DiagnosisPolicy::InferenceConfidence { threshold: 0.8 },
+            3,
+            seed ^ 0xA5,
+        )
+        .unwrap()
+    };
+    let cfg = IncrementalConfig {
+        epochs: 1,
+        batch_size: 4,
+        lr: 0.01,
+        threads: None,
+        holdout: Some(1),
+    };
+    let mut node_a = make_node(21);
+    let mut node_b = make_node(21);
+    let mut cloud_a = make_cloud(21, cfg.clone()); // cached (default)
+    let mut cloud_b = make_cloud(21, cfg).without_activation_cache();
+    let mut stream_rng = Rng::seed_from(4242);
+    for stage in 0..4 {
+        let data = Dataset::generate(6, CLASSES, &Condition::in_situ(), &mut stream_rng).unwrap();
+        let oa = node_a.process_stage(&data, 3).unwrap();
+        let ob = node_b.process_stage(&data, 3).unwrap();
+        assert_eq!(oa.predictions, ob.predictions, "stage {stage}");
+        assert_eq!(oa.valuable, ob.valuable, "stage {stage}");
+        let pa = node_a.upload_payload(&data, &oa).unwrap();
+        let pb = node_b.upload_payload(&data, &ob).unwrap();
+        let ua = cloud_a.incremental_update(&pa).unwrap();
+        let ub = cloud_b.incremental_update(&pb).unwrap();
+        assert_eq!(ua, ub, "stage {stage}: updates diverged");
+        node_a.install_update(&ua).unwrap();
+        node_b.install_update(&ub).unwrap();
+        assert_eq!(node_a.version(), node_b.version());
+    }
+    assert_eq!(
+        state_dict(node_a.inference_mut()),
+        state_dict(node_b.inference_mut()),
+        "node weights diverged after the session"
+    );
+    let stats = cloud_a.cache_stats().unwrap();
+    assert!(stats.hits > 0, "archive reuse produced no cache hits");
+}
+
+/// Identical re-uploads are deduplicated: the archive stops growing,
+/// yet training results keep matching the uncached Cloud (which
+/// deduplicates identically).
+#[test]
+fn duplicate_uploads_do_not_grow_archive() {
+    let cfg = IncrementalConfig {
+        epochs: 1,
+        batch_size: 4,
+        lr: 0.01,
+        threads: None,
+        holdout: None,
+    };
+    let mut cloud = make_cloud(33, cfg);
+    let data = Dataset::generate(5, CLASSES, &Condition::in_situ(), &mut Rng::seed_from(1)).unwrap();
+    cloud.incremental_update(&data).unwrap();
+    assert_eq!(cloud.archive_len(), 5);
+    // Same payload again, and once more with an internal duplicate.
+    cloud.incremental_update(&data).unwrap();
+    assert_eq!(cloud.archive_len(), 5);
+    let doubled = data.concat(&data).unwrap();
+    cloud.incremental_update(&doubled).unwrap();
+    assert_eq!(cloud.archive_len(), 5);
+}

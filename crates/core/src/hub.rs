@@ -425,6 +425,42 @@ mod tests {
     }
 
     #[test]
+    fn json_export_round_trips_every_series() {
+        let mut hub = MetricsHub::new();
+        let mut snap = snapshot();
+        // Exercise string escaping: labels with quotes, backslashes,
+        // newlines and control characters must survive the round trip.
+        snap.counters.push(CounterTotal {
+            name: "cloud.cache.hit".into(),
+            label: "bs=\"8\"\\\n\t\u{1}".into(),
+            calls: 3,
+            total: 123,
+            max: 100,
+        });
+        hub.fold(&snap);
+        let v = insitu_telemetry::json::parse(&hub.to_json()).expect("valid JSON");
+        assert_eq!(v.get("epoch").and_then(|e| e.as_f64()), Some(hub.epoch() as f64));
+        assert_eq!(v.get("folds").and_then(|f| f.as_f64()), Some(hub.folds() as f64));
+        // Rebuild the flat series map from the parsed document and
+        // compare it against the hub's own iterator, key by key.
+        let rows = v.get("series").and_then(|s| s.as_array()).unwrap();
+        let mut parsed: std::collections::BTreeMap<(String, String, String), u64> = rows
+            .iter()
+            .map(|row| {
+                let s = |k: &str| row.get(k).and_then(|x| x.as_str()).unwrap().to_string();
+                let value = row.get("value").and_then(|x| x.as_f64()).unwrap() as u64;
+                ((s("name"), s("label"), s("field")), value)
+            })
+            .collect();
+        assert_eq!(parsed.len(), hub.len(), "duplicate or missing rows");
+        for (name, label, field, value) in hub.iter() {
+            let key = (name.to_string(), label.to_string(), field.to_string());
+            assert_eq!(parsed.remove(&key), Some(value), "series {key:?} mismatched");
+        }
+        assert!(parsed.is_empty(), "extra rows in export: {parsed:?}");
+    }
+
+    #[test]
     fn validator_rejects_malformed_text() {
         assert!(validate_prometheus("# TYPE ok counter\nok 1").is_ok());
         for bad in [

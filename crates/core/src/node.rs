@@ -688,6 +688,7 @@ mod tests {
             inference_params: state_dict(&mut other),
             jigsaw_params: None,
             training_ops: 1,
+            eval_accuracy: None,
         };
         n.install_update(&update).unwrap();
         assert_eq!(n.version(), 5);
@@ -698,6 +699,7 @@ mod tests {
             inference_params: vec![],
             jigsaw_params: None,
             training_ops: 0,
+            eval_accuracy: None,
         };
         assert!(n.install_update(&bad).is_err());
         assert_eq!(n.version(), 5);
@@ -771,6 +773,7 @@ mod tests {
             inference_params: state_dict(&mut other),
             jigsaw_params: None,
             training_ops: 1,
+            eval_accuracy: None,
         };
         n.install_update(&update).unwrap();
         // Still quantized, still runnable, and the scales were re-measured.

@@ -334,6 +334,7 @@ mod tests {
                 inference_params: self.params.clone(),
                 jigsaw_params: None,
                 training_ops: 1,
+                eval_accuracy: None,
             })
         }
     }
@@ -454,6 +455,7 @@ mod tests {
                 inference_params: vec![], // wrong arity: install must fail
                 jigsaw_params: None,
                 training_ops: 0,
+                eval_accuracy: None,
             })
         }
     }

@@ -19,6 +19,9 @@ pub struct ModelUpdate {
     /// Multiply-accumulate operations the Cloud spent producing this
     /// update (drives the energy/time accounting).
     pub training_ops: u64,
+    /// Accuracy on the Cloud's held-out split after this update, when a
+    /// holdout is configured (`IncrementalConfig::holdout`).
+    pub eval_accuracy: Option<f32>,
 }
 
 /// The node's view of the Cloud: something that accepts valuable data
@@ -44,6 +47,7 @@ mod tests {
             inference_params: vec![Tensor::zeros([2, 2])],
             jigsaw_params: None,
             training_ops: 42,
+            eval_accuracy: None,
         };
         assert_eq!(u.clone(), u);
     }

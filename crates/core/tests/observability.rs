@@ -75,6 +75,7 @@ impl CloudEndpoint for EchoCloud {
             inference_params: self.params.clone(),
             jigsaw_params: None,
             training_ops: 0,
+            eval_accuracy: None,
         })
     }
 }

@@ -229,7 +229,7 @@ pub fn share_depth(scale: Scale, seed: u64) -> Result<ShareDepthOutput> {
         let mut net = base_net;
         insitu_nn::serialize::state_dict(&mut net)
     };
-    let inc = IncrementalConfig { epochs: scale.fine_tune_epochs(), batch_size: 16, lr: 0.01, threads: None };
+    let inc = IncrementalConfig { epochs: scale.fine_tune_epochs(), batch_size: 16, lr: 0.01, threads: None, holdout: None };
     let mut rows = Vec::new();
     for depth in [0usize, 1, 3, 5] {
         let mut net = insitu_nn::models::mini_alexnet(classes, &mut rng)?;

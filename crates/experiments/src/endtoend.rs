@@ -35,8 +35,9 @@ pub fn run(scale: Scale, seed: u64) -> Result<Output> {
             batch_size: 16,
             lr: 0.005,
             threads: None,
+            holdout: None,
         },
-        bootstrap: IncrementalConfig { epochs: scale.epochs(), batch_size: 16, lr: 0.005, threads: None },
+        bootstrap: IncrementalConfig { epochs: scale.epochs(), batch_size: 16, lr: 0.005, threads: None, holdout: None },
         eval_per_stage: scale.eval_images(),
         seed,
         ..Default::default()

@@ -56,7 +56,8 @@ pub use optim_adam::Adam;
 pub use quant::{LayerCalibration, QuantizedNet};
 pub use schedule::LrSchedule;
 pub use train::{
-    evaluate, gather_samples, train, EpochStats, LabeledBatch, TrainConfig, TrainReport,
+    evaluate, gather_samples, train, train_from_activations, EpochStats, LabeledBatch,
+    TrainConfig, TrainReport,
 };
 
 /// Crate-wide result alias.

@@ -232,8 +232,150 @@ impl Sequential {
     }
 
     /// Index of the first non-frozen layer (== `len()` if all frozen).
-    fn first_unfrozen(&self) -> usize {
+    pub fn first_unfrozen(&self) -> usize {
         self.frozen.iter().position(|&f| !f).unwrap_or(self.layers.len())
+    }
+
+    /// Runs only the frozen prefix — the layers before
+    /// [`first_unfrozen`](Sequential::first_unfrozen) — in `Eval` mode,
+    /// exactly as [`forward`](Network::forward) runs them during
+    /// training. The output is deterministic and immutable while the
+    /// freezing pattern and the frozen weights are unchanged, which is
+    /// what makes it cacheable: feeding it to
+    /// [`forward_from`](Sequential::forward_from) at the first unfrozen
+    /// layer reproduces the full forward bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    pub fn forward_prefix(&mut self, input: &Tensor) -> Result<Tensor> {
+        let cut = self.first_unfrozen();
+        let mut x = input.clone();
+        for layer in self.layers[..cut].iter_mut() {
+            x = layer.forward_owned(x, Mode::Eval)?;
+        }
+        Ok(x)
+    }
+
+    /// Resumes a forward pass at layer `start`, consuming a precomputed
+    /// activation (normally the output of
+    /// [`forward_prefix`](Sequential::forward_prefix) with
+    /// `start == first_unfrozen()`). The per-layer mode rule is the one
+    /// [`forward`](Network::forward) applies — frozen layers run `Eval`
+    /// even while training — and a `Train`-mode call records the
+    /// backward stop exactly as the full forward would, so
+    /// [`backward`](Network::backward) needs no changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoSuchLayer`] if `start > len()`, or
+    /// [`NnError::NoForwardCache`] for a `Train`-mode call with
+    /// `start > first_unfrozen()` (layers in between would be skipped
+    /// by backward yet still visited by the optimizer).
+    pub fn forward_from(&mut self, start: usize, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if start > self.layers.len() {
+            return Err(NnError::NoSuchLayer { layer: format!("index {start}") });
+        }
+        let first_unfrozen = self.first_unfrozen();
+        if mode == Mode::Train && start > first_unfrozen {
+            return Err(NnError::NoForwardCache {
+                layer: format!(
+                    "forward_from({start}) past first unfrozen layer {first_unfrozen}"
+                ),
+            });
+        }
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().skip(start) {
+            let layer_mode = if mode == Mode::Train && i < first_unfrozen {
+                Mode::Eval
+            } else {
+                mode
+            };
+            x = layer.forward_owned(x, layer_mode)?;
+        }
+        if mode == Mode::Train {
+            self.first_active = first_unfrozen;
+        }
+        Ok(x)
+    }
+
+    /// Output shape of the frozen prefix for a batched input shape
+    /// (batch dimension included), without running any compute.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with a
+    /// prefix layer.
+    pub fn prefix_output_dims(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let mut dims = input.to_vec();
+        for layer in &self.layers[..self.first_unfrozen()] {
+            dims = layer.output_shape(&dims)?;
+        }
+        Ok(dims)
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the frozen prefix: the freezing
+    /// cut, every prefix layer's name, kind and parameter shapes, and
+    /// the exact bits of every prefix weight. Any transfer, re-deploy
+    /// or change of the `frozen_convs` pattern yields a different
+    /// value, so cached prefix activations keyed on it can never be
+    /// served stale.
+    pub fn prefix_fingerprint(&mut self) -> u64 {
+        let mut h = Fnv::new();
+        let cut = self.first_unfrozen();
+        h.u64(cut as u64);
+        for i in 0..cut {
+            let layer = &mut self.layers[i];
+            h.u64(i as u64);
+            h.bytes(layer.name().as_bytes());
+            h.u64(kind_tag(layer.kind()));
+            layer.visit_params(&mut |p, _| {
+                h.u64(p.dims().len() as u64);
+                for &d in p.dims() {
+                    h.u64(d as u64);
+                }
+                for &x in p.as_slice() {
+                    h.u64(u64::from(x.to_bits()));
+                }
+            });
+        }
+        h.finish()
+    }
+}
+
+/// Streaming FNV-1a over 64-bit words and byte strings.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable discriminant for hashing a [`LayerKind`].
+fn kind_tag(kind: LayerKind) -> u64 {
+    match kind {
+        LayerKind::Conv => 1,
+        LayerKind::Fc => 2,
+        LayerKind::Activation => 3,
+        LayerKind::Pool => 4,
+        LayerKind::Reshape => 5,
+        LayerKind::Regularizer => 6,
     }
 }
 
@@ -442,5 +584,88 @@ mod tests {
         assert_eq!(net.layer(0).unwrap().name(), "conv1");
         assert!(net.layer(99).is_err());
         assert_eq!(net.layer_names()[6], "fc");
+    }
+
+    #[test]
+    fn prefix_then_suffix_matches_full_forward_bitwise() {
+        let mut rng = Rng::seed_from(9);
+        let mut net = tiny_cnn(&mut rng);
+        net.freeze_first_convs(1).unwrap();
+        let cut = net.first_unfrozen();
+        assert_eq!(cut, 1); // everything up to and including conv1
+        let x = Tensor::randn([3, 1, 8, 8], 0.0, 1.0, &mut rng);
+        for mode in [Mode::Eval, Mode::Train] {
+            let full = net.forward(&x, mode).unwrap();
+            let act = net.forward_prefix(&x).unwrap();
+            assert_eq!(act.dims(), net.prefix_output_dims(&[3, 1, 8, 8]).unwrap().as_slice());
+            let split = net.forward_from(cut, &act, mode).unwrap();
+            assert_eq!(full.as_slice(), split.as_slice(), "{mode:?} split forward diverged");
+        }
+    }
+
+    #[test]
+    fn forward_from_supports_backward() {
+        let mut rng = Rng::seed_from(10);
+        let mut net = tiny_cnn(&mut rng);
+        net.freeze_first_convs(1).unwrap();
+        let cut = net.first_unfrozen();
+        let x = Tensor::randn([2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let act = net.forward_prefix(&x).unwrap();
+        let y = net.forward_from(cut, &act, Mode::Train).unwrap();
+        net.backward(&Tensor::filled(y.shape().clone(), 1.0)).unwrap();
+        // Train-mode resume past the first unfrozen layer is rejected:
+        // the skipped trainable layers would silently take no gradient.
+        assert!(net.forward_from(cut + 1, &act, Mode::Train).is_err());
+        assert!(net.forward_from(net.len() + 1, &act, Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn unfrozen_prefix_is_empty() {
+        let mut rng = Rng::seed_from(11);
+        let mut net = tiny_cnn(&mut rng);
+        assert_eq!(net.first_unfrozen(), 0);
+        let x = Tensor::randn([2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        // With nothing frozen the prefix is the identity.
+        assert_eq!(net.forward_prefix(&x).unwrap(), x);
+        assert_eq!(net.prefix_output_dims(&[2, 1, 8, 8]).unwrap(), vec![2, 1, 8, 8]);
+    }
+
+    #[test]
+    fn prefix_fingerprint_tracks_weights_and_freezing() {
+        let mut rng = Rng::seed_from(12);
+        let mut net = tiny_cnn(&mut rng);
+        net.freeze_first_convs(1).unwrap();
+        let base = net.prefix_fingerprint();
+        assert_eq!(net.prefix_fingerprint(), base, "fingerprint not stable");
+
+        // A different freezing cut changes the fingerprint.
+        let mut two = tiny_cnn(&mut Rng::seed_from(12));
+        two.freeze_first_convs(2).unwrap();
+        assert_ne!(two.prefix_fingerprint(), base);
+
+        // Re-initialized weights (a transfer/re-deploy) change it.
+        let mut other = tiny_cnn(&mut Rng::seed_from(13));
+        other.freeze_first_convs(1).unwrap();
+        assert_ne!(other.prefix_fingerprint(), base);
+
+        // Perturbing a single frozen weight bit changes it.
+        let mut nudged = tiny_cnn(&mut Rng::seed_from(12));
+        nudged.freeze_first_convs(1).unwrap();
+        assert_eq!(nudged.prefix_fingerprint(), base);
+        nudged.layer_mut(0).unwrap().visit_params(&mut |p, _| {
+            let v = p.as_mut_slice();
+            v[0] += 1.0;
+        });
+        assert_ne!(nudged.prefix_fingerprint(), base);
+
+        // Suffix weights are not part of the key: nudging the fc layer
+        // leaves the fingerprint unchanged.
+        let mut suffix = tiny_cnn(&mut Rng::seed_from(12));
+        suffix.freeze_first_convs(1).unwrap();
+        suffix.layer_mut(6).unwrap().visit_params(&mut |p, _| {
+            let v = p.as_mut_slice();
+            v[0] += 1.0;
+        });
+        assert_eq!(suffix.prefix_fingerprint(), base);
     }
 }

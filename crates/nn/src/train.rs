@@ -3,7 +3,7 @@
 use crate::error::NnError;
 use crate::layer::Mode;
 use crate::loss::{accuracy, softmax_cross_entropy};
-use crate::net::Network;
+use crate::net::{Network, Sequential};
 use crate::optim::Sgd;
 use crate::Result;
 use insitu_tensor::{par_chunks_mut, Rng, Tensor};
@@ -227,6 +227,85 @@ pub fn train(
     Ok(TrainReport { history, steps, total_ops, wall_seconds: start.elapsed().as_secs_f64() })
 }
 
+/// A view of a [`Sequential`] that runs only its unfrozen suffix.
+///
+/// `forward` resumes at the first unfrozen layer, consuming prefix
+/// activations instead of raw inputs; every other [`Network`] method
+/// delegates unchanged (the frozen prefix takes no gradient, so
+/// backward, the optimizer visitors and the cost model are already
+/// suffix-shaped). Because [`train`] drives this view through the exact
+/// code path it drives the full network through — same RNG draws, same
+/// batch assembly, same kernels — suffix training from cached prefix
+/// activations is bitwise identical to full training by construction.
+struct SuffixNet<'a> {
+    net: &'a mut Sequential,
+    start: usize,
+}
+
+impl Network for SuffixNet<'_> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.net.forward_from(self.start, input, mode)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
+        self.net.backward(dout)
+    }
+
+    fn zero_grads(&mut self) {
+        self.net.zero_grads();
+    }
+
+    fn visit_trainable(&mut self, visitor: &mut dyn FnMut(u64, &mut Tensor, &mut Tensor)) {
+        self.net.visit_trainable(visitor);
+    }
+
+    fn visit_all(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        self.net.visit_all(visitor);
+    }
+
+    fn param_count(&self) -> usize {
+        self.net.param_count()
+    }
+
+    fn training_ops_per_sample(&self) -> u64 {
+        // Keep the full cost model (frozen forward + suffix backward):
+        // the cache removes recompute, not accounted work, so cached and
+        // uncached runs report identical `total_ops`.
+        self.net.training_ops_per_sample()
+    }
+
+    fn inference_ops_per_sample(&self) -> u64 {
+        self.net.inference_ops_per_sample()
+    }
+}
+
+/// Trains the unfrozen suffix of `net` from precomputed prefix
+/// activations.
+///
+/// `acts` (and `eval_acts`, if supplied) batch the outputs of
+/// [`Sequential::forward_prefix`] — one activation per sample, in the
+/// same order as the labels. The loop, optimizer, RNG trajectory and
+/// cost accounting are shared with [`train`], so given activations that
+/// match what the frozen prefix would produce, the resulting weights
+/// and [`TrainReport`] are bitwise identical to training on the raw
+/// inputs.
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements between the suffix and the
+/// activations.
+pub fn train_from_activations(
+    net: &mut Sequential,
+    acts: LabeledBatch<'_>,
+    eval_acts: Option<LabeledBatch<'_>>,
+    cfg: &TrainConfig,
+    rng: &mut Rng,
+) -> Result<TrainReport> {
+    let start = net.first_unfrozen();
+    let mut suffix = SuffixNet { net, start };
+    train(&mut suffix, acts, eval_acts, cfg, rng)
+}
+
 /// Evaluation accuracy of `net` on a labelled set, batched.
 ///
 /// # Errors
@@ -326,6 +405,66 @@ mod tests {
         let x = Tensor::zeros([0, 1, 1, 2]);
         let acc = evaluate(&mut net, LabeledBatch::new(&x, &[]).unwrap(), 8).unwrap();
         assert_eq!(acc, 0.0);
+    }
+
+    #[test]
+    fn train_from_activations_is_bitwise_identical() {
+        use crate::layers::{Conv2d, MaxPool2d};
+
+        let build = || {
+            let mut rng = Rng::seed_from(17);
+            let mut net = Sequential::new("cnn");
+            net.push(Conv2d::new("conv1", 1, 8, 8, 4, 3, 1, 1, &mut rng).unwrap());
+            net.push(Relu::new("relu1"));
+            net.push(MaxPool2d::new("pool1", 4, 8, 8, 2, 2).unwrap());
+            net.push(Conv2d::new("conv2", 4, 4, 4, 6, 3, 1, 1, &mut rng).unwrap());
+            net.push(Relu::new("relu2"));
+            net.push(Flatten::new("flat"));
+            net.push(Linear::new("fc", 6 * 4 * 4, 3, &mut rng));
+            net.freeze_first_convs(1).unwrap();
+            net
+        };
+        let mut data_rng = Rng::seed_from(99);
+        let x = Tensor::randn([24, 1, 8, 8], 0.0, 1.0, &mut data_rng);
+        let y: Vec<usize> = (0..24).map(|i| i % 3).collect();
+        let (xe, ye) = (Tensor::randn([8, 1, 8, 8], 0.0, 1.0, &mut data_rng),
+            (0..8).map(|i| i % 3).collect::<Vec<_>>());
+        let cfg = TrainConfig { epochs: 3, batch_size: 5, lr: 0.05, ..Default::default() };
+
+        let mut raw = build();
+        let mut rng_a = Rng::seed_from(7);
+        let report_a = train(
+            &mut raw,
+            LabeledBatch::new(&x, &y).unwrap(),
+            Some(LabeledBatch::new(&xe, &ye).unwrap()),
+            &cfg,
+            &mut rng_a,
+        )
+        .unwrap();
+
+        let mut cached = build();
+        let acts = cached.forward_prefix(&x).unwrap();
+        let eval_acts = cached.forward_prefix(&xe).unwrap();
+        let mut rng_b = Rng::seed_from(7);
+        let report_b = train_from_activations(
+            &mut cached,
+            LabeledBatch::new(&acts, &y).unwrap(),
+            Some(LabeledBatch::new(&eval_acts, &ye).unwrap()),
+            &cfg,
+            &mut rng_b,
+        )
+        .unwrap();
+
+        assert_eq!(report_a.history, report_b.history);
+        assert_eq!(report_a.steps, report_b.steps);
+        assert_eq!(report_a.total_ops, report_b.total_ops);
+        let mut wa = Vec::new();
+        raw.visit_all(&mut |p| wa.push(p.as_slice().to_vec()));
+        let mut wb = Vec::new();
+        cached.visit_all(&mut |p| wb.push(p.as_slice().to_vec()));
+        assert_eq!(wa, wb, "weights diverged between cached and raw training");
+        // RNG trajectories also stayed in lockstep.
+        assert_eq!(rng_a.uniform(0.0, 1.0), rng_b.uniform(0.0, 1.0));
     }
 
     #[test]

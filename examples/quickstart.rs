@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cloud = Cloud::new(
         inference,
         pre,
-        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.005, threads: None },
+        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.005, threads: None, holdout: None },
         99,
     );
 

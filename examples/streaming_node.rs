@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cloud = Arc::new(Mutex::new(Cloud::new(
         inference,
         pre,
-        IncrementalConfig { epochs: 3, batch_size: 16, lr: 0.002, threads: None },
+        IncrementalConfig { epochs: 3, batch_size: 16, lr: 0.002, threads: None, holdout: None },
         78,
     )));
 

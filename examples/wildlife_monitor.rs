@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         campaign.total_images()
     );
     let cfg = SystemConfig {
-        incremental: IncrementalConfig { epochs: 5, batch_size: 16, lr: 0.005, threads: None },
-        bootstrap: IncrementalConfig { epochs: 10, batch_size: 16, lr: 0.005, threads: None },
+        incremental: IncrementalConfig { epochs: 5, batch_size: 16, lr: 0.005, threads: None, holdout: None },
+        bootstrap: IncrementalConfig { epochs: 10, batch_size: 16, lr: 0.005, threads: None, holdout: None },
         eval_per_stage: 150,
         ..Default::default()
     };

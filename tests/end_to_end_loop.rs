@@ -47,7 +47,7 @@ fn deploy(seed: u64, classes: usize) -> Deployment {
     let cloud = Cloud::new(
         inference,
         pre,
-        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.002, threads: None },
+        IncrementalConfig { epochs: 4, batch_size: 16, lr: 0.002, threads: None, holdout: None },
         seed ^ 2,
     );
     Deployment { node, cloud, rng }

@@ -44,7 +44,7 @@ fn deployment(seed: u64) -> (InsituNode, Arc<Mutex<Cloud>>) {
     let cloud = Cloud::new(
         inference,
         pre,
-        IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None },
+        IncrementalConfig { epochs: 1, batch_size: 8, lr: 0.01, threads: None, holdout: None },
         seed ^ 2,
     );
     (node, Arc::new(Mutex::new(cloud)))
@@ -124,6 +124,26 @@ fn traced_session_exports_chrome_trace() {
         .map(|c| c.total)
         .sum();
     assert!(scratch_bytes > 0, "scratch growth should be accounted:\n{}", snap.summary());
+    // The frozen-prefix activation cache accounts every sample it is
+    // asked for: hits + misses always equals requests, the miss
+    // batches ran under the cloud.prefix_forward span (auto-fed into
+    // the latency histogram), and admitted entries were billed.
+    let cache_total = |name: &str| -> u64 {
+        snap.counters.iter().filter(|c| c.name == name).map(|c| c.total).sum()
+    };
+    let requests = cache_total("cloud.cache.request");
+    assert!(requests > 0, "update cycles should route through the cache:\n{}", snap.summary());
+    assert_eq!(
+        cache_total("cloud.cache.hit") + cache_total("cloud.cache.miss"),
+        requests,
+        "cache accounting leak:\n{}",
+        snap.summary()
+    );
+    assert!(snap.has_span("cloud.prefix_forward"), "missing prefix-forward spans");
+    assert!(cache_total("cloud.cache.bytes") > 0, "admitted entries should be billed");
+    // Later update cycles reuse the retained archive's entries.
+    assert!(cache_total("cloud.cache.hit") > 0, "archive reuse produced no hits");
+
     // Node and Cloud actors recorded on distinct threads.
     let session_tid =
         snap.spans.iter().find(|s| s.name == "runtime.session").unwrap().tid;
