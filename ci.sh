@@ -82,6 +82,19 @@ cargo test -q -p insitu-cloud --test cache_equivalence
 cargo test -q -p insitu-nn --lib net::tests::prefix
 cargo test -q -p insitu-nn --lib train_from_activations
 
+# Overlapped-ingestion gates: the producer/arena/queue unit suite in
+# insitu-data, then the end-to-end contract in insitu-core — the Block
+# overlapped session must be bitwise identical to the sequential
+# oracle (proptest across seeds, queue capacities and 1/2/4 threads),
+# each backpressure policy must trigger under a slow consumer, and a
+# backed-up queue must re-plan the node into the i8 configuration
+# live. Run under both SIMD modes: the bitwise gate must hold on the
+# vectorized and the portable kernels alike.
+cargo test -q -p insitu-data ingest
+cargo test -q -p insitu-core --test ingestion
+INSITU_SIMD=scalar cargo test -q -p insitu-data ingest
+INSITU_SIMD=scalar cargo test -q -p insitu-core --test ingestion
+
 INSITU_METRICS=1 cargo run --release -q -p insitu-bench --bin node_snapshot -- --quick \
     >/tmp/ci_node.json 2>/tmp/ci_node.prom
 grep -q '"diag_speedup"' /tmp/ci_node.json
@@ -104,6 +117,15 @@ grep -q '"cache_bytes"' /tmp/ci_node.json
 grep -q '"simd_isa"' /tmp/ci_node.json
 grep -q '"stage_p99_ns"' /tmp/ci_node.json
 grep -q '"replan"' /tmp/ci_node.json
+# The ingest_overlap record: sequential vs overlapped wall-clock,
+# queue-depth percentiles and the arena's allocation counters must be
+# present (the bin exits non-zero if the overlapped Block session
+# diverges from the sequential oracle; timing itself is not gated —
+# the numbers are for trend lines, not pass/fail).
+grep -q '"ingest_overlap"' /tmp/ci_node.json
+grep -q '"overlap_speedup"' /tmp/ci_node.json
+grep -q '"queue_depth_p90"' /tmp/ci_node.json
+grep -q '"fresh_buffers"' /tmp/ci_node.json
 grep -q '^# TYPE insitu_h_node_stage summary$' /tmp/ci_node.prom
 rm -f /tmp/ci_node.json /tmp/ci_node.prom
 

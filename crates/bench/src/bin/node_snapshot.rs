@@ -39,24 +39,36 @@
 //! `ModelUpdate`s compared bit-for-bit (divergence exits non-zero),
 //! warm-cycle ns plus hit rate and resident cache bytes reported.
 //!
+//! An `ingest_overlap` record compares the sequential
+//! materialize-then-compute session with the producer-driven
+//! overlapped pipeline over the same synthetic drift stream, gated on
+//! the Block-policy differential oracle (lockstep trajectories and
+//! final weights bit-for-bit equal, or the process exits non-zero),
+//! and reports the ingest queue-depth percentiles and the frame
+//! arena's allocation discipline.
+//!
 //! `--quick` shortens the timing sweep for CI smoke: same fields,
 //! noisier numbers.
 
 use insitu_cloud::{Cloud, IncrementalConfig, Pretrained};
 use insitu_core::{
-    diagnose, diagnose_with_logits, plan_with_measurements, validate_prometheus, Availability,
-    CloudEndpoint, DiagnosisPolicy, InferencePrecision, InsituNode, MeasuredProfile, MetricsHub,
-    PlanRequest, StageOutcome,
+    diagnose, diagnose_with_logits, plan_with_measurements, run_ingested_session,
+    run_streaming_session_with, validate_prometheus, Availability, CloudEndpoint, DiagnosisPolicy,
+    InferencePrecision, IngestPolicy, IngestSessionConfig, InsituNode, MeasuredProfile, MetricsHub,
+    ModelUpdate, PlanRequest, SessionConfig, StageOutcome,
 };
-use insitu_data::{Condition, Dataset, PermutationSet};
+use insitu_data::{Condition, Dataset, DriftSchedule, PermutationSet, SyntheticDriftSource};
 use insitu_devices::NetworkShapes;
 use insitu_nn::models::{jigsaw_network, mini_alexnet};
+use insitu_nn::serialize::state_dict;
 use insitu_nn::transfer::transfer_and_freeze;
 use insitu_nn::{JigsawNet, Sequential};
 use insitu_telemetry as telemetry;
 use insitu_tensor::{gemm_kernel_name, Rng, Tensor};
 use insitu_tensor::simd::simd_isa_name;
+use parking_lot::Mutex;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 const IMAGES: usize = 32;
@@ -276,6 +288,130 @@ fn update_cache_row(quick: bool) -> (String, bool) {
     (row, identical)
 }
 
+/// A trivially fast Cloud double for the ingestion sessions: echoes
+/// back the same weights, so two sessions fed identical uploads in
+/// identical order install identical updates.
+#[derive(Debug)]
+struct EchoCloud {
+    params: Vec<Tensor>,
+    version: u32,
+}
+
+impl CloudEndpoint for EchoCloud {
+    fn incremental_update(&mut self, _uploaded: &Dataset) -> insitu_core::Result<ModelUpdate> {
+        self.version += 1;
+        Ok(ModelUpdate {
+            version: self.version,
+            inference_params: self.params.clone(),
+            jigsaw_params: None,
+            training_ops: 0,
+            eval_accuracy: None,
+        })
+    }
+}
+
+/// The overlapped-ingestion record: sequential (materialize the whole
+/// synthetic stream, then run the vec-driven session) against the
+/// producer pipeline generating frame *N+1* while the node computes
+/// stage *N*, interleaved reps. Gated on the differential oracle — the
+/// overlapped `Block` session with lockstep uploads must reproduce the
+/// sequential session's `SessionStats` and final weights bit for bit —
+/// and reports the counted pass's queue-depth percentiles plus the
+/// arena's allocation discipline (`fresh_buffers` stays bounded by the
+/// queue capacity, never the stream length). Returns the JSON record
+/// plus the equivalence verdict.
+fn ingest_overlap_row(quick: bool) -> (String, bool) {
+    let frames = if quick { 4 } else { 8 };
+    const QUEUE_CAP: usize = 4;
+    let policy = DiagnosisPolicy::JigsawProbe { probes: 3 };
+    let schedule = DriftSchedule { start: 0.2, step: 0.1 };
+    let make_source = || {
+        SyntheticDriftSource::new(frames, IMAGES, CLASSES, schedule, SEED + 5).expect("source")
+    };
+    let params = {
+        let mut n = make_node(policy);
+        state_dict(n.inference_mut())
+    };
+    let echo = || Arc::new(Mutex::new(EchoCloud { params: params.clone(), version: 0 }));
+    // Equivalence gate first: lockstep uploads + the lossless Block
+    // policy make the overlapped session's trajectory deterministic;
+    // it must match the sequential loop bit for bit.
+    let lockstep = SessionConfig { batch_size: BATCH, uplink_capacity: 4, lockstep_uploads: true };
+    let identical = {
+        let oracle_stream = make_source().materialize().expect("materialize");
+        let (mut na, sa) =
+            run_streaming_session_with(make_node(policy), echo(), oracle_stream, &lockstep)
+                .expect("sequential session");
+        let cfg = IngestSessionConfig {
+            session: lockstep.clone(),
+            queue_capacity: QUEUE_CAP,
+            policy: IngestPolicy::Block,
+        };
+        let (mut nb, sb, _) =
+            run_ingested_session(make_node(policy), echo(), Box::new(make_source()), &cfg)
+                .expect("overlapped session");
+        sa == sb
+            && na.version() == nb.version()
+            && state_dict(na.inference_mut()) == state_dict(nb.inference_mut())
+    };
+    // Timed interleaved reps, production-shaped (no lockstep): the
+    // sequential side pays materialize-then-compute in series, the
+    // overlapped side hides generation behind the stage compute. Node
+    // and Cloud construction stay outside the clock.
+    let session = SessionConfig { batch_size: BATCH, uplink_capacity: 4, lockstep_uploads: false };
+    let cfg = IngestSessionConfig {
+        session: session.clone(),
+        queue_capacity: QUEUE_CAP,
+        policy: IngestPolicy::Block,
+    };
+    let reps = if quick { 3 } else { 5 };
+    let mut seq_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut ovl_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut summary = insitu_core::IngestSummary::default();
+    for _ in 0..reps {
+        let node = make_node(policy);
+        let cloud = echo();
+        let t0 = Instant::now();
+        let oracle_stream = make_source().materialize().expect("materialize");
+        let _ = run_streaming_session_with(node, cloud, oracle_stream, &session)
+            .expect("sequential session");
+        seq_ns.push(t0.elapsed().as_nanos());
+        let node = make_node(policy);
+        let cloud = echo();
+        let t0 = Instant::now();
+        let (_, _, s) = run_ingested_session(node, cloud, Box::new(make_source()), &cfg)
+            .expect("overlapped session");
+        ovl_ns.push(t0.elapsed().as_nanos());
+        summary = s;
+    }
+    seq_ns.sort_unstable();
+    ovl_ns.sort_unstable();
+    let sequential_ns = seq_ns[reps / 2];
+    let overlapped_ns = ovl_ns[reps / 2];
+    let overlap_speedup = sequential_ns as f64 / overlapped_ns.max(1) as f64;
+    // Counted pass: one telemetry-enabled overlapped session for the
+    // queue-depth distribution the re-plan trigger watches.
+    telemetry::set_enabled(true);
+    telemetry::advance_epoch();
+    let (_, stats, _) = run_ingested_session(make_node(policy), echo(), Box::new(make_source()), &cfg)
+        .expect("counted overlapped session");
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    let (depth_p50, depth_p90, _) =
+        hist_percentiles(&stats.telemetry, "node.ingest.queue_depth", "");
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"frames\": {frames}, \"images_per_frame\": {IMAGES}, \"batch\": {BATCH}, \
+         \"queue_capacity\": {QUEUE_CAP}, \"sequential_ns\": {sequential_ns}, \
+         \"overlapped_ns\": {overlapped_ns}, \"overlap_speedup\": {overlap_speedup:.2}, \
+         \"queue_depth_p50\": {depth_p50}, \"queue_depth_p90\": {depth_p90}, \
+         \"drops\": {}, \"fresh_buffers\": {}, \"reused_buffers\": {}, \"identical\": {identical}}}",
+        summary.drops, summary.fresh_buffers, summary.reused_buffers
+    );
+    (row, identical)
+}
+
 /// Stage repetitions of the telemetry-enabled counted pass — enough
 /// for the latency histograms to hold a small population while the
 /// counter totals stay exact multiples of one stage.
@@ -406,6 +542,10 @@ fn main() {
     // cycles, bitwise-gated like the fused/unfused stage pipelines.
     let (update_cache_record, cache_identical) = update_cache_row(quick);
     all_identical &= cache_identical;
+    // The overlapped ingestion pipeline: sequential vs producer-driven
+    // wall-clock, gated on the Block-policy differential oracle.
+    let (ingest_overlap_record, ingest_identical) = ingest_overlap_row(quick);
+    all_identical &= ingest_identical;
     // The closed observability loop, exercised on this host's own
     // measurements: distil the counted probe pass into a
     // MeasuredProfile and let the planner re-admit a batch from the
@@ -479,7 +619,7 @@ fn main() {
          \"kernel_threads\": {threads},\n  \"kernel\": \"{}\",\n  \"simd_isa\": \"{}\",\n  \
          \"quick\": {quick},\n  \"telemetry\": {telemetry_header},\n  \"results\": [\n{rows}\n  ],\n  \
          \"precision_compare\": {precision_row},\n  \"update_cache\": {update_cache_record},\n  \
-         \"replan\": {replan_row}\n}}",
+         \"ingest_overlap\": {ingest_overlap_record},\n  \"replan\": {replan_row}\n}}",
         gemm_kernel_name(),
         simd_isa_name()
     );

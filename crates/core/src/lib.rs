@@ -52,7 +52,11 @@ pub use planner::{
     plan, plan_with_measurements, plan_with_precision, precision_label, MeasuredProfile, NodePlan,
     PlanRequest, QuantProfile,
 };
-pub use runtime::{run_streaming_session, SessionStats};
+pub use runtime::{
+    run_ingested_session, run_replayed_session, run_streaming_session,
+    run_streaming_session_with, DegradeConfig, IngestPolicy, IngestSessionConfig, IngestSummary,
+    SessionConfig, SessionStats,
+};
 pub use update::{CloudEndpoint, ModelUpdate};
 
 /// Crate-wide result alias.

@@ -47,10 +47,18 @@ pub enum InferencePrecision {
 /// stages whether the **measured** p90 per-image latency (from the
 /// `node.stage_per_image` histogram) has diverged from the plan's
 /// predicted per-image cost by more than `divergence`× in either
-/// direction, and if so re-runs the planner on the measurements
+/// direction — or, when `queue_depth_trigger` is set, whether the
+/// ingest queue has backed up that far since the last check — and if
+/// so re-runs the planner on the measurements
 /// ([`plan_with_measurements`]), emitting a `node.replan` instant with
-/// the before/after plans. Requires telemetry to be enabled — with it
-/// off there are no measurements and the check is skipped.
+/// the before/after plans. With `allow_precision_flip` a re-plan may
+/// switch [`InferencePrecision`] live: under queue pressure an f32
+/// node folds the i8 speedup (the configured [`QuantProfile`]'s, or
+/// the [`MeasuredProfile`]'s observed one) into the measured per-image
+/// cost so the planner admits the faster fixed-point configuration,
+/// and a comfortably fast i8 node flips back once the estimated f32
+/// cost fits the deadline again. Requires telemetry to be enabled —
+/// with it off there are no measurements and the check is skipped.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplanConfig {
     /// Check cadence, in fused stages (`>= 1`).
@@ -58,6 +66,14 @@ pub struct ReplanConfig {
     /// Divergence threshold θ (`> 1`): re-plan when the measured/
     /// predicted per-image ratio leaves `[1/θ, θ]`.
     pub divergence: f64,
+    /// Re-plan when the peak ingest-queue depth observed since the
+    /// last check (fed by [`InsituNode::note_ingest_depth`]) reaches
+    /// this many frames; `None` disables the depth trigger.
+    pub queue_depth_trigger: Option<u64>,
+    /// Allow a re-plan to flip the inference precision F32↔I8 live
+    /// (only ever toward i8 under queue pressure, and only when a
+    /// calibrated quantized network exists).
+    pub allow_precision_flip: bool,
     /// The deployment constraints to re-plan under.
     pub request: PlanRequest,
     /// Shapes of the deployed inference network.
@@ -116,6 +132,8 @@ pub struct InsituNode {
     replan: Option<ReplanConfig>,
     stages_processed: u64,
     replans: u64,
+    precision_flips: u64,
+    ingest_depth_peak: u64,
     injected_stage_delay: Option<std::time::Duration>,
 }
 
@@ -161,6 +179,8 @@ impl InsituNode {
             replan: None,
             stages_processed: 0,
             replans: 0,
+            precision_flips: 0,
+            ingest_depth_peak: 0,
             injected_stage_delay: None,
         })
     }
@@ -252,6 +272,20 @@ impl InsituNode {
     /// How many times the node has re-planned itself.
     pub fn replans(&self) -> u64 {
         self.replans
+    }
+
+    /// How many times a re-plan flipped the effective inference
+    /// precision (F32↔I8) live.
+    pub fn precision_flips(&self) -> u64 {
+        self.precision_flips
+    }
+
+    /// Feeds the re-plan loop an observed ingest-queue depth (frames
+    /// waiting behind the one being processed). The peak since the
+    /// last re-plan check is what `queue_depth_trigger` compares
+    /// against; the runtime calls this once per popped frame.
+    pub fn note_ingest_depth(&mut self, depth: u64) {
+        self.ingest_depth_peak = self.ingest_depth_peak.max(depth);
     }
 
     /// Fused stages processed since construction.
@@ -470,7 +504,10 @@ impl InsituNode {
     /// The online re-plan check: every `every_stages` fused stages,
     /// compare the measured p90 per-image latency with the active
     /// plan's prediction and re-plan from the measurements when they
-    /// disagree by more than the configured divergence factor.
+    /// disagree by more than the configured divergence factor — or
+    /// when the ingest queue has backed up past `queue_depth_trigger`
+    /// since the last check. A re-plan may also flip the inference
+    /// precision live (see [`ReplanConfig::allow_precision_flip`]).
     fn maybe_replan(&mut self) {
         let Some(cfg) = self.replan.clone() else { return };
         if !telemetry::enabled()
@@ -484,31 +521,86 @@ impl InsituNode {
             return;
         }
         let snap = telemetry::snapshot();
-        let Some(measured) = MeasuredProfile::from_snapshot(&snap, self.effective_precision())
-        else {
+        let effective = self.effective_precision();
+        let Some(measured) = MeasuredProfile::from_snapshot(&snap, effective) else {
             return;
         };
+        // The depth peak resets at every check: pressure must persist
+        // into the next window to trigger again.
+        let depth_peak = std::mem::take(&mut self.ingest_depth_peak);
+        let depth_pressure = cfg.queue_depth_trigger.is_some_and(|t| depth_peak >= t.max(1));
         let predicted_per_image = plan.predicted_latency_s / plan.inference_batch as f64;
         let ratio = measured.per_image_p90_s / predicted_per_image;
         let theta = cfg.divergence.max(1.0 + 1e-9);
-        if (1.0 / theta..=theta).contains(&ratio) {
+        let diverged = !(1.0 / theta..=theta).contains(&ratio);
+        if !diverged && !depth_pressure {
             return;
         }
+        // Pick the precision to plan for. Under queue pressure an f32
+        // node with a calibrated i8 network rescales the measured
+        // per-image cost by the i8 speedup so the planner admits the
+        // fixed-point configuration; a comfortably fast i8 node
+        // reverses the rescale and flips back once the estimated f32
+        // cost still meets the deadline.
+        let mut measured_for_plan = measured;
+        let mut quant = cfg.quant;
+        if cfg.allow_precision_flip && self.quantized.is_some() {
+            let speedup = cfg
+                .quant
+                .map(|q| q.speedup)
+                .or(measured.i8_speedup)
+                .filter(|s| s.is_finite() && *s > 1.0);
+            match (effective, speedup) {
+                (InferencePrecision::F32, Some(s)) if depth_pressure => {
+                    measured_for_plan.per_image_p50_s /= s;
+                    measured_for_plan.per_image_p90_s /= s;
+                    quant = Some(
+                        cfg.quant.unwrap_or(QuantProfile { speedup: s, accuracy_delta: 0.0 }),
+                    );
+                }
+                (InferencePrecision::I8, Some(s))
+                    if !depth_pressure
+                        && ratio < 1.0
+                        && measured.per_image_p90_s * s <= cfg.request.t_user =>
+                {
+                    measured_for_plan.per_image_p50_s *= s;
+                    measured_for_plan.per_image_p90_s *= s;
+                    quant = None;
+                }
+                _ => {}
+            }
+        }
+        let cause = if depth_pressure {
+            format!("queue depth {depth_peak}")
+        } else {
+            format!("p90 ratio {ratio:.2}")
+        };
         match plan_with_measurements(
             &cfg.request,
             &cfg.inference_shapes,
-            cfg.quant.as_ref(),
-            &measured,
+            quant.as_ref(),
+            &measured_for_plan,
         ) {
             Ok(new_plan) => {
                 let before = plan.summary();
                 let after = new_plan.summary();
                 telemetry::instant_with("node.replan", || {
-                    format!("{before} -> {after} (p90 ratio {ratio:.2})")
+                    format!("{before} -> {after} ({cause})")
                 });
-                recorder::record("replan", format!("{before} -> {after} (p90 ratio {ratio:.2})"));
+                recorder::record("replan", format!("{before} -> {after} ({cause})"));
                 self.replans += 1;
                 self.install_plan(new_plan);
+                let now = self.effective_precision();
+                if now != effective {
+                    self.precision_flips += 1;
+                    let flip = format!(
+                        "{} -> {} ({cause})",
+                        precision_label(effective),
+                        precision_label(now)
+                    );
+                    telemetry::instant_with("node.precision_flip", || flip.clone());
+                    recorder::record("precision_flip", flip);
+                }
             }
             Err(e) => {
                 // The measurements admit nothing: keep the old plan

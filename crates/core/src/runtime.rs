@@ -1,12 +1,19 @@
-//! A threaded deployment runtime: the node and the Cloud as
-//! concurrent actors exchanging messages over channels.
+//! A threaded deployment runtime: the node, the Cloud — and, for
+//! ingested sessions, a stream producer — as concurrent actors
+//! exchanging messages over channels.
 //!
 //! The batch-oriented APIs ([`InsituNode::process_stage`],
 //! [`CloudEndpoint::incremental_update`]) are what the experiments
 //! drive; this module wires them into a live system the way a real
 //! deployment would run — the node consuming a sensor stream on its
 //! own thread, shipping valuable data upstream, and hot-swapping model
-//! updates as they arrive.
+//! updates as they arrive. [`run_streaming_session`] feeds the node
+//! from a pre-materialized `Vec<Dataset>`; [`run_ingested_session`]
+//! overlaps ingestion with compute instead, running a
+//! [`StreamSource`] producer thread behind a bounded
+//! [`insitu_data::IngestQueue`] so the node computes stage *N* while
+//! the producer materializes stage *N+1* (stage wall-clock ≈
+//! max(compute, ingest) instead of their sum).
 //!
 //! Because updates install *opportunistically* (the node drains the
 //! downlink with `try_recv` between batches), which batch first sees
@@ -14,19 +21,25 @@
 //! and node inference. A session's trajectory is therefore stable
 //! across reruns of one build but **not** byte-stable across hosts,
 //! thread counts or kernel selections — unlike the tensor layer, whose
-//! results are bitwise identical under all of those knobs. Experiments
-//! that compare system variants on identical streams use the
-//! sequential batch APIs directly for exactly this reason.
+//! results are bitwise identical under all of those knobs. For
+//! differential testing, [`SessionConfig::lockstep_uploads`] removes
+//! the race: the node blocks for each update right after uploading,
+//! which makes a whole session trajectory deterministic — the
+//! overlapped pipeline under the lossless `Block` policy then produces
+//! a [`SessionStats`] and final model bitwise identical to the
+//! sequential loop's.
 
 use crate::error::CoreError;
 use crate::hub::MetricsHub;
-use crate::node::InsituNode;
+use crate::node::{InferencePrecision, InsituNode};
 use crate::planner::precision_label;
 use crate::recorder;
 use crate::update::CloudEndpoint;
 use crate::Result;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use insitu_data::Dataset;
+use insitu_data::{
+    Dataset, Frame, IngestConfig, IngestPipeline, QueueFullPolicy, ReplaySource, StreamSource,
+};
 use insitu_telemetry as telemetry;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -41,6 +54,109 @@ enum Uplink {
     Valuable(Dataset),
     /// End of stream.
     Shutdown,
+}
+
+/// Tuning knobs of a streaming session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Inference batch size while the node is unplanned (a re-planning
+    /// node's active plan takes precedence mid-session).
+    pub batch_size: usize,
+    /// Capacity of the bounded node→Cloud uplink channel, in pending
+    /// uploads (clamped to at least 1). The bound is what applies
+    /// backpressure to a node that uploads faster than the Cloud
+    /// trains.
+    ///
+    /// The Cloud→node **downlink has no such knob by design**: it must
+    /// stay unbounded, because a bounded downlink filling up would
+    /// block the Cloud while the node is blocked on this full uplink —
+    /// a circular wait. Updates are small snapshots and the node
+    /// drains them between batches, so the unbounded side stays flat
+    /// (this is the no-circular-wait invariant; the ingest pipeline's
+    /// recycle channel follows the same rule).
+    pub uplink_capacity: usize,
+    /// Deterministic update installs for differential testing: after
+    /// each upload the node blocks until the Cloud's update arrives
+    /// and installs it immediately, instead of draining the downlink
+    /// opportunistically. This removes the wall-clock race from the
+    /// session trajectory — at the cost of serializing node and Cloud,
+    /// so leave it off in production-shaped runs.
+    pub lockstep_uploads: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig { batch_size: 8, uplink_capacity: 4, lockstep_uploads: false }
+    }
+}
+
+impl SessionConfig {
+    /// The default config at a given batch size.
+    pub fn with_batch(batch_size: usize) -> SessionConfig {
+        SessionConfig { batch_size, ..SessionConfig::default() }
+    }
+}
+
+/// What an ingested session's consumer does when the producer runs
+/// ahead of it (the queue backs up).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum IngestPolicy {
+    /// Stall the producer at the queue bound; the node sees every
+    /// frame. Lossless — the differential-testing mode, bitwise
+    /// comparable to the sequential loop.
+    #[default]
+    Block,
+    /// Evict the oldest queued frame and keep producing; the node
+    /// always sees the freshest frames. Lossy — the real-time sensor
+    /// semantics. Drops are counted and recorded.
+    DropOldest,
+    /// Keep every frame (the producer blocks like `Block`) but shed
+    /// load on the node instead: under queue pressure the consumer
+    /// halves its batch size down to a floor, then — if allowed and
+    /// calibrated — flips inference to i8; steps are undone one at a
+    /// time once the queue drains.
+    Degrade(DegradeConfig),
+}
+
+/// Tuning of [`IngestPolicy::Degrade`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Queue depth (observed after popping a frame) at or above which
+    /// one degrade step is taken (clamped to at least 1).
+    pub high_watermark: usize,
+    /// Queue depth at or below which one degrade step is undone.
+    pub low_watermark: usize,
+    /// Floor for batch shrinking (clamped to at least 1). Once the
+    /// batch cannot halve further, the next step is the precision
+    /// flip.
+    pub min_batch: usize,
+    /// Allow the final degrade step to flip inference F32→I8 (requires
+    /// a calibrated quantized network; restored on drain).
+    pub allow_precision_flip: bool,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> DegradeConfig {
+        DegradeConfig {
+            high_watermark: 3,
+            low_watermark: 0,
+            min_batch: 1,
+            allow_precision_flip: false,
+        }
+    }
+}
+
+/// Tuning knobs of an overlapped (producer-driven) session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IngestSessionConfig {
+    /// The session knobs shared with the vec-driven path.
+    pub session: SessionConfig,
+    /// Frame capacity of the bounded ingest queue (clamped to at
+    /// least 1). Deeper queues absorb burstier producers at the cost
+    /// of staleness under pressure.
+    pub queue_capacity: usize,
+    /// Backpressure policy when the node falls behind the producer.
+    pub policy: IngestPolicy,
 }
 
 /// Statistics of one completed streaming session.
@@ -66,10 +182,69 @@ pub struct SessionStats {
     pub metrics: MetricsHub,
 }
 
+/// What the ingestion pipeline of a [`run_ingested_session`] did.
+///
+/// Kept separate from [`SessionStats`] so the stats of an overlapped
+/// session stay field-for-field comparable (bitwise, under the `Block`
+/// policy with lockstep uploads) to a sequential session's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Frames the producer materialized (including dropped ones).
+    pub frames: u64,
+    /// Frames evicted under [`IngestPolicy::DropOldest`].
+    pub drops: u64,
+    /// Degrade steps taken (batch halvings) under
+    /// [`IngestPolicy::Degrade`].
+    pub degrades: u64,
+    /// Degrade steps undone after the queue drained.
+    pub restores: u64,
+    /// Live F32↔I8 precision flips, from the degrade controller and
+    /// from depth-triggered re-plans combined.
+    pub precision_flips: u64,
+    /// High-water mark of the ingest queue depth.
+    pub max_queue_depth: u64,
+    /// Arena buffers the producer minted fresh (the
+    /// zero-steady-state-allocation gate: bounded by
+    /// `queue_capacity + 2`, never the stream length).
+    pub fresh_buffers: u64,
+    /// Arena acquisitions served by recycled buffers.
+    pub reused_buffers: u64,
+    /// Total producer wall-clock spent materializing frames, ns.
+    pub produce_ns_total: u64,
+}
+
+/// Where the session's frames come from.
+enum Feed {
+    /// The legacy vec-driven path: stages owned up front.
+    Replay(std::vec::IntoIter<Dataset>),
+    /// The overlapped path: a producer thread behind a bounded queue.
+    Ingested { pipeline: IngestPipeline, policy: IngestPolicy },
+}
+
 /// Runs a live session: feeds every dataset from `stream` through the
 /// node on a worker thread while a Cloud thread consumes the uploads
 /// and pushes back model updates, which the node installs between
 /// batches. Returns the final node together with session statistics.
+///
+/// Equivalent to [`run_streaming_session_with`] under
+/// [`SessionConfig::with_batch`]`(batch_size)`.
+///
+/// # Errors
+///
+/// See [`run_streaming_session_with`].
+pub fn run_streaming_session<C>(
+    node: InsituNode,
+    cloud: Arc<Mutex<C>>,
+    stream: Vec<Dataset>,
+    batch_size: usize,
+) -> Result<(InsituNode, SessionStats)>
+where
+    C: CloudEndpoint + Send + 'static,
+{
+    run_streaming_session_with(node, cloud, stream, &SessionConfig::with_batch(batch_size))
+}
+
+/// [`run_streaming_session`] with explicit [`SessionConfig`] knobs.
 ///
 /// The Cloud is shared behind a mutex so callers keep ownership of
 /// whatever state their [`CloudEndpoint`] carries.
@@ -85,20 +260,108 @@ pub struct SessionStats {
 /// Returns the first error raised by either actor; when both fail, the
 /// Cloud's failure wins (a node-side "cloud hung up" error is usually
 /// its symptom).
-pub fn run_streaming_session<C>(
+pub fn run_streaming_session_with<C>(
     node: InsituNode,
     cloud: Arc<Mutex<C>>,
     stream: Vec<Dataset>,
-    batch_size: usize,
+    config: &SessionConfig,
 ) -> Result<(InsituNode, SessionStats)>
 where
     C: CloudEndpoint + Send + 'static,
 {
+    let start_detail = format!("{} stages @bs{}", stream.len(), config.batch_size);
+    let (node, stats, _summary) = run_session(
+        node,
+        cloud,
+        Feed::Replay(stream.into_iter()),
+        config,
+        start_detail,
+    )?;
+    Ok((node, stats))
+}
+
+/// Runs an **overlapped** live session: a producer thread materializes
+/// frames from `source` into a bounded ingest queue while the node
+/// computes, so stage wall-clock approaches max(compute, ingest)
+/// instead of their sum. The configured [`IngestPolicy`] governs what
+/// happens when the node falls behind; queue depth, producer latency
+/// and drop/degrade/flip counts land in telemetry (`node.ingest.*`)
+/// and the flight recorder, and the pipeline's bookkeeping comes back
+/// as an [`IngestSummary`] next to the ordinary [`SessionStats`].
+///
+/// Frame storage is recycled through the producer's arena: in steady
+/// state ingestion allocates nothing (see
+/// [`insitu_data::ProducerReport::fresh_buffers`]).
+///
+/// Under `IngestPolicy::Block` with
+/// [`SessionConfig::lockstep_uploads`], the session is a bitwise
+/// drop-in for [`run_streaming_session_with`] over the materialized
+/// stream: identical [`SessionStats`] and final model state.
+///
+/// # Errors
+///
+/// As [`run_streaming_session_with`], plus any error the stream source
+/// raises on the producer thread.
+pub fn run_ingested_session<C>(
+    node: InsituNode,
+    cloud: Arc<Mutex<C>>,
+    source: Box<dyn StreamSource>,
+    config: &IngestSessionConfig,
+) -> Result<(InsituNode, SessionStats, IngestSummary)>
+where
+    C: CloudEndpoint + Send + 'static,
+{
+    let queue_policy = match config.policy {
+        IngestPolicy::DropOldest => QueueFullPolicy::DropOldest,
+        // Degrade sheds load on the consumer side; the producer still
+        // keeps every frame.
+        IngestPolicy::Block | IngestPolicy::Degrade(_) => QueueFullPolicy::Block,
+    };
+    let start_detail = format!(
+        "{} frames @bs{} cap{} {:?}",
+        config
+            .policy
+            .frames_hint_label(source.frames_hint()),
+        config.session.batch_size,
+        config.queue_capacity.max(1),
+        queue_policy,
+    );
+    let pipeline = IngestPipeline::spawn(
+        source,
+        IngestConfig { capacity: config.queue_capacity.max(1), policy: queue_policy },
+    );
+    run_session(
+        node,
+        cloud,
+        Feed::Ingested { pipeline, policy: config.policy.clone() },
+        &config.session,
+        start_detail,
+    )
+}
+
+impl IngestPolicy {
+    /// Human label for the session-start flight event.
+    fn frames_hint_label(&self, hint: Option<usize>) -> String {
+        hint.map_or_else(|| "?".to_string(), |n| n.to_string())
+    }
+}
+
+/// The shared session core behind both public entry points.
+fn run_session<C>(
+    node: InsituNode,
+    cloud: Arc<Mutex<C>>,
+    feed: Feed,
+    config: &SessionConfig,
+    start_detail: String,
+) -> Result<(InsituNode, SessionStats, IngestSummary)>
+where
+    C: CloudEndpoint + Send + 'static,
+{
     // Resolve the kernel thread count (INSITU_THREADS / core count) up
-    // front, on the session thread: both actors' tensor work — node
-    // inference and Cloud incremental training — then shares one
-    // already-configured worker pool instead of racing to create it
-    // under the first batch.
+    // front, on the session thread: all actors' tensor work — node
+    // inference, Cloud incremental training, producer synthesis — then
+    // shares one already-configured worker pool instead of racing to
+    // create it under the first batch.
     let _kernel_threads = insitu_tensor::num_threads();
     // Start a fresh telemetry window: back-to-back sessions in one
     // process must not merge each other's counters and histograms
@@ -107,6 +370,7 @@ where
     if telemetry::enabled() {
         telemetry::advance_epoch();
     }
+    let batch_size = config.batch_size;
     recorder::record(
         "mode_decision",
         node.plan().map_or_else(
@@ -120,18 +384,13 @@ where
             |p| p.summary(),
         ),
     );
-    recorder::record(
-        "session_start",
-        format!("{} stages @bs{batch_size}", stream.len()),
-    );
-    let session_span = telemetry::span_with("runtime.session", || {
-        format!("{} stages @bs{batch_size}", stream.len())
-    });
-    let (up_tx, up_rx): (Sender<Uplink>, Receiver<Uplink>) = bounded(4);
-    // The downlink must never apply backpressure: if it were bounded,
-    // a full downlink would block the Cloud while the node is blocked
-    // on a full uplink — a circular wait. Updates are small snapshots
-    // and the node drains them between batches, so unbounded is safe.
+    recorder::record("session_start", start_detail.clone());
+    let session_span = telemetry::span_with("runtime.session", move || start_detail);
+    let (up_tx, up_rx): (Sender<Uplink>, Receiver<Uplink>) =
+        bounded(config.uplink_capacity.max(1));
+    // The downlink must never apply backpressure — see the
+    // [`SessionConfig::uplink_capacity`] rustdoc for the
+    // no-circular-wait invariant.
     let (down_tx, down_rx) = unbounded::<crate::update::ModelUpdate>();
     // Uploads sent but not yet consumed by the Cloud; the node samples
     // it at each send as the uplink queue-depth telemetry.
@@ -161,17 +420,23 @@ where
     };
 
     // Node actor (this thread): process the stream, install updates
-    // opportunistically between batches. The loop runs under
-    // `catch_unwind` so that even a panic still shuts the Cloud actor
-    // down and joins it before propagating.
+    // opportunistically between batches (or in lockstep after each
+    // upload). The loop runs under `catch_unwind` so that even a panic
+    // still shuts the Cloud actor down and joins it before
+    // propagating; an in-scope `Feed::Ingested` pipeline is likewise
+    // dropped by the unwind, which joins the producer thread.
+    let flips_before = node.precision_flips();
     let mut stats = SessionStats::default();
+    let lockstep = config.lockstep_uploads;
     let node_run = catch_unwind(AssertUnwindSafe(|| {
         let mut node = node;
+        let mut feed = feed;
+        let mut summary = IngestSummary::default();
         // Size every conv workspace and GEMM packing arena before the
         // stream starts: real batches then run the zero-allocation
         // kernel path from the first image.
         if let Err(e) = node.prewarm(batch_size) {
-            return (node, Some(e));
+            return (node, Some(e), summary);
         }
         let install = |node: &mut InsituNode,
                            stats: &mut SessionStats,
@@ -183,22 +448,126 @@ where
             stats.updates_installed += 1;
             Ok(())
         };
-        for data in stream {
+        // Degrade controller state: the current shed batch (None while
+        // undegraded) and whether the controller flipped precision.
+        let mut degraded_batch: Option<usize> = None;
+        let mut degrade_flipped = false;
+        let mut drops_seen = 0u64;
+        loop {
+            // Fetch the next frame. On the ingested path this blocks
+            // only while the producer is still materializing it — the
+            // overlap window — and the observed wait and queue depth
+            // feed the ingest telemetry and the re-plan loop.
+            let (frame, depth) = match &mut feed {
+                Feed::Replay(iter) => match iter.next() {
+                    Some(data) => {
+                        (Frame { seq: stats.batches, data, produce_ns: 0 }, None)
+                    }
+                    None => break,
+                },
+                Feed::Ingested { pipeline, .. } => {
+                    let wait_start = telemetry::enabled().then(std::time::Instant::now);
+                    match pipeline.next_frame() {
+                        Some(f) => {
+                            if let Some(t0) = wait_start {
+                                let ns = u64::try_from(t0.elapsed().as_nanos())
+                                    .unwrap_or(u64::MAX);
+                                telemetry::hist_record("node.ingest.wait", "", ns);
+                            }
+                            let depth = pipeline.depth() as u64;
+                            (f, Some(depth))
+                        }
+                        None => break,
+                    }
+                }
+            };
+            if let Some(depth) = depth {
+                summary.max_queue_depth = summary.max_queue_depth.max(depth);
+                node.note_ingest_depth(depth);
+                telemetry::hist_record("node.ingest.queue_depth", "", depth);
+                telemetry::hist_record("node.ingest.produce", "", frame.produce_ns);
+                telemetry::counter_add("node.ingest.frames", "", 1);
+                if let Feed::Ingested { pipeline, policy } = &feed {
+                    let dropped = pipeline.dropped();
+                    if dropped > drops_seen {
+                        telemetry::counter_add("node.ingest.drops", "", dropped - drops_seen);
+                        recorder::record(
+                            "ingest_drop",
+                            format!("{} frame(s) dropped, {dropped} total", dropped - drops_seen),
+                        );
+                        drops_seen = dropped;
+                    }
+                    if let IngestPolicy::Degrade(dc) = policy {
+                        let base = node.active_batch().unwrap_or(batch_size).max(1);
+                        if depth as usize >= dc.high_watermark.max(1) {
+                            // One degrade step per frame: halve the
+                            // batch to the floor, then flip precision.
+                            let current = degraded_batch.unwrap_or(base);
+                            let next = (current / 2).max(dc.min_batch.max(1));
+                            if next < current {
+                                degraded_batch = Some(next);
+                                summary.degrades += 1;
+                                telemetry::counter_add("node.ingest.degrades", "", 1);
+                                recorder::record(
+                                    "degrade",
+                                    format!("queue depth {depth}: batch {current} -> {next}"),
+                                );
+                            } else if dc.allow_precision_flip
+                                && !degrade_flipped
+                                && node.quantized().is_some()
+                                && node.precision() == InferencePrecision::F32
+                                && node.set_precision(InferencePrecision::I8).is_ok()
+                            {
+                                degrade_flipped = true;
+                                summary.precision_flips += 1;
+                                telemetry::counter_add("node.ingest.flips", "", 1);
+                                recorder::record(
+                                    "precision_flip",
+                                    format!("queue depth {depth}: f32 -> i8 (degrade)"),
+                                );
+                            }
+                        } else if depth as usize <= dc.low_watermark {
+                            // Undo one step, most recent first.
+                            if degrade_flipped {
+                                if node.set_precision(InferencePrecision::F32).is_ok() {
+                                    degrade_flipped = false;
+                                    summary.precision_flips += 1;
+                                    summary.restores += 1;
+                                    telemetry::counter_add("node.ingest.flips", "", 1);
+                                    recorder::record(
+                                        "precision_flip",
+                                        format!("queue depth {depth}: i8 -> f32 (restore)"),
+                                    );
+                                }
+                            } else if let Some(shed) = degraded_batch {
+                                let next = (shed * 2).min(base);
+                                summary.restores += 1;
+                                recorder::record(
+                                    "restore",
+                                    format!("queue depth {depth}: batch {shed} -> {next}"),
+                                );
+                                degraded_batch = if next >= base { None } else { Some(next) };
+                            }
+                        }
+                    }
+                }
+            }
             // Install any updates that arrived while we were busy.
             while let Ok(update) = down_rx.try_recv() {
                 if let Err(e) = install(&mut node, &mut stats, &update) {
-                    return (node, Some(e));
+                    return (node, Some(e), summary);
                 }
             }
             // A re-planning node can change its own batch size mid
-            // session; honor the active plan over the caller's value.
-            let bs = node.active_batch().unwrap_or(batch_size);
-            let outcome = match node.process_stage(&data, bs) {
+            // session; honor the degrade controller first, then the
+            // active plan, then the caller's value.
+            let bs = degraded_batch.unwrap_or_else(|| node.active_batch().unwrap_or(batch_size));
+            let outcome = match node.process_stage(&frame.data, bs) {
                 Ok(o) => o,
-                Err(e) => return (node, Some(e)),
+                Err(e) => return (node, Some(e), summary),
             };
             stats.batches += 1;
-            stats.images_seen += data.len() as u64;
+            stats.images_seen += frame.data.len() as u64;
             stats.images_uploaded += outcome.valuable.len() as u64;
             // Periodically fold the telemetry window into the export
             // hub so a long session's stats stay fresh even if it is
@@ -207,23 +576,59 @@ where
                 stats.metrics.fold(&telemetry::snapshot());
             }
             if !outcome.valuable.is_empty() {
-                let payload = match node.upload_payload(&data, &outcome) {
+                let payload = match node.upload_payload(&frame.data, &outcome) {
                     Ok(p) => p,
-                    Err(e) => return (node, Some(e)),
+                    Err(e) => return (node, Some(e), summary),
                 };
-                let depth = in_flight.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter_add("runtime.uplink_depth", "", depth);
+                let in_flight_depth = in_flight.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("runtime.uplink_depth", "", in_flight_depth);
                 recorder::record(
                     "uplink",
-                    format!("{} images, {} in flight", payload.len(), depth + 1),
+                    format!("{} images, {} in flight", payload.len(), in_flight_depth + 1),
                 );
                 if up_tx.send(Uplink::Valuable(payload)).is_err() {
                     let e = CoreError::BadConfig { reason: "cloud thread hung up early".into() };
-                    return (node, Some(e));
+                    return (node, Some(e), summary);
+                }
+                if lockstep {
+                    // Deterministic trajectory: wait for this upload's
+                    // update and install it before the next stage.
+                    match down_rx.recv() {
+                        Ok(update) => {
+                            if let Err(e) = install(&mut node, &mut stats, &update) {
+                                return (node, Some(e), summary);
+                            }
+                        }
+                        Err(_) => {
+                            let e = CoreError::BadConfig {
+                                reason: "cloud thread hung up early".into(),
+                            };
+                            return (node, Some(e), summary);
+                        }
+                    }
                 }
             }
+            // Hand the frame's storage back to the producer arena.
+            if let Feed::Ingested { pipeline, .. } = &feed {
+                pipeline.recycle(frame);
+            }
         }
-        (node, None)
+        // End of stream: harvest the producer's report.
+        if let Feed::Ingested { pipeline, .. } = feed {
+            match pipeline.finish() {
+                Ok(report) => {
+                    summary.frames = report.frames;
+                    summary.drops = report.dropped;
+                    summary.fresh_buffers = report.fresh_buffers;
+                    summary.reused_buffers = report.reused_buffers;
+                    summary.produce_ns_total = report.produce_ns_total;
+                    summary.max_queue_depth =
+                        summary.max_queue_depth.max(report.max_queue_depth);
+                }
+                Err(e) => return (node, Some(e.into()), summary),
+            }
+        }
+        (node, None, summary)
     }));
 
     // Single shutdown path: whatever happened above, stop the Cloud
@@ -236,8 +641,8 @@ where
             Some(CoreError::ActorPanicked { actor: "cloud", message: panic_message(&*payload) })
         }
     };
-    let (mut node, node_error) = match node_run {
-        Ok(pair) => pair,
+    let (mut node, node_error, mut summary) = match node_run {
+        Ok(triple) => triple,
         // The Cloud thread is already joined; let the caller see the
         // original node panic (after leaving a post-mortem).
         Err(payload) => {
@@ -269,9 +674,29 @@ where
     }
     drop(session_span);
     stats.replans = node.replans();
+    summary.precision_flips += node.precision_flips() - flips_before;
     stats.telemetry = telemetry::snapshot();
     stats.metrics.fold(&stats.telemetry);
-    Ok((node, stats))
+    Ok((node, stats, summary))
+}
+
+/// Convenience: replays a shared, pre-materialized stream through the
+/// overlapped pipeline (the producer copies stages into recycled arena
+/// buffers via borrowed views — no per-frame image cloning).
+///
+/// # Errors
+///
+/// See [`run_ingested_session`].
+pub fn run_replayed_session<C>(
+    node: InsituNode,
+    cloud: Arc<Mutex<C>>,
+    stream: Arc<Vec<Dataset>>,
+    config: &IngestSessionConfig,
+) -> Result<(InsituNode, SessionStats, IngestSummary)>
+where
+    C: CloudEndpoint + Send + 'static,
+{
+    run_ingested_session(node, cloud, Box::new(ReplaySource::new(stream)), config)
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -381,6 +806,25 @@ mod tests {
         assert_eq!(stats.batches, 12);
     }
 
+    #[test]
+    fn uplink_capacity_is_configurable() {
+        // The tightest legal uplink (capacity 1, and 0 clamps to 1)
+        // must still complete a stream that uploads on most stages.
+        let mut node = make_node(8);
+        let params = state_dict(node.inference_mut());
+        let cloud = Arc::new(Mutex::new(EchoCloud { params, version: 0 }));
+        let mut rng = Rng::seed_from(10);
+        let stream: Vec<Dataset> = (0..6)
+            .map(|_| Dataset::generate(8, 4, &Condition::in_situ(), &mut rng).unwrap())
+            .collect();
+        let config =
+            SessionConfig { batch_size: 8, uplink_capacity: 0, lockstep_uploads: false };
+        assert_eq!(SessionConfig::default().uplink_capacity, 4);
+        let (_, stats) = run_streaming_session_with(node, cloud, stream, &config).unwrap();
+        assert_eq!(stats.batches, 6);
+        assert!(stats.updates_installed >= 1);
+    }
+
     /// A Cloud double that panics on the first upload (injected fault).
     #[derive(Debug)]
     struct PanickingCloud;
@@ -441,6 +885,30 @@ mod tests {
         assert_post_mortem("cloud says no");
     }
 
+    #[test]
+    fn cloud_error_surfaces_from_an_ingested_session_too() {
+        // The overlapped path has a third actor; a Cloud failure must
+        // still win, and the producer thread must be joined (the test
+        // would hang otherwise).
+        let node = make_node(13);
+        let cloud = Arc::new(Mutex::new(FailingCloud));
+        let mut rng = Rng::seed_from(14);
+        let stream: Vec<Dataset> = (0..8)
+            .map(|_| Dataset::generate(8, 4, &Condition::in_situ(), &mut rng).unwrap())
+            .collect();
+        let config = IngestSessionConfig {
+            session: SessionConfig::with_batch(8),
+            queue_capacity: 2,
+            policy: IngestPolicy::Block,
+        };
+        match run_replayed_session(node, cloud, Arc::new(stream), &config) {
+            Err(CoreError::BadConfig { reason }) => {
+                assert!(reason.contains("cloud says no"), "{reason}");
+            }
+            other => panic!("expected the cloud's error, got {other:?}"),
+        }
+    }
+
     /// A Cloud double that ships back updates no node can install.
     #[derive(Debug)]
     struct BadUpdateCloud {
@@ -488,6 +956,22 @@ mod tests {
         let (node, stats) = run_streaming_session(node, cloud, vec![], 8).unwrap();
         assert_eq!(stats.batches, 0);
         assert_eq!(stats.images_seen, 0);
+        assert_eq!(node.version(), 0);
+    }
+
+    #[test]
+    fn empty_ingested_stream_is_a_noop() {
+        let node = make_node(6);
+        let params = {
+            let mut n = make_node(6);
+            state_dict(n.inference_mut())
+        };
+        let cloud = Arc::new(Mutex::new(EchoCloud { params, version: 0 }));
+        let (node, stats, summary) =
+            run_replayed_session(node, cloud, Arc::new(vec![]), &IngestSessionConfig::default())
+                .unwrap();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(summary.frames, 0);
         assert_eq!(node.version(), 0);
     }
 }

@@ -1,0 +1,359 @@
+//! The overlapped-ingestion contract, end to end.
+//!
+//! The load-bearing property: an overlapped session under the lossless
+//! `Block` policy with lockstep uploads is a **bitwise drop-in** for
+//! the sequential vec-driven loop — identical [`SessionStats`]
+//! trajectory and identical final model state — across seeds and
+//! kernel thread counts. The backpressure tests then pin each policy's
+//! observable behavior under a deliberately slow consumer: `Block`
+//! stalls the producer and loses nothing, `DropOldest` sheds the
+//! oldest frames and counts them, `Degrade` shrinks the node's batch
+//! (and, at the floor, flips inference to i8 when allowed). Finally,
+//! the re-plan loop's queue-depth trigger is driven end to end: a
+//! backed-up queue makes a planned f32 node re-plan itself into the
+//! calibrated i8 configuration mid-session.
+
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use insitu_core::{
+    run_ingested_session, run_replayed_session, run_streaming_session_with, Availability,
+    CloudEndpoint, DegradeConfig, DiagnosisPolicy, InferencePrecision, IngestPolicy,
+    IngestSessionConfig, InsituNode, ModelUpdate, NodePlan, PlanRequest, Platform, QuantProfile,
+    ReplanConfig, SessionConfig, SessionStats, WorkingMode,
+};
+use insitu_data::{Condition, Dataset, DriftSchedule, PermutationSet, SyntheticDriftSource};
+use insitu_devices::NetworkShapes;
+use insitu_nn::models::{jigsaw_network, mini_alexnet};
+use insitu_nn::serialize::state_dict;
+use insitu_nn::transfer::transfer_and_freeze;
+use insitu_telemetry as telemetry;
+use insitu_tensor::{num_threads, set_num_threads, Rng};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// Serializes access to the global kernel thread count.
+static THREADS_LOCK: StdMutex<()> = StdMutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = num_threads();
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(prev);
+    out
+}
+
+/// Serializes tests that enable the process-global telemetry registry.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<StdMutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| StdMutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A recording window: enable + fresh epoch on entry, disabled and
+/// reset on drop, so no state leaks into the next test.
+struct Window(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Window {
+    fn open() -> Self {
+        let guard = gate();
+        telemetry::set_enabled(true);
+        telemetry::advance_epoch();
+        Window(guard)
+    }
+}
+
+impl Drop for Window {
+    fn drop(&mut self) {
+        telemetry::set_enabled(false);
+        telemetry::reset();
+    }
+}
+
+const CLASSES: usize = 4;
+
+fn make_node(seed: u64) -> InsituNode {
+    let mut rng = Rng::seed_from(seed);
+    let jigsaw = jigsaw_network(8, &mut rng).unwrap();
+    let mut inference = mini_alexnet(CLASSES, &mut rng).unwrap();
+    transfer_and_freeze(jigsaw.trunk(), &mut inference, 3, 3).unwrap();
+    let set = PermutationSet::generate(8, &mut rng).unwrap();
+    InsituNode::new(inference, jigsaw, set, DiagnosisPolicy::Oracle, 3, seed).unwrap()
+}
+
+/// A trivially fast Cloud double: echoes back the same weights. Fully
+/// deterministic, so two sessions fed identical uploads in identical
+/// order install identical updates.
+#[derive(Debug)]
+struct EchoCloud {
+    params: Vec<insitu_tensor::Tensor>,
+    version: u32,
+}
+
+impl EchoCloud {
+    fn for_seed(seed: u64) -> Arc<Mutex<EchoCloud>> {
+        let mut node = make_node(seed);
+        let params = state_dict(node.inference_mut());
+        Arc::new(Mutex::new(EchoCloud { params, version: 0 }))
+    }
+}
+
+impl CloudEndpoint for EchoCloud {
+    fn incremental_update(&mut self, _uploaded: &Dataset) -> insitu_core::Result<ModelUpdate> {
+        self.version += 1;
+        Ok(ModelUpdate {
+            version: self.version,
+            inference_params: self.params.clone(),
+            jigsaw_params: None,
+            training_ops: 0,
+            eval_accuracy: None,
+        })
+    }
+}
+
+fn drift_source(frames: usize, images: usize, seed: u64) -> SyntheticDriftSource {
+    SyntheticDriftSource::new(
+        frames,
+        images,
+        CLASSES,
+        DriftSchedule { start: 0.1, step: 0.15 },
+        seed,
+    )
+    .unwrap()
+}
+
+fn stream(stages: usize, images: usize, seed: u64) -> Vec<Dataset> {
+    let mut rng = Rng::seed_from(seed);
+    (0..stages)
+        .map(|_| Dataset::generate(images, CLASSES, &Condition::in_situ(), &mut rng).unwrap())
+        .collect()
+}
+
+/// Everything a session's outcome carries, in comparable form.
+fn session_fingerprint(mut node: InsituNode, stats: &SessionStats) -> (SessionStats, u32, Vec<insitu_tensor::Tensor>) {
+    (stats.clone(), node.version(), state_dict(node.inference_mut()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The differential oracle: an overlapped `Block` session with
+    /// lockstep uploads must be bitwise identical — same
+    /// [`SessionStats`], same final model version and weights — to the
+    /// sequential loop over the materialized stream, across seeds,
+    /// queue capacities and 1/2/4 kernel threads.
+    #[test]
+    fn block_overlapped_session_is_bitwise_identical_to_sequential(
+        seed in 0u64..200,
+        capacity in 1usize..5,
+    ) {
+        let frames = 4usize;
+        let images = 8usize;
+        let session = SessionConfig {
+            batch_size: 4,
+            uplink_capacity: 4,
+            lockstep_uploads: true,
+        };
+        for threads in [1usize, 2, 4] {
+            let (sequential, overlapped) = with_threads(threads, || {
+                let source = drift_source(frames, images, seed.wrapping_add(17));
+                let oracle_stream = source.materialize().unwrap();
+                let (node_a, stats_a) = run_streaming_session_with(
+                    make_node(seed),
+                    EchoCloud::for_seed(seed),
+                    oracle_stream,
+                    &session,
+                )
+                .unwrap();
+                let (node_b, stats_b, summary) = run_ingested_session(
+                    make_node(seed),
+                    EchoCloud::for_seed(seed),
+                    Box::new(source),
+                    &IngestSessionConfig {
+                        session: session.clone(),
+                        queue_capacity: capacity,
+                        policy: IngestPolicy::Block,
+                    },
+                )
+                .unwrap();
+                // Block is lossless: every frame reaches the node and
+                // arena recycling bounds fresh allocations by the
+                // queue capacity, never the stream length.
+                assert_eq!(summary.frames, frames as u64);
+                assert_eq!(summary.drops, 0);
+                assert!(
+                    summary.fresh_buffers <= capacity as u64 + 2,
+                    "fresh {} > cap {} + 2",
+                    summary.fresh_buffers,
+                    capacity
+                );
+                (
+                    session_fingerprint(node_a, &stats_a),
+                    session_fingerprint(node_b, &stats_b),
+                )
+            });
+            prop_assert_eq!(&sequential, &overlapped);
+        }
+    }
+}
+
+#[test]
+fn block_policy_stalls_a_slow_consumer_without_loss() {
+    let mut node = make_node(21);
+    // A consumer ~25x slower than the producer: the queue saturates.
+    node.set_injected_stage_delay(Some(Duration::from_millis(25)));
+    let cloud = EchoCloud::for_seed(21);
+    let config = IngestSessionConfig {
+        session: SessionConfig::with_batch(8),
+        queue_capacity: 2,
+        policy: IngestPolicy::Block,
+    };
+    let (_, stats, summary) =
+        run_replayed_session(node, cloud, Arc::new(stream(8, 8, 22)), &config).unwrap();
+    assert_eq!(stats.batches, 8, "Block must deliver every frame");
+    assert_eq!(summary.frames, 8);
+    assert_eq!(summary.drops, 0, "Block never drops");
+    assert!(
+        summary.max_queue_depth <= 2,
+        "queue bound violated: depth {}",
+        summary.max_queue_depth
+    );
+    assert!(summary.fresh_buffers <= 4, "arena must recycle: {} fresh", summary.fresh_buffers);
+}
+
+#[test]
+fn drop_oldest_sheds_frames_under_a_slow_consumer() {
+    let mut node = make_node(23);
+    node.set_injected_stage_delay(Some(Duration::from_millis(30)));
+    let cloud = EchoCloud::for_seed(23);
+    let config = IngestSessionConfig {
+        session: SessionConfig::with_batch(8),
+        queue_capacity: 1,
+        policy: IngestPolicy::DropOldest,
+    };
+    let frames = 10u64;
+    let (_, stats, summary) =
+        run_replayed_session(node, cloud, Arc::new(stream(frames as usize, 8, 24)), &config)
+            .unwrap();
+    assert_eq!(summary.frames, frames);
+    assert!(summary.drops > 0, "a 30 ms/frame consumer behind a cap-1 queue must drop");
+    assert_eq!(
+        stats.batches + summary.drops,
+        frames,
+        "every frame is either processed or counted dropped"
+    );
+}
+
+#[test]
+fn degrade_policy_halves_the_batch_under_pressure() {
+    let mut node = make_node(25);
+    node.set_injected_stage_delay(Some(Duration::from_millis(25)));
+    let cloud = EchoCloud::for_seed(25);
+    let config = IngestSessionConfig {
+        session: SessionConfig::with_batch(8),
+        queue_capacity: 3,
+        policy: IngestPolicy::Degrade(DegradeConfig {
+            high_watermark: 1,
+            low_watermark: 0,
+            min_batch: 1,
+            allow_precision_flip: false,
+        }),
+    };
+    let (_, stats, summary) =
+        run_replayed_session(node, cloud, Arc::new(stream(8, 8, 26)), &config).unwrap();
+    assert_eq!(stats.batches, 8, "Degrade keeps every frame");
+    assert_eq!(summary.drops, 0, "Degrade sheds load on the consumer, not the stream");
+    assert!(summary.degrades >= 1, "a backed-up queue must shrink the batch");
+}
+
+#[test]
+fn degrade_policy_flips_precision_at_the_batch_floor() {
+    let mut node = make_node(27);
+    // Calibrate the i8 path, then deploy at f32 so the flip is live.
+    let calib = Dataset::generate(16, CLASSES, &Condition::ideal(), &mut Rng::seed_from(28))
+        .unwrap();
+    node.enable_quantized(&calib).unwrap();
+    node.set_precision(InferencePrecision::F32).unwrap();
+    node.set_injected_stage_delay(Some(Duration::from_millis(25)));
+    let cloud = EchoCloud::for_seed(27);
+    let config = IngestSessionConfig {
+        session: SessionConfig::with_batch(8),
+        queue_capacity: 3,
+        policy: IngestPolicy::Degrade(DegradeConfig {
+            high_watermark: 1,
+            low_watermark: 0,
+            // The floor equals the deployed batch: halving is already
+            // exhausted, so the first degrade step is the flip.
+            min_batch: 8,
+            allow_precision_flip: true,
+        }),
+    };
+    let (_, stats, summary) =
+        run_replayed_session(node, cloud, Arc::new(stream(8, 8, 29)), &config).unwrap();
+    assert_eq!(stats.batches, 8);
+    assert!(
+        summary.precision_flips >= 1,
+        "queue pressure at the batch floor must flip f32 -> i8"
+    );
+}
+
+/// The re-plan loop's queue-depth trigger, end to end: a planned f32
+/// node with a calibrated i8 network, a huge divergence threshold (so
+/// only the depth trigger can fire) and a backed-up ingest queue must
+/// re-plan into the i8 configuration mid-session.
+#[test]
+fn queue_pressure_replans_into_the_quantized_configuration() {
+    let _w = Window::open();
+    let mut node = make_node(31);
+    let calib = Dataset::generate(16, CLASSES, &Condition::ideal(), &mut Rng::seed_from(32))
+        .unwrap();
+    node.enable_quantized(&calib).unwrap();
+    node.set_precision(InferencePrecision::F32).unwrap();
+    node.install_plan(NodePlan {
+        mode: WorkingMode::CoRunning,
+        platform: Platform::Fpga,
+        inference_batch: 8,
+        diagnosis_batch: 8,
+        predicted_latency_s: 0.08,
+        predicted_throughput: 100.0,
+        predicted_perf_per_watt: 0.0,
+        wss_group_size: 0,
+        precision: InferencePrecision::F32,
+        accuracy_delta: 0.0,
+    });
+    node.enable_replan(ReplanConfig {
+        every_stages: 2,
+        // Effectively disable the latency trigger: only queue depth
+        // can cause this session's re-plan.
+        divergence: 1e9,
+        queue_depth_trigger: Some(1),
+        allow_precision_flip: true,
+        request: PlanRequest { availability: Availability::AlwaysOn, t_user: 10.0, max_batch: 64 },
+        inference_shapes: NetworkShapes::alexnet(),
+        quant: Some(QuantProfile { speedup: 1.5, accuracy_delta: -0.01 }),
+    });
+    node.set_injected_stage_delay(Some(Duration::from_millis(25)));
+    let cloud = EchoCloud::for_seed(31);
+    let config = IngestSessionConfig {
+        session: SessionConfig::with_batch(8),
+        queue_capacity: 4,
+        policy: IngestPolicy::Block,
+    };
+    let (node, stats, summary) =
+        run_replayed_session(node, cloud, Arc::new(stream(8, 8, 33)), &config).unwrap();
+    assert!(summary.max_queue_depth >= 1, "the slow consumer must back the queue up");
+    assert!(stats.replans >= 1, "queue depth must trigger a re-plan");
+    assert!(
+        summary.precision_flips >= 1,
+        "the depth-triggered re-plan must flip f32 -> i8 live"
+    );
+    assert_eq!(
+        node.precision(),
+        InferencePrecision::I8,
+        "the node must end the session on the quantized path"
+    );
+    assert!(
+        stats.telemetry.spans.iter().any(|s| s.name == "node.precision_flip"),
+        "the flip must emit its telemetry instant"
+    );
+}

@@ -178,6 +178,8 @@ fn perturbed_session_replans_online() {
     node.enable_replan(ReplanConfig {
         every_stages: 2,
         divergence: 1.5,
+        queue_depth_trigger: None,
+        allow_precision_flip: false,
         request: PlanRequest { availability: Availability::AlwaysOn, t_user: 10.0, max_batch: 64 },
         inference_shapes: NetworkShapes::alexnet(),
         quant: None,

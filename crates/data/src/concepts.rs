@@ -98,6 +98,29 @@ impl Concept {
     /// context-prediction task informative (exactly as in natural
     /// camera-trap imagery).
     pub fn render(&self, rng: &mut Rng) -> Tensor {
+        let mut data = vec![0f32; CHANNELS * IMAGE_SIZE * IMAGE_SIZE];
+        self.render_into(rng, &mut data);
+        Tensor::from_vec([CHANNELS, IMAGE_SIZE, IMAGE_SIZE], data)
+            .expect("render buffer sized correctly")
+    }
+
+    /// Renders one instance into a caller-provided buffer of exactly
+    /// `CHANNELS * IMAGE_SIZE * IMAGE_SIZE` floats — the
+    /// allocation-free spelling of [`render`](Concept::render) used by
+    /// the streaming producer, which recycles frame buffers through an
+    /// arena instead of allocating per image. Every element of `out` is
+    /// overwritten, and the RNG draw order is identical to `render`'s,
+    /// so the two are bitwise interchangeable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != CHANNELS * IMAGE_SIZE * IMAGE_SIZE`.
+    pub fn render_into(&self, rng: &mut Rng, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            CHANNELS * IMAGE_SIZE * IMAGE_SIZE,
+            "render_into buffer must hold one (3, 36, 36) sample"
+        );
         let phase = rng.uniform(0.0, std::f32::consts::TAU);
         let jitter_x = rng.uniform(-0.15, 0.15);
         let jitter_y = rng.uniform(-0.15, 0.15);
@@ -109,7 +132,6 @@ impl Concept {
         let mut noise_rng = rng.fork();
 
         let n = IMAGE_SIZE;
-        let mut data = vec![0f32; CHANNELS * n * n];
         let (sin_a, cos_a) = self.angle.sin_cos();
         for y in 0..n {
             for x in 0..n {
@@ -148,11 +170,10 @@ impl Concept {
                     let bg = self.background[c] * 0.5 + glow;
                     let fg = body * mask + bg * (1.0 - mask);
                     let noisy = fg + noise_rng.normal_with(0.0, clutter);
-                    data[(c * n + y) * n + x] = noisy.clamp(0.0, 1.0);
+                    out[(c * n + y) * n + x] = noisy.clamp(0.0, 1.0);
                 }
             }
         }
-        Tensor::from_vec([CHANNELS, n, n], data).expect("render buffer sized correctly")
     }
 }
 
@@ -198,6 +219,22 @@ mod tests {
         let img = c.render(&mut rng);
         assert_eq!(img.dims(), &[3, 36, 36]);
         assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn render_into_matches_render_bitwise() {
+        // The arena path must be a drop-in replacement: same pixels,
+        // same RNG stream advancement.
+        let c = Concept::for_class(1, 8).unwrap();
+        let mut rng_a = Rng::seed_from(21);
+        let mut rng_b = Rng::seed_from(21);
+        let mut buf = vec![7.0f32; CHANNELS * IMAGE_SIZE * IMAGE_SIZE];
+        for _ in 0..3 {
+            let owned = c.render(&mut rng_a);
+            c.render_into(&mut rng_b, &mut buf);
+            assert_eq!(owned.as_slice(), &buf[..]);
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        }
     }
 
     #[test]

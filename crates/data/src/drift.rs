@@ -98,17 +98,52 @@ impl Condition {
                 actual: image.dims().to_vec(),
             });
         }
-        let n = IMAGE_SIZE;
         let mut out = image.clone();
+        let mut scratch = vec![0f32; out.len()];
+        self.apply_in_place(out.as_mut_slice(), &mut scratch, rng)?;
+        Ok(out)
+    }
+
+    /// Applies one sampled corruption to a flattened `(3, 36, 36)`
+    /// sample in place — the allocation-free spelling of
+    /// [`apply`](Condition::apply) used by the streaming producer,
+    /// which corrupts samples directly inside recycled arena buffers.
+    /// `scratch` provides the source copy for the shift/blur stencils
+    /// and must hold at least as many elements as `image`. The RNG draw
+    /// order is identical to `apply`'s, so the two are bitwise
+    /// interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] if `image` is not exactly one
+    /// sample long or `scratch` is shorter than `image`.
+    pub fn apply_in_place(
+        &self,
+        image: &mut [f32],
+        scratch: &mut [f32],
+        rng: &mut Rng,
+    ) -> Result<()> {
+        let len = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+        if image.len() != len {
+            return Err(DataError::BadConfig {
+                reason: format!("sample slice holds {} floats, expected {len}", image.len()),
+            });
+        }
+        if scratch.len() < len {
+            return Err(DataError::BadConfig {
+                reason: format!("scratch holds {} floats, need {len}", scratch.len()),
+            });
+        }
+        let n = IMAGE_SIZE;
 
         // Pose: random translation with edge replication.
         if self.max_shift > 0 {
             let dx = rng.below(2 * self.max_shift + 1) as isize - self.max_shift as isize;
             let dy = rng.below(2 * self.max_shift + 1) as isize - self.max_shift as isize;
             if dx != 0 || dy != 0 {
-                let src = out.clone();
-                let s = src.as_slice();
-                let d = out.as_mut_slice();
+                scratch[..len].copy_from_slice(image);
+                let s = &scratch[..len];
+                let d = &mut *image;
                 for c in 0..CHANNELS {
                     for y in 0..n {
                         let sy = (y as isize - dy).clamp(0, n as isize - 1) as usize;
@@ -123,9 +158,9 @@ impl Condition {
 
         // Weather: 3x3 box blur.
         if rng.chance(self.blur_prob) {
-            let src = out.clone();
-            let s = src.as_slice();
-            let d = out.as_mut_slice();
+            scratch[..len].copy_from_slice(image);
+            let s = &scratch[..len];
+            let d = &mut *image;
             for c in 0..CHANNELS {
                 for y in 0..n {
                     for x in 0..n {
@@ -157,11 +192,10 @@ impl Condition {
             let ox = rng.below(n - edge + 1);
             let oy = rng.below(n - edge + 1);
             let shade = rng.uniform(0.05, 0.35);
-            let d = out.as_mut_slice();
             for c in 0..CHANNELS {
                 for y in oy..oy + edge {
                     for x in ox..ox + edge {
-                        d[(c * n + y) * n + x] = shade;
+                        image[(c * n + y) * n + x] = shade;
                     }
                 }
             }
@@ -172,14 +206,14 @@ impl Condition {
         let bias = rng.uniform(self.bias.0, self.bias.1);
         let noise = self.noise_std;
         let mut noise_rng = rng.fork();
-        insitu_tensor::simd::affine(out.as_mut_slice(), gain, bias);
+        insitu_tensor::simd::affine(image, gain, bias);
         if noise > 0.0 {
-            for v in out.as_mut_slice() {
+            for v in image.iter_mut() {
                 *v += noise_rng.normal_with(0.0, noise);
             }
         }
-        insitu_tensor::simd::clamp(out.as_mut_slice(), 0.0, 1.0);
-        Ok(out)
+        insitu_tensor::simd::clamp(image, 0.0, 1.0);
+        Ok(())
     }
 
     /// Expected severity of this condition on a 0–1 scale (rough scalar
@@ -249,6 +283,33 @@ mod tests {
         }
         assert!(distortion[0] < distortion[1]);
         assert!(distortion[1] < distortion[2]);
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply_bitwise() {
+        // The arena path must be a drop-in replacement across the whole
+        // severity range: same pixels, same RNG stream advancement.
+        let img = Concept::for_class(3, 4).unwrap().render(&mut Rng::seed_from(6));
+        let mut scratch = vec![0f32; img.len()];
+        for &s in &[0.0f32, 0.4, 1.0] {
+            let cond = Condition::with_severity(s).unwrap();
+            let mut rng_a = Rng::seed_from(100 + s.to_bits() as u64);
+            let mut rng_b = rng_a.clone();
+            for _ in 0..8 {
+                let owned = cond.apply(&img, &mut rng_a).unwrap();
+                let mut buf = img.as_slice().to_vec();
+                cond.apply_in_place(&mut buf, &mut scratch, &mut rng_b).unwrap();
+                assert_eq!(owned.as_slice(), &buf[..]);
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+            }
+        }
+        // Slice-length validation.
+        let cond = Condition::in_situ();
+        let mut rng = Rng::seed_from(7);
+        let mut short = vec![0f32; 8];
+        assert!(cond.apply_in_place(&mut short, &mut scratch, &mut rng).is_err());
+        let mut buf = img.as_slice().to_vec();
+        assert!(cond.apply_in_place(&mut buf, &mut short, &mut rng).is_err());
     }
 
     #[test]

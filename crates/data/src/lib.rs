@@ -29,12 +29,17 @@ mod dataset;
 mod drift;
 mod error;
 pub mod export;
+pub mod ingest;
 pub mod jigsaw;
 mod stream;
 
 pub use concepts::{Concept, PatternKind, CHANNELS, IMAGE_SIZE};
-pub use dataset::Dataset;
+pub use dataset::{Dataset, DatasetView, SAMPLE_LEN};
 pub use drift::Condition;
+pub use ingest::{
+    DriftSchedule, Frame, FrameArena, FrameBuf, IngestConfig, IngestPipeline, IngestQueue,
+    ProducerReport, QueueFullPolicy, ReplaySource, StreamSource, SyntheticDriftSource,
+};
 pub use export::{contact_sheet, save_ppm, to_ppm};
 pub use error::DataError;
 pub use jigsaw::{

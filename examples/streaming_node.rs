@@ -1,8 +1,14 @@
-//! Streaming deployment: the node and the Cloud as live threads.
+//! Streaming deployment: producer, node and Cloud as live threads.
 //!
-//! Uses [`insitu::core::run_streaming_session`] to run the node on a
-//! simulated sensor stream while a concurrent Cloud thread consumes
-//! the valuable uploads and pushes model updates back mid-stream.
+//! Uses [`insitu::core::run_ingested_session`] to run the node against
+//! a producer thread that synthesizes drifting sensor frames into a
+//! bounded ingest queue (the node computes stage *N* while the
+//! producer materializes *N+1*), while a concurrent Cloud thread
+//! consumes the valuable uploads and pushes model updates back
+//! mid-stream. The session runs the `Degrade` backpressure policy: if
+//! the node falls behind, it halves its batch down to a floor and —
+//! being i8-calibrated — flips inference to fixed point until the
+//! queue drains.
 //!
 //! Run with: `cargo run --release -p insitu --example streaming_node`
 //!
@@ -11,19 +17,21 @@
 //! `streaming_trace.json` (load it in chrome://tracing or
 //! <https://ui.perfetto.dev>). Tracing also activates the closed
 //! observability loop — the node re-plans its batch size from the
-//! measured per-image p90 every few stages — and exports the
-//! session's metrics hub to `streaming_metrics.prom` (Prometheus
-//! text) and `streaming_metrics.json`.
+//! measured per-image p90, or from ingest-queue pressure, every few
+//! stages — and exports the session's metrics hub to
+//! `streaming_metrics.prom` (Prometheus text) and
+//! `streaming_metrics.json`.
 
 use insitu::cloud::{
     build_inference, pretrain, Cloud, DeployConfig, IncrementalConfig, PretrainConfig,
 };
 use insitu::core::{
-    plan, run_streaming_session, validate_prometheus, Availability, DiagnosisPolicy, InsituNode,
-    PlanRequest, ReplanConfig,
+    plan, run_ingested_session, validate_prometheus, Availability, DegradeConfig, DiagnosisPolicy,
+    IngestPolicy, IngestSessionConfig, InsituNode, PlanRequest, QuantProfile, ReplanConfig,
+    SessionConfig,
 };
+use insitu::data::{Condition, Dataset, DriftSchedule, SyntheticDriftSource};
 use insitu::devices::NetworkShapes;
-use insitu::data::{Condition, Dataset};
 use insitu::tensor::Rng;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -55,10 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         77,
     )?;
+    // Calibrate the fixed-point path up front so the degrade
+    // controller (and a depth-triggered re-plan) can flip to i8 live.
+    let calib = Dataset::generate(32, classes, &Condition::ideal(), &mut rng)?;
+    node.enable_quantized(&calib)?;
+    node.set_precision(insitu::core::InferencePrecision::F32)?;
     if tracing {
         // Close the loop: start from the analytical plan, then let the
-        // node re-plan its batch from the measured per-image p90 every
-        // other stage once the measurement diverges 1.5x from it.
+        // node re-plan from the measured per-image p90 (1.5x
+        // divergence) or from sustained ingest-queue pressure, with a
+        // live f32 -> i8 flip allowed.
         let shapes = NetworkShapes::alexnet();
         let request =
             PlanRequest { availability: Availability::AlwaysOn, t_user: 0.5, max_batch: 64 };
@@ -68,9 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         node.enable_replan(ReplanConfig {
             every_stages: 2,
             divergence: 1.5,
+            queue_depth_trigger: Some(3),
+            allow_precision_flip: true,
             request,
             inference_shapes: shapes,
-            quant: None,
+            quant: Some(QuantProfile { speedup: 1.3, accuracy_delta: -0.01 }),
         });
     }
     let cloud = Arc::new(Mutex::new(Cloud::new(
@@ -80,22 +96,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         78,
     )));
 
-    // Ten bursts from a drifting camera.
-    println!("streaming 10 bursts of 40 drifted images through the node …");
-    let stream: Vec<Dataset> = (0..10)
-        .map(|i| {
-            let severity = 0.5 + 0.03 * i as f32;
-            Dataset::generate(
-                40,
-                classes,
-                &Condition::with_severity(severity).expect("valid severity"),
-                &mut rng,
-            )
-        })
-        .collect::<Result<_, _>>()?;
+    // Ten bursts of 40 images from a drifting camera, materialized by
+    // the producer thread while the node computes the previous stage.
+    println!("streaming 10 produced bursts of 40 drifting images through the node …");
+    let source =
+        SyntheticDriftSource::new(10, 40, classes, DriftSchedule { start: 0.5, step: 0.03 }, 41)?;
     let eval = Dataset::generate(200, classes, &Condition::with_severity(0.65)?, &mut rng)?;
 
-    let (mut node, stats) = run_streaming_session(node, cloud, stream, 16)?;
+    let config = IngestSessionConfig {
+        session: SessionConfig::with_batch(16),
+        queue_capacity: 4,
+        policy: IngestPolicy::Degrade(DegradeConfig {
+            high_watermark: 2,
+            low_watermark: 0,
+            min_batch: 4,
+            allow_precision_flip: true,
+        }),
+    };
+    let (mut node, stats, ingest) = run_ingested_session(node, cloud, Box::new(source), &config)?;
     println!(
         "session: {} batches, {}/{} images uploaded ({:.0}%), {} live updates installed",
         stats.batches,
@@ -105,16 +123,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.updates_installed
     );
     println!(
+        "ingest: {} frames produced ({} dropped), queue depth peaked at {}, \
+         {} fresh / {} recycled arena buffers, {:.1} ms producing in total",
+        ingest.frames,
+        ingest.drops,
+        ingest.max_queue_depth,
+        ingest.fresh_buffers,
+        ingest.reused_buffers,
+        ingest.produce_ns_total as f64 / 1e6
+    );
+    println!(
+        "backpressure: {} degrade step(s), {} restore(s), {} precision flip(s); \
+         node ended at {}",
+        ingest.degrades,
+        ingest.restores,
+        ingest.precision_flips,
+        insitu::core::precision_label(node.precision())
+    );
+    println!(
         "node ended at model v{} with {:.1}% accuracy on the drifted environment",
         node.version(),
         node.accuracy_on(&eval, 32)? * 100.0
     );
     if tracing {
         println!("{}", stats.telemetry.summary());
+        // The ingest histograms the overlapped pipeline feeds: queue
+        // depth (frames waiting when the node came back for more) and
+        // producer latency per frame.
+        for (name, unit, scale) in [
+            ("node.ingest.queue_depth", "frames", 1.0),
+            ("node.ingest.produce", "ms", 1e6),
+            ("node.ingest.wait", "ms", 1e6),
+        ] {
+            if let Some(h) = stats.telemetry.hist(name, "") {
+                println!(
+                    "{name}: count {} p50 {:.2} p90 {:.2} p99 {:.2} ({unit})",
+                    h.hist.count(),
+                    h.p50 as f64 / scale,
+                    h.p90 as f64 / scale,
+                    h.p99 as f64 / scale,
+                );
+            }
+        }
         std::fs::write("streaming_trace.json", stats.telemetry.chrome_trace_json())?;
         println!("Chrome trace written to streaming_trace.json (open in ui.perfetto.dev)");
         if let Some(p) = node.plan() {
-            println!("final plan after {} re-plan(s): {}", stats.replans, p.summary());
+            println!(
+                "final plan after {} re-plan(s) and {} lifetime precision flip(s): {}",
+                stats.replans,
+                node.precision_flips(),
+                p.summary()
+            );
         }
         let prometheus = stats.metrics.to_prometheus();
         validate_prometheus(&prometheus).map_err(|e| format!("invalid metrics export: {e}"))?;
