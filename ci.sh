@@ -30,6 +30,28 @@ cargo test -q -p insitu-core --test quantized_inference
 cargo test -q -p insitu-tensor --test simd_ops
 INSITU_SIMD=scalar cargo test -q -p insitu-tensor --test simd_ops
 
+# AVX-512 leg: forced only where the host actually has the feature set
+# the dispatcher requires (f+bw+dq+vl); elsewhere the leg is skipped
+# visibly rather than silently passing.
+if grep -q avx512f /proc/cpuinfo 2>/dev/null \
+    && grep -q avx512bw /proc/cpuinfo \
+    && grep -q avx512dq /proc/cpuinfo \
+    && grep -q avx512vl /proc/cpuinfo; then
+    INSITU_SIMD=avx512 cargo test -q -p insitu-tensor --test simd_ops
+    INSITU_GEMM_KERNEL=avx512 cargo test -q -p insitu-tensor --test packed_gemm
+    INSITU_GEMM_KERNEL=avx512 cargo test -q -p insitu-tensor --test quant_gemm
+else
+    echo "ci: SKIPPED avx512 leg (host lacks avx512f/bw/dq/vl)"
+fi
+
+# aarch64 cross-check leg: compile the NEON bodies when the rust-std
+# for the target is installed; best-effort, visibly skipped otherwise.
+if [ -d "$(rustc --print sysroot)/lib/rustlib/aarch64-unknown-linux-gnu/lib" ]; then
+    cargo check -q --workspace --target aarch64-unknown-linux-gnu
+else
+    echo "ci: SKIPPED aarch64 cross-check (rust-std for aarch64-unknown-linux-gnu not installed)"
+fi
+
 # Telemetry gates: the end-to-end trace test, then a smoke of the
 # Chrome-trace exporter through the bench bin (trace goes to stderr,
 # snapshot JSON to stdout — both must stay well-formed). --quick keeps
@@ -49,8 +71,12 @@ grep -q '"op": "maxpool"' /tmp/ci_kernels.json
 grep -q '"op": "softmax"' /tmp/ci_kernels.json
 grep -q '"op": "quantize_i8"' /tmp/ci_kernels.json
 grep -q '"speedup_vs_scalar"' /tmp/ci_kernels.json
-# Dispatch-latency percentiles from the counted pass.
+# Dispatch-latency percentiles from the counted pass, and the per-row
+# ISA attribution added with the multi-ISA back-ends.
+grep -q '"p90_ns"' /tmp/ci_kernels.json
 grep -q '"p99_ns"' /tmp/ci_kernels.json
+grep -q '"isa"' /tmp/ci_kernels.json
+grep -q '"kind": "kernel"' /tmp/ci_kernels.json
 grep -q '"traceEvents"' /tmp/ci_trace.json
 rm -f /tmp/ci_kernels.json /tmp/ci_trace.json
 

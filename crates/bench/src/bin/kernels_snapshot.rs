@@ -22,11 +22,21 @@
 //! the f32 packed time at the same thread count *in this run*, so the
 //! ratio is host-noise-free. Rows also carry
 //! telemetry counter totals (GEMM calls, bytes per iteration, pool
-//! jobs) and dispatch-latency percentiles (`p50_ns`/`p99_ns` from the
-//! span-fed histogram) from a separate *counted* pass — the timed loop always runs
+//! jobs) and dispatch-latency percentiles (`p50_ns`/`p90_ns`/`p99_ns`
+//! from the span-fed histogram) from a separate *counted* pass — the timed loop always runs
 //! with telemetry disabled, so the ns/iter numbers stay comparable to
 //! earlier snapshots. With `INSITU_TRACE=1` the final counted pass's
 //! Chrome trace is written to stderr.
+//!
+//! Every row carries an `isa` field naming the vector body it timed
+//! (the GEMM kernel name for GEMM rows, the dispatched ISA for op
+//! rows). Besides the env-selected kernel, the sweep emits one
+//! `"kind": "kernel"` row per *detected* GEMM kernel per
+//! (shape, threads), timed interleaved against the portable
+//! `scalar_8x4` kernel — `speedup_vs_scalar` there is a median of
+//! per-rep ratios, so cross-ISA comparisons (AVX-512 vs AVX2 vs
+//! scalar) are clock-drift-free within a row and can be compared
+//! across rows of the same run.
 //!
 //! After the GEMM sweep the snapshot times the dispatched SIMD ops
 //! (`op` rows: relu, maxpool, softmax, quantize_i8) at the paper's
@@ -43,11 +53,11 @@
 
 use insitu_telemetry as telemetry;
 use insitu_tensor::simd::{
-    dispatch_on, simd_isa_name, MaxPool2d, QuantizeI8, ReluTrain, SimdIsa, SimdOp, SoftmaxRows,
+    dispatch_on, simd_isa_name, Isa, MaxPool2d, QuantizeI8, ReluTrain, SimdOp, SoftmaxRows,
 };
 use insitu_tensor::{
-    gemm_kernel_name, matmul, matmul_i8, max_abs, quant_scale, quantize_i8, set_num_threads,
-    PoolGeometry, Rng, Tensor,
+    gemm_kernel_name, gemm_kernels_supported, matmul, matmul_i8, matmul_with_kernel, max_abs,
+    quant_scale, quantize_i8, set_num_threads, PoolGeometry, Rng, Tensor,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -132,6 +142,40 @@ fn time_matmul_i8_vs_f32(
     (i8_ns[i8_ns.len() / 2], ratios[ratios.len() / 2])
 }
 
+/// Times one named GEMM kernel interleaved with the portable
+/// `scalar_8x4` kernel on the same operands, so the reported speedup
+/// is a drift-free median of per-rep ratios. Returns
+/// `(kernel ns/iter, scalar ns/iter, speedup_vs_scalar)`.
+fn time_kernel_vs_scalar(a: &Tensor, b: &Tensor, kernel: &str, quick: bool) -> (u128, u128, f64) {
+    for _ in 0..3 {
+        std::hint::black_box(matmul_with_kernel(a, b, "scalar_8x4").unwrap());
+        std::hint::black_box(matmul_with_kernel(a, b, kernel).unwrap());
+    }
+    let (reps, iters) = if quick { (3, 3u32) } else { (7, 10u32) };
+    let mut ker_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut sca_ns: Vec<u128> = Vec::with_capacity(reps);
+    let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(matmul_with_kernel(a, b, "scalar_8x4").unwrap());
+        }
+        let s = start.elapsed().as_nanos() / u128::from(iters);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(matmul_with_kernel(a, b, kernel).unwrap());
+        }
+        let v = start.elapsed().as_nanos() / u128::from(iters);
+        sca_ns.push(s);
+        ker_ns.push(v);
+        ratios.push(s.max(1) as f64 / v.max(1) as f64);
+    }
+    ker_ns.sort_unstable();
+    sca_ns.sort_unstable();
+    ratios.sort_by(f64::total_cmp);
+    (ker_ns[ker_ns.len() / 2], sca_ns[sca_ns.len() / 2], ratios[ratios.len() / 2])
+}
+
 /// Times a SIMD op's scalar body against its auto-selected body,
 /// interleaved per rep so the ratio is drift-free. Returns
 /// `(selected ns/iter, scalar ns/iter, speedup_vs_scalar)`.
@@ -175,6 +219,7 @@ fn time_simd_pair(
 fn push_op_row(
     rows: &mut String,
     op: &str,
+    isa: &str,
     n: usize,
     threads: usize,
     bytes: u64,
@@ -189,7 +234,7 @@ fn push_op_row(
     let gbps = bytes as f64 / ns.max(1) as f64;
     let _ = write!(
         rows,
-        "    {{\"op\": \"{op}\", \"n\": {n}, \"threads\": {threads}{extra}, \
+        "    {{\"op\": \"{op}\", \"isa\": \"{isa}\", \"n\": {n}, \"threads\": {threads}{extra}, \
          \"ns_per_iter\": {ns}, \"scalar_ns_per_iter\": {scalar_ns}, \
          \"gbps\": {gbps:.2}, \"speedup_vs_scalar\": {speedup:.2}}}"
     );
@@ -248,8 +293,8 @@ fn main() {
             let pool_jobs = snap.counter("pool.jobs", "").map_or(0, |c| c.calls);
             // Dispatch-latency percentiles from the span auto-feed
             // histogram of the same counted pass.
-            let (p50_ns, p99_ns) =
-                snap.hist("tensor.gemm_nn", "").map_or((0, 0), |h| (h.p50, h.p99));
+            let (p50_ns, p90_ns, p99_ns) =
+                snap.hist("tensor.gemm_nn", "").map_or((0, 0, 0), |h| (h.p50, h.p90, h.p99));
             last_snap = snap;
             if !rows.is_empty() {
                 rows.push_str(",\n");
@@ -257,10 +302,12 @@ fn main() {
             let _ = write!(
                 rows,
                 "    {{\"shape\": \"{name}\", \"precision\": \"f32\", \
-                 \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+                 \"isa\": \"{kernel}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
                  \"threads\": {t}, \"ns_per_iter\": {ns}, \"gflops\": {gflops:.2}, \
                  \"gemm_calls\": {gemm_calls}, \"bytes_per_iter\": {bytes_per_iter}, \
-                 \"pool_jobs\": {pool_jobs}, \"p50_ns\": {p50_ns}, \"p99_ns\": {p99_ns}"
+                 \"pool_jobs\": {pool_jobs}, \"p50_ns\": {p50_ns}, \"p90_ns\": {p90_ns}, \
+                 \"p99_ns\": {p99_ns}",
+                kernel = gemm_kernel_name()
             );
             // The baseline is single-threaded; compare only t1 rows.
             if let (Some(base), 1) = (baseline, t) {
@@ -279,16 +326,32 @@ fn main() {
             let _ = write!(
                 rows,
                 ",\n    {{\"shape\": \"{name}\", \"precision\": \"i8\", \
-                 \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+                 \"isa\": \"{kernel}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
                  \"threads\": {t}, \"ns_per_iter\": {ns_i8}, \"gflops\": {gops_i8:.2}, \
-                 \"speedup_vs_f32\": {speedup_vs_f32:.2}}}"
+                 \"speedup_vs_f32\": {speedup_vs_f32:.2}}}",
+                kernel = gemm_kernel_name()
             );
+            // One cross-ISA row per detected kernel, each timed
+            // interleaved with the portable kernel so the speedups are
+            // drift-free and comparable across rows of this run.
+            for kernel in gemm_kernels_supported() {
+                let (kns, sns, sp) = time_kernel_vs_scalar(&a, &b, kernel, quick);
+                let kgf = flops / kns.max(1) as f64;
+                let _ = write!(
+                    rows,
+                    ",\n    {{\"shape\": \"{name}\", \"precision\": \"f32\", \
+                     \"kind\": \"kernel\", \"isa\": \"{kernel}\", \
+                     \"m\": {m}, \"k\": {k}, \"n\": {n}, \"threads\": {t}, \
+                     \"ns_per_iter\": {kns}, \"gflops\": {kgf:.2}, \
+                     \"scalar_ns_per_iter\": {sns}, \"speedup_vs_scalar\": {sp:.2}}}"
+                );
+            }
         }
     }
 
     // ---- Dispatched SIMD ops at the paper's activation shapes. ------
     // conv1 activation of the mini-AlexNet at batch 8: (8, 16, 36, 36).
-    let sel = SimdIsa::select();
+    let sel = Isa::select();
     let n_act: usize = 8 * 16 * 36 * 36;
     let act: Vec<f32> = (0..n_act).map(|_| rng.uniform(-1.0, 1.0)).collect();
     let inv_scale = 1.0 / quant_scale(max_abs(&act));
@@ -315,13 +378,13 @@ fn main() {
                 quick,
                 &mut || {
                     dispatch_on(
-                        SimdIsa::Scalar,
+                        Isa::Scalar,
                         ReluTrain { buf: &mut buf_s, mask: &mut mask_s },
                     )
                 },
                 &mut || dispatch_on(sel, ReluTrain { buf: &mut buf_v, mask: &mut mask_v }),
             );
-            push_op_row(&mut rows, "relu", n_act, t, bytes, ns, sns, sp, "");
+            push_op_row(&mut rows, "relu", sel.name(), n_act, t, bytes, ns, sns, sp, "");
         }
 
         // maxpool: 2x2 stride-2 forward with argmax.
@@ -336,7 +399,7 @@ fn main() {
                 quick,
                 &mut || {
                     dispatch_on(
-                        SimdIsa::Scalar,
+                        Isa::Scalar,
                         MaxPool2d { x: &act, g, planes, out: &mut out_s, argmax: &mut arg_s },
                     )
                 },
@@ -347,7 +410,7 @@ fn main() {
                     )
                 },
             );
-            push_op_row(&mut rows, "maxpool", n_act, t, bytes, ns, sns, sp, "");
+            push_op_row(&mut rows, "maxpool", sel.name(), n_act, t, bytes, ns, sns, sp, "");
         }
 
         // softmax: three-pass shift-invariant rows.
@@ -359,10 +422,10 @@ fn main() {
             let bytes = SoftmaxRows { buf: &mut buf_s, k }.bytes();
             let (ns, sns, sp) = time_simd_pair(
                 quick,
-                &mut || dispatch_on(SimdIsa::Scalar, SoftmaxRows { buf: &mut buf_s, k }),
+                &mut || dispatch_on(Isa::Scalar, SoftmaxRows { buf: &mut buf_s, k }),
                 &mut || dispatch_on(sel, SoftmaxRows { buf: &mut buf_v, k }),
             );
-            push_op_row(&mut rows, "softmax", n_sm, t, bytes, ns, sns, sp, &format!(", \"k\": {k}"));
+            push_op_row(&mut rows, "softmax", sel.name(), n_sm, t, bytes, ns, sns, sp, &format!(", \"k\": {k}"));
         }
 
         // quantize_i8: f32 -> i8 at the calibration scale.
@@ -373,11 +436,11 @@ fn main() {
             let (ns, sns, sp) = time_simd_pair(
                 quick,
                 &mut || {
-                    dispatch_on(SimdIsa::Scalar, QuantizeI8 { src: &act, inv_scale, dst: &mut dst_s })
+                    dispatch_on(Isa::Scalar, QuantizeI8 { src: &act, inv_scale, dst: &mut dst_s })
                 },
                 &mut || dispatch_on(sel, QuantizeI8 { src: &act, inv_scale, dst: &mut dst_v }),
             );
-            push_op_row(&mut rows, "quantize_i8", n_act, t, bytes, ns, sns, sp, "");
+            push_op_row(&mut rows, "quantize_i8", sel.name(), n_act, t, bytes, ns, sns, sp, "");
         }
     }
     set_num_threads(1);
@@ -389,12 +452,19 @@ fn main() {
     // Plain write, not println!: a downstream `head` closing the pipe
     // early is not worth a panic.
     use std::io::Write as _;
+    let isas: Vec<String> =
+        Isa::supported().iter().map(|i| format!("\"{}\"", i.name())).collect();
+    let kernels: Vec<String> =
+        gemm_kernels_supported().iter().map(|k| format!("\"{k}\"")).collect();
     let _ = writeln!(
         std::io::stdout(),
         "{{\n  \"bench\": \"packed_gemm\",\n  \"host_cores\": {cores},\n  \
-         \"kernel\": \"{}\",\n  \"simd_isa\": \"{}\",\n  \"quick\": {quick},\n  \
+         \"kernel\": \"{}\",\n  \"simd_isa\": \"{}\",\n  \
+         \"isas_supported\": [{}],\n  \"gemm_kernels\": [{}],\n  \"quick\": {quick},\n  \
          \"results\": [\n{rows}\n  ]\n}}",
         gemm_kernel_name(),
-        simd_isa_name()
+        simd_isa_name(),
+        isas.join(", "),
+        kernels.join(", ")
     );
 }

@@ -16,8 +16,9 @@
 //! The non-GEMM hot ops (ReLU, maxpool, softmax, quantization,
 //! metric reductions) go through the [`simd`] dispatch layer: one
 //! [`simd::SimdOp`] trait, a scalar oracle body per op, and
-//! runtime-detected AVX2 bodies, all overridable with
-//! `INSITU_SIMD=scalar`.
+//! runtime-detected vector bodies (AVX2 and AVX-512 on x86-64, NEON
+//! on aarch64), all pinnable with
+//! `INSITU_SIMD=scalar|avx2|avx512|neon`.
 //!
 //! A symmetric-i8 fixed-point inference path ([`matmul_i8`],
 //! [`conv2d_forward_i8_ws`], [`linear_forward_i8_ws`]) mirrors the
@@ -63,14 +64,14 @@ pub use conv::{
 };
 pub use error::TensorError;
 pub use matmul::{
-    gemm_kernel_name, matmul, matmul_naive, matmul_nt, matmul_nt_ws, matmul_tn, matmul_tn_ws,
-    matmul_ws, matvec, GemmScratch,
+    gemm_kernel_name, gemm_kernels_supported, matmul, matmul_naive, matmul_nt, matmul_nt_ws,
+    matmul_tn, matmul_tn_ws, matmul_with_kernel, matmul_ws, matvec, GemmScratch,
 };
 pub use parallel::{num_threads, par_chunks_mut, parallel_for, set_num_threads};
 pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolGeometry};
 pub use quant::{
-    dequantize_i8, linear_forward_i8_ws, matmul_i8, matmul_i8_naive, matmul_i8_ws, max_abs,
-    quant_scale, quantize_i8, QuantizedMatrix, QUANT_MAX,
+    dequantize_i8, linear_forward_i8_ws, matmul_i8, matmul_i8_naive, matmul_i8_with_kernel,
+    matmul_i8_ws, max_abs, quant_scale, quantize_i8, QuantizedMatrix, QUANT_MAX,
 };
 pub use rng::Rng;
 pub use shape::Shape;

@@ -60,6 +60,15 @@ pub fn gemm_kernel_name() -> &'static str {
     Kernel::select().name()
 }
 
+/// Names of every GEMM micro-kernel variant the current host can run,
+/// portable baseline first (e.g. `["scalar_8x4", "avx2_8x8",
+/// "avx512_8x16"]` on an AVX-512 host). The cross-kernel property
+/// tests and the benchmark iterate this together with
+/// [`matmul_with_kernel`].
+pub fn gemm_kernels_supported() -> Vec<&'static str> {
+    Kernel::supported().into_iter().map(Kernel::name).collect()
+}
+
 thread_local! {
     /// Arena behind the scratch-free `matmul*` entry points. One per
     /// thread, so pool workers and user threads never contend; grows to
@@ -132,11 +141,28 @@ pub(crate) fn gemm_packed(
     scratch: &mut GemmScratch,
     out: &mut [f32],
 ) {
+    gemm_packed_with(Kernel::select(), av, a_trans, bv, b_trans, m, k, n, scratch, out);
+}
+
+/// [`gemm_packed`] on an explicit micro-kernel variant — the entry
+/// point behind [`matmul_with_kernel`] and the cross-kernel tests.
+#[allow(clippy::too_many_arguments)] // flat GEMM signature: operands + dims + scratch
+pub(crate) fn gemm_packed_with(
+    kern: Kernel,
+    av: &[f32],
+    a_trans: bool,
+    bv: &[f32],
+    b_trans: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+    out: &mut [f32],
+) {
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 {
         return;
     }
-    let kern = Kernel::select();
     let (mr, nr) = (kern.mr(), kern.nr());
     let (pa, pb) = scratch.panels(packed_a_len(m, k, mr), packed_b_len(k, n, nr));
     {
@@ -221,6 +247,40 @@ pub fn matmul_ws(a: &Tensor, b: &Tensor, scratch: &mut GemmScratch) -> Result<Te
     let _t = gemm_telemetry("tensor.gemm_nn", m, ka, n);
     let mut out = vec![0.0f32; m * n];
     gemm_packed(a.as_slice(), false, b.as_slice(), false, m, ka, n, scratch, &mut out);
+    Tensor::from_vec([m, n], out)
+}
+
+/// [`matmul`] forced onto a specific micro-kernel variant by name
+/// (one of [`gemm_kernels_supported`]), regardless of the process-wide
+/// selection. This is how the property tests and the benchmark sweep
+/// every runnable kernel in one process; production code should use
+/// [`matmul`] and let selection pick the widest.
+///
+/// # Errors
+///
+/// Returns an error if `kernel` is not a host-supported kernel name,
+/// either operand is not 2-D, or the inner dimensions disagree.
+pub fn matmul_with_kernel(a: &Tensor, b: &Tensor, kernel: &str) -> Result<Tensor> {
+    let kern = Kernel::from_name(kernel).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!(
+            "unknown or host-unsupported GEMM kernel `{kernel}`; this host supports {:?}",
+            gemm_kernels_supported()
+        ),
+    })?;
+    let (m, ka) = check_2d(a, "matmul")?;
+    let (kb, n) = check_2d(b, "matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, ka],
+            actual: vec![kb, n],
+            op: "matmul",
+        });
+    }
+    let _t = gemm_telemetry("tensor.gemm_nn", m, ka, n);
+    let mut out = vec![0.0f32; m * n];
+    with_tl_scratch(|s| {
+        gemm_packed_with(kern, a.as_slice(), false, b.as_slice(), false, m, ka, n, s, &mut out)
+    });
     Tensor::from_vec([m, n], out)
 }
 

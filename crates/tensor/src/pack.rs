@@ -163,13 +163,25 @@ fn transpose8x8_bytes(w: &mut [u64; 8]) {
     }
 }
 
-/// Packs one 8-lane k-major band from contiguous source rows:
-/// `panel[kk·8 + r] = src[(row0 + r)·k + kk]`, lanes `r ≥ nrows`
-/// zeroed. Full bands go through [`transpose8x8_bytes`] eight k-steps
-/// at a time; ragged edges fall back to the scalar gather.
-fn pack_band_transpose_i8(src: &[i8], row0: usize, nrows: usize, k: usize, panel: &mut [i8]) {
+/// Packs one 8-row k-major half-band from contiguous source rows into
+/// a panel of `lanes` byte lanes per k-step, starting at lane `lane0`:
+/// `panel[kk·lanes + lane0 + r] = src[(row0 + r)·k + kk]`, lanes
+/// `lane0 + r` for `r ≥ nrows` zeroed. Full bands go through
+/// [`transpose8x8_bytes`] eight k-steps at a time; ragged edges fall
+/// back to the scalar gather. `lanes == 8, lane0 == 0` is the classic
+/// 8-wide panel; a 16-wide panel is two calls at `lane0 ∈ {0, 8}`.
+fn pack_band_transpose_i8(
+    src: &[i8],
+    row0: usize,
+    nrows: usize,
+    k: usize,
+    lanes: usize,
+    lane0: usize,
+    panel: &mut [i8],
+) {
     debug_assert!(nrows <= 8);
-    debug_assert_eq!(panel.len(), 8 * k);
+    debug_assert!(lane0 + 8 <= lanes);
+    debug_assert_eq!(panel.len(), lanes * k);
     if nrows == 8 {
         let k8 = k - k % 8;
         let mut kk = 0;
@@ -181,7 +193,8 @@ fn pack_band_transpose_i8(src: &[i8], row0: usize, nrows: usize, k: usize, panel
             }
             transpose8x8_bytes(&mut w);
             for (j, wj) in w.iter().enumerate() {
-                let d: &mut [i8; 8] = (&mut panel[(kk + j) * 8..][..8]).try_into().unwrap();
+                let d: &mut [i8; 8] =
+                    (&mut panel[(kk + j) * lanes + lane0..][..8]).try_into().unwrap();
                 *d = wj.to_le_bytes().map(|b| b as i8);
             }
             kk += 8;
@@ -189,19 +202,19 @@ fn pack_band_transpose_i8(src: &[i8], row0: usize, nrows: usize, k: usize, panel
         for r in 0..8 {
             let row = &src[(row0 + r) * k..][..k];
             for kk in k8..k {
-                panel[kk * 8 + r] = row[kk];
+                panel[kk * lanes + lane0 + r] = row[kk];
             }
         }
     } else {
         for r in 0..nrows {
             let row = &src[(row0 + r) * k..][..k];
             for (kk, &v) in row.iter().enumerate() {
-                panel[kk * 8 + r] = v;
+                panel[kk * lanes + lane0 + r] = v;
             }
         }
         for r in nrows..8 {
             for kk in 0..k {
-                panel[kk * 8 + r] = 0;
+                panel[kk * lanes + lane0 + r] = 0;
             }
         }
     }
@@ -223,37 +236,40 @@ pub(crate) fn pack_a_i8(src: &[i8], m: usize, k: usize, trans: bool, mr: usize, 
     }
     for (p, panel) in dst.chunks_exact_mut(8 * k).enumerate() {
         let i0 = p * 8;
-        pack_band_transpose_i8(src, i0, 8.min(m - i0), k, panel);
+        pack_band_transpose_i8(src, i0, 8.min(m - i0), k, 8, 0, panel);
     }
 }
 
 /// i8 right-operand packer: the layout contract of [`pack_b`]. The
 /// transposed `nr == 8` case (Linear weights stored `(out, in)`) is
-/// the same band transpose as [`pack_a_i8`]; the non-transposed full
-/// panel copies fixed 8-byte words instead of runtime-length slices.
-/// Other configurations delegate to the generic packer.
+/// the same band transpose as [`pack_a_i8`], and `nr == 16` (the
+/// AVX-512 tile) is two such half-band transposes at lane offsets 0
+/// and 8; the non-transposed full panel copies fixed-width words
+/// instead of runtime-length slices. Other configurations delegate to
+/// the generic packer.
 pub(crate) fn pack_b_i8(src: &[i8], k: usize, n: usize, trans: bool, nr: usize, dst: &mut [i8]) {
-    if nr != 8 {
+    if nr != 8 && nr != 16 {
         return pack_b(src, k, n, trans, nr, dst);
     }
     debug_assert_eq!(src.len(), k * n);
-    debug_assert_eq!(dst.len(), packed_b_len(k, n, 8));
+    debug_assert_eq!(dst.len(), packed_b_len(k, n, nr));
     if k == 0 {
         return; // degenerate product: nothing to pack (dst is empty)
     }
-    for (q, panel) in dst.chunks_exact_mut(8 * k).enumerate() {
-        let j0 = q * 8;
-        let cols = 8.min(n - j0);
+    for (q, panel) in dst.chunks_exact_mut(nr * k).enumerate() {
+        let j0 = q * nr;
+        let cols = nr.min(n - j0);
         if trans {
-            pack_band_transpose_i8(src, j0, cols, k, panel);
-        } else if cols == 8 {
-            for (kk, d) in panel.chunks_exact_mut(8).enumerate() {
-                let d: &mut [i8; 8] = d.try_into().unwrap();
-                let s: &[i8; 8] = src[kk * n + j0..][..8].try_into().unwrap();
-                *d = *s;
+            pack_band_transpose_i8(src, j0, cols.min(8), k, nr, 0, panel);
+            if nr == 16 {
+                pack_band_transpose_i8(src, j0 + 8, cols.saturating_sub(8), k, nr, 8, panel);
+            }
+        } else if cols == nr {
+            for (kk, d) in panel.chunks_exact_mut(nr).enumerate() {
+                d.copy_from_slice(&src[kk * n + j0..][..nr]);
             }
         } else {
-            for (kk, d) in panel.chunks_exact_mut(8).enumerate() {
+            for (kk, d) in panel.chunks_exact_mut(nr).enumerate() {
                 d[..cols].copy_from_slice(&src[kk * n + j0..][..cols]);
                 d[cols..].fill(0);
             }

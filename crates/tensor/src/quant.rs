@@ -228,11 +228,28 @@ pub(crate) fn gemm_packed_i8(
     scratch: &mut GemmScratch,
     out: &mut [i32],
 ) {
+    gemm_packed_i8_with(Kernel::select(), av, a_trans, bv, b_trans, m, k, n, scratch, out);
+}
+
+/// [`gemm_packed_i8`] on an explicit micro-kernel variant — the entry
+/// point behind [`matmul_i8_with_kernel`] and the cross-kernel tests.
+#[allow(clippy::too_many_arguments)] // flat GEMM signature: operands + dims + scratch
+pub(crate) fn gemm_packed_i8_with(
+    kern: Kernel,
+    av: &[i8],
+    a_trans: bool,
+    bv: &[i8],
+    b_trans: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+    out: &mut [i32],
+) {
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 {
         return;
     }
-    let kern = Kernel::select();
     let (mr, nr) = (kern.mr(), kern.nr());
     let (pa, pb) = scratch.panels_i8(packed_a_len(m, k, mr), packed_b_len(k, n, nr));
     {
@@ -286,6 +303,47 @@ pub fn matmul_i8_ws(
 pub fn matmul_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Result<Vec<i32>> {
     let mut out = vec![0i32; m * n];
     TL_QUANT_SCRATCH.with(|s| matmul_i8_ws(a, b, m, k, n, &mut s.borrow_mut(), &mut out))?;
+    Ok(out)
+}
+
+/// [`matmul_i8`] forced onto a specific micro-kernel variant by name
+/// (one of [`gemm_kernels_supported`](crate::gemm_kernels_supported)),
+/// regardless of the process-wide selection — the i8 twin of
+/// [`matmul_with_kernel`](crate::matmul_with_kernel).
+///
+/// # Errors
+///
+/// Returns an error if `kernel` is not a host-supported kernel name or
+/// a slice length disagrees with `(m, k, n)`.
+pub fn matmul_i8_with_kernel(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    kernel: &str,
+) -> Result<Vec<i32>> {
+    let kern = Kernel::from_name(kernel).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!(
+            "unknown or host-unsupported GEMM kernel `{kernel}`; this host supports {:?}",
+            crate::gemm_kernels_supported()
+        ),
+    })?;
+    if a.len() != m * k || b.len() != k * n {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "matmul_i8: A {} / B {} incompatible with {m}x{k}x{n}",
+                a.len(),
+                b.len()
+            ),
+        });
+    }
+    let _t = telemetry::span_with("tensor.quant.gemm_i8", || format!("{m}x{k}x{n}"));
+    telemetry::counter_add("tensor.quant.bytes", "gemm_i8", (m * k + k * n + 4 * m * n) as u64);
+    let mut out = vec![0i32; m * n];
+    TL_QUANT_SCRATCH.with(|s| {
+        gemm_packed_i8_with(kern, a, false, b, false, m, k, n, &mut s.borrow_mut(), &mut out)
+    });
     Ok(out)
 }
 

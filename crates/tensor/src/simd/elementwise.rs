@@ -7,7 +7,11 @@
 //! hand-written body twice over — the mask costs 1/32 the memory
 //! traffic of the `Vec<bool>` it replaces, and the scalar byte
 //! accumulation is a serial dependency chain the autovectorizer cannot
-//! break, while AVX2 gets the whole byte in one `movmskps`.
+//! break, while AVX2 gets the whole byte in one `movmskps`, AVX-512
+//! gets two bytes straight from the `__mmask16` compare result, and
+//! NEON sums per-lane bit weights with `vaddvq_u32` (no movemask on
+//! aarch64; the weights are disjoint powers of two, so the sum *is*
+//! the OR).
 //!
 //! All bodies here are **bitwise exact** against the scalar oracle for
 //! every input (NaN and `-0.0` included) at any thread count: elements
@@ -71,6 +75,46 @@ unsafe fn relu_avx2_range(buf: &mut [f32]) {
     relu_scalar_range(&mut buf[i..]);
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn relu_avx512_range(buf: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let zero = _mm512_setzero_ps();
+    let n = buf.len();
+    let p = buf.as_mut_ptr();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n bounds the 16-lane load/store.
+        let v = _mm512_loadu_ps(p.add(i));
+        let keep = _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, zero);
+        // maskz_mov writes +0.0 into non-keep lanes, exactly the
+        // scalar `else { 0.0 }` (NaN and -0.0 both fail `> 0`).
+        _mm512_storeu_ps(p.add(i), _mm512_maskz_mov_ps(keep, v));
+        i += 16;
+    }
+    relu_scalar_range(&mut buf[i..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn relu_neon_range(buf: &mut [f32]) {
+    use std::arch::aarch64::*;
+    let zero = vdupq_n_f32(0.0);
+    let n = buf.len();
+    let p = buf.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n bounds the 4-lane load/store. Compare+AND,
+        // not vmaxq_f32: max would propagate NaN, the oracle zeroes it.
+        let v = vld1q_f32(p.add(i));
+        let keep = vcgtq_f32(v, zero);
+        let r = vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(v), keep));
+        vst1q_f32(p.add(i), r);
+        i += 4;
+    }
+    relu_scalar_range(&mut buf[i..]);
+}
+
 impl SimdOp for Relu<'_> {
     const NAME: &'static str = "tensor.simd.relu";
     type Output = ();
@@ -96,6 +140,31 @@ impl SimdOp for Relu<'_> {
             // SAFETY: disjoint sub-ranges; AVX2 verified by the caller.
             unsafe {
                 relu_avx2_range(std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()));
+            }
+        });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx512(self) {
+        let base = SendPtr(self.buf.as_mut_ptr());
+        par_groups(self.buf.len(), self.buf.len() as u64, move |r| {
+            // SAFETY: disjoint sub-ranges; AVX-512 verified by the caller.
+            unsafe {
+                relu_avx512_range(std::slice::from_raw_parts_mut(
+                    base.get().add(r.start),
+                    r.len(),
+                ));
+            }
+        });
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) {
+        let base = SendPtr(self.buf.as_mut_ptr());
+        par_groups(self.buf.len(), self.buf.len() as u64, move |r| {
+            // SAFETY: disjoint sub-ranges; NEON verified by the caller.
+            unsafe {
+                relu_neon_range(std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()));
             }
         });
     }
@@ -149,6 +218,63 @@ unsafe fn relu_train_avx2_range(buf: &mut [f32], mask: &mut [u8]) {
     relu_train_scalar_range(&mut buf[i..], &mut mask[mi..]);
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn relu_train_avx512_range(buf: &mut [f32], mask: &mut [u8]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(mask.len(), buf.len().div_ceil(8));
+    let zero = _mm512_setzero_ps();
+    let n = buf.len();
+    let p = buf.as_mut_ptr();
+    let mut i = 0;
+    let mut mi = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n bounds the lanes; mi + 1 = i / 8 + 1 is
+        // within mask. The __mmask16 compare result *is* the two
+        // packed `x > 0` bytes, low lanes in the low byte.
+        let v = _mm512_loadu_ps(p.add(i));
+        let keep = _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, zero);
+        _mm512_storeu_ps(p.add(i), _mm512_maskz_mov_ps(keep, v));
+        *mask.get_unchecked_mut(mi) = (keep & 0xFF) as u8;
+        *mask.get_unchecked_mut(mi + 1) = (keep >> 8) as u8;
+        i += 16;
+        mi += 2;
+    }
+    relu_train_scalar_range(&mut buf[i..], &mut mask[mi..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn relu_train_neon_range(buf: &mut [f32], mask: &mut [u8]) {
+    use std::arch::aarch64::*;
+    debug_assert_eq!(mask.len(), buf.len().div_ceil(8));
+    let zero = vdupq_n_f32(0.0);
+    // Per-lane bit weights: ANDed with the all-ones compare lanes and
+    // summed across the vector, they assemble the packed mask byte —
+    // the weights are disjoint powers of two, so the sum is the OR.
+    let (lo_w, hi_w) = ([1u32, 2, 4, 8], [16u32, 32, 64, 128]);
+    let bits_lo = vld1q_u32(lo_w.as_ptr());
+    let bits_hi = vld1q_u32(hi_w.as_ptr());
+    let n = buf.len();
+    let p = buf.as_mut_ptr();
+    let mut i = 0;
+    let mut mi = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n bounds the lanes; mi = i / 8 < mask.len().
+        let v0 = vld1q_f32(p.add(i));
+        let v1 = vld1q_f32(p.add(i + 4));
+        let k0 = vcgtq_f32(v0, zero);
+        let k1 = vcgtq_f32(v1, zero);
+        vst1q_f32(p.add(i), vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(v0), k0)));
+        vst1q_f32(p.add(i + 4), vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(v1), k1)));
+        let byte = vaddvq_u32(vandq_u32(k0, bits_lo)) + vaddvq_u32(vandq_u32(k1, bits_hi));
+        *mask.get_unchecked_mut(mi) = byte as u8;
+        i += 8;
+        mi += 1;
+    }
+    relu_train_scalar_range(&mut buf[i..], &mut mask[mi..]);
+}
+
 impl SimdOp for ReluTrain<'_> {
     const NAME: &'static str = "tensor.simd.relu_train";
     type Output = ();
@@ -185,6 +311,46 @@ impl SimdOp for ReluTrain<'_> {
             // SAFETY: disjoint 8-aligned ranges as above; AVX2 verified.
             unsafe {
                 relu_train_avx2_range(
+                    std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()),
+                    std::slice::from_raw_parts_mut(
+                        mbase.get().add(r.start / 8),
+                        r.len().div_ceil(8),
+                    ),
+                );
+            }
+        });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx512(self) {
+        assert_eq!(self.mask.len(), self.buf.len().div_ceil(8), "mask must be 1 bit per element");
+        let (base, mbase) = (SendPtr(self.buf.as_mut_ptr()), SendPtr(self.mask.as_mut_ptr()));
+        let n = self.buf.len();
+        par_groups(n, n as u64, move |r| {
+            // SAFETY: disjoint 8-aligned ranges as above; AVX-512
+            // verified. (Ranges are 8-aligned, not 16-: the 16-lane
+            // loop just leaves a ≤15-element scalar tail per range.)
+            unsafe {
+                relu_train_avx512_range(
+                    std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()),
+                    std::slice::from_raw_parts_mut(
+                        mbase.get().add(r.start / 8),
+                        r.len().div_ceil(8),
+                    ),
+                );
+            }
+        });
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) {
+        assert_eq!(self.mask.len(), self.buf.len().div_ceil(8), "mask must be 1 bit per element");
+        let (base, mbase) = (SendPtr(self.buf.as_mut_ptr()), SendPtr(self.mask.as_mut_ptr()));
+        let n = self.buf.len();
+        par_groups(n, n as u64, move |r| {
+            // SAFETY: disjoint 8-aligned ranges as above; NEON verified.
+            unsafe {
+                relu_train_neon_range(
                     std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()),
                     std::slice::from_raw_parts_mut(
                         mbase.get().add(r.start / 8),
@@ -238,6 +404,57 @@ unsafe fn relu_bwd_avx2_range(grad: &mut [f32], mask: &[u8]) {
     relu_bwd_scalar_range(&mut grad[i..], &mask[mi..]);
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn relu_bwd_avx512_range(grad: &mut [f32], mask: &[u8]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(mask.len(), grad.len().div_ceil(8));
+    let n = grad.len();
+    let p = grad.as_mut_ptr();
+    let mut i = 0;
+    let mut mi = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n bounds the lanes; mi + 1 is within mask.
+        // Two packed mask bytes reassemble into the __mmask16 directly
+        // — the inverse of the train body's mask split.
+        let keep = u16::from_le_bytes([*mask.get_unchecked(mi), *mask.get_unchecked(mi + 1)]);
+        let g = _mm512_maskz_mov_ps(keep, _mm512_loadu_ps(p.add(i)));
+        _mm512_storeu_ps(p.add(i), g);
+        i += 16;
+        mi += 2;
+    }
+    relu_bwd_scalar_range(&mut grad[i..], &mask[mi..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn relu_bwd_neon_range(grad: &mut [f32], mask: &[u8]) {
+    use std::arch::aarch64::*;
+    debug_assert_eq!(mask.len(), grad.len().div_ceil(8));
+    // Expand bit b of the mask byte to lane b: broadcast the byte, AND
+    // with each lane's bit weight, compare-equal against the weight.
+    let (lo_w, hi_w) = ([1u32, 2, 4, 8], [16u32, 32, 64, 128]);
+    let bits_lo = vld1q_u32(lo_w.as_ptr());
+    let bits_hi = vld1q_u32(hi_w.as_ptr());
+    let n = grad.len();
+    let p = grad.as_mut_ptr();
+    let mut i = 0;
+    let mut mi = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n bounds the lanes; mi = i / 8 < mask.len().
+        let byte = vdupq_n_u32(u32::from(*mask.get_unchecked(mi)));
+        let k0 = vceqq_u32(vandq_u32(byte, bits_lo), bits_lo);
+        let k1 = vceqq_u32(vandq_u32(byte, bits_hi), bits_hi);
+        let g0 = vandq_u32(vreinterpretq_u32_f32(vld1q_f32(p.add(i))), k0);
+        let g1 = vandq_u32(vreinterpretq_u32_f32(vld1q_f32(p.add(i + 4))), k1);
+        vst1q_f32(p.add(i), vreinterpretq_f32_u32(g0));
+        vst1q_f32(p.add(i + 4), vreinterpretq_f32_u32(g1));
+        i += 8;
+        mi += 1;
+    }
+    relu_bwd_scalar_range(&mut grad[i..], &mask[mi..]);
+}
+
 impl SimdOp for ReluBackward<'_> {
     const NAME: &'static str = "tensor.simd.relu_bwd";
     type Output = ();
@@ -271,6 +488,38 @@ impl SimdOp for ReluBackward<'_> {
             // SAFETY: disjoint 8-aligned ranges; AVX2 verified.
             unsafe {
                 relu_bwd_avx2_range(
+                    std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()),
+                    &mask[r.start / 8..r.start / 8 + r.len().div_ceil(8)],
+                );
+            }
+        });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx512(self) {
+        assert_eq!(self.mask.len(), self.grad.len().div_ceil(8), "mask must be 1 bit per element");
+        let base = SendPtr(self.grad.as_mut_ptr());
+        let mask = self.mask;
+        par_groups(self.grad.len(), self.grad.len() as u64, move |r| {
+            // SAFETY: disjoint 8-aligned ranges; AVX-512 verified.
+            unsafe {
+                relu_bwd_avx512_range(
+                    std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()),
+                    &mask[r.start / 8..r.start / 8 + r.len().div_ceil(8)],
+                );
+            }
+        });
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) {
+        assert_eq!(self.mask.len(), self.grad.len().div_ceil(8), "mask must be 1 bit per element");
+        let base = SendPtr(self.grad.as_mut_ptr());
+        let mask = self.mask;
+        par_groups(self.grad.len(), self.grad.len() as u64, move |r| {
+            // SAFETY: disjoint 8-aligned ranges; NEON verified.
+            unsafe {
+                relu_bwd_neon_range(
                     std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()),
                     &mask[r.start / 8..r.start / 8 + r.len().div_ceil(8)],
                 );

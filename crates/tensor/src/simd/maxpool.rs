@@ -13,6 +13,13 @@
 //! tensors whose linear indices overflow `i32`, fall back to the
 //! scalar plane kernel inside the AVX2 body.
 //!
+//! The NEON body runs the same scheme 4 outputs at a time: `vld2q_f32`
+//! deinterleaves even/odd columns in one load, and the candidate fold
+//! uses `vcgtq`/`vbslq` — the identical first-strictly-greater chain.
+//! There is no dedicated AVX-512 body: maxpool is load-bound and the
+//! AVX2 body (inherited through the trait default) already saturates
+//! the two load ports, so wider registers buy nothing.
+//!
 //! Planes (batch × channel) are independent, so parallelism splits
 //! planes; outputs never depend on the split.
 
@@ -131,6 +138,81 @@ unsafe fn pool_plane_avx2_w2s2(
     }
 }
 
+/// Window-2 / stride-2 plane: 4 outputs per step. Caller guarantees
+/// the geometry and that `plane + in_h * in_w <= i32::MAX`.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn pool_plane_neon_w2s2(
+    x: &[f32],
+    plane: usize,
+    g: &PoolGeometry,
+    out: &mut [f32],
+    arg: &mut [usize],
+) {
+    use std::arch::aarch64::*;
+    debug_assert!(g.window == 2 && g.stride == 2);
+    // SAFETY: geometry checked by the caller; every load below is
+    // bounds-justified at its site.
+    unsafe {
+        let iota = vld1q_s32([0i32, 2, 4, 6].as_ptr());
+        let xp = x.as_ptr();
+        let neg_inf = vdupq_n_f32(f32::NEG_INFINITY);
+        for oy in 0..g.out_h {
+            let row0 = plane + (2 * oy) * g.in_w;
+            let row1 = row0 + g.in_w;
+            let orow = oy * g.out_w;
+            let mut ox = 0;
+            while ox + 4 <= g.out_w && 2 * ox + 8 <= g.in_w {
+                // SAFETY: 2*ox + 8 <= in_w keeps each deinterleaving
+                // 8-float load inside the plane row; row1 < in_h rows
+                // by geometry. `.0` holds even columns, `.1` odd.
+                let top = vld2q_f32(xp.add(row0 + 2 * ox));
+                let bot = vld2q_f32(xp.add(row1 + 2 * ox));
+                let cands = [
+                    (top.0, row0 + 2 * ox),
+                    (top.1, row0 + 2 * ox + 1),
+                    (bot.0, row1 + 2 * ox),
+                    (bot.1, row1 + 2 * ox + 1),
+                ];
+                let mut best = neg_inf;
+                let mut bidx = vdupq_n_s32(0);
+                for (v, base) in cands {
+                    // Same order and predicate as the scalar
+                    // `if x > best` (vcgtq is false for NaN, like `>`).
+                    let vidx = vaddq_s32(vdupq_n_s32(base as i32), iota);
+                    let m = vcgtq_f32(v, best);
+                    best = vbslq_f32(m, v, best);
+                    bidx = vbslq_s32(m, vidx, bidx);
+                }
+                vst1q_f32(out.as_mut_ptr().add(orow + ox), best);
+                let mut idx_lanes = [0i32; 4];
+                vst1q_s32(idx_lanes.as_mut_ptr(), bidx);
+                for (l, &il) in idx_lanes.iter().enumerate() {
+                    *arg.get_unchecked_mut(orow + ox + l) = il as usize;
+                }
+                ox += 4;
+            }
+            // Ragged output columns: the identical scalar chain.
+            while ox < g.out_w {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for (row, base) in [(row0, 2 * ox), (row1, 2 * ox)] {
+                    for dx in 0..2 {
+                        let idx = row + base + dx;
+                        if x[idx] > best {
+                            best = x[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out[orow + ox] = best;
+                arg[orow + ox] = best_idx;
+                ox += 1;
+            }
+        }
+    }
+}
+
 /// Batched max-pool forward over `planes = batch * channels`
 /// independent planes of `x`, writing window maxima to `out` and the
 /// absolute input index of each maximum to `argmax`.
@@ -207,6 +289,29 @@ impl SimdOp for MaxPool2d<'_> {
                 // SAFETY: AVX2 verified by the dispatcher; geometry and
                 // index range checked above.
                 unsafe { pool_plane_avx2_w2s2(x, plane, g, out, arg) }
+            });
+        } else {
+            self.for_planes(pool_plane_scalar);
+        }
+    }
+
+    // No `avx512` override: load-bound op, the inherited AVX2 body
+    // already saturates the load ports.
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) {
+        let g = self.g;
+        // Index lanes are i32: bail to scalar if the input can outgrow
+        // them (no real workload here comes close).
+        let fast = g.window == 2
+            && g.stride == 2
+            && g.in_w >= 8
+            && self.x.len() <= i32::MAX as usize;
+        if fast {
+            self.for_planes(|x, plane, g, out, arg| {
+                // SAFETY: NEON verified by the dispatcher; geometry and
+                // index range checked above.
+                unsafe { pool_plane_neon_w2s2(x, plane, g, out, arg) }
             });
         } else {
             self.for_planes(pool_plane_scalar);

@@ -1,5 +1,6 @@
 //! The SIMD dispatch layer: every non-GEMM hot op as a [`SimdOp`]
-//! with a scalar oracle body and a runtime-detected AVX2 body.
+//! with a scalar oracle body and runtime-detected vector bodies
+//! (AVX2 and AVX-512 on x86-64, NEON on aarch64).
 //!
 //! # Equivalence policy
 //!
@@ -24,13 +25,16 @@
 //!
 //! # Selection
 //!
-//! [`SimdIsa::select`] resolves the ISA once per process: AVX2+FMA
-//! when the host has it, scalar otherwise, and `INSITU_SIMD=scalar`
-//! forces the portable path everywhere (the GEMM micro-kernels obey
-//! the same knob; their legacy `INSITU_GEMM_KERNEL` override still
-//! works on top). Each dispatch runs under a `tensor.simd.*`
-//! telemetry span labeled with the ISA, and feeds the
-//! `tensor.simd.bytes` counter.
+//! [`Isa::select`] resolves the ISA once per process: the widest the
+//! host supports (AVX-512 > AVX2 > scalar on x86-64, NEON > scalar on
+//! aarch64), and `INSITU_SIMD=scalar|avx2|avx512|neon` pins it
+//! explicitly — an unrecognized or host-unsupported value is a
+//! startup error, never a silent fallback (the GEMM micro-kernels
+//! obey the same knob; their legacy `INSITU_GEMM_KERNEL` override
+//! still works on top, with the same validation). Each dispatch runs
+//! under a `tensor.simd.*` telemetry span labeled with the ISA, and
+//! feeds the `tensor.simd.bytes` counter. DESIGN.md §12 has the
+//! op-by-op ISA support matrix.
 
 mod dispatch;
 mod elementwise;
@@ -39,7 +43,8 @@ mod quantize;
 mod reduce;
 mod softmax;
 
-pub use dispatch::{dispatch, dispatch_on, simd_isa_name, SimdIsa, SimdOp};
+pub use dispatch::{dispatch, dispatch_on, simd_isa_name, Isa, SimdOp, ISA_NAMES};
+pub(crate) use dispatch::parse_isa_request;
 pub use elementwise::{Affine, Clamp, Relu, ReluBackward, ReluTrain};
 pub use maxpool::MaxPool2d;
 pub use quantize::QuantizeI8;

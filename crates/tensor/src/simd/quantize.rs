@@ -1,7 +1,8 @@
 //! Fixed-point quantization: `f32 -> i8` with magic-constant rounding.
 //!
-//! The AVX2 body is **bitwise exact** against the scalar oracle for
-//! every input, NaN and infinities included. The subtle parts:
+//! Every vector body (AVX2, AVX-512, NEON) is **bitwise exact**
+//! against the scalar oracle for every input, NaN and infinities
+//! included. The subtle parts:
 //!
 //! * the scalar `clamp` is replicated with compare+blend (not
 //!   `min`/`max` ps, whose NaN operand rules differ): NaN stays NaN
@@ -69,6 +70,76 @@ unsafe fn quantize_avx2_range(src: &[f32], inv: f32, dst: &mut [i8]) {
     quantize_scalar_range(&src[i..], inv, &mut dst[i..]);
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn quantize_avx512_range(src: &[f32], inv: f32, dst: &mut [i8]) {
+    use std::arch::x86_64::*;
+    let vinv = _mm512_set1_ps(inv);
+    let lo = _mm512_set1_ps(-QUANT_MAX);
+    let hi = _mm512_set1_ps(QUANT_MAX);
+    let magic = _mm512_set1_ps(MAGIC);
+    let n = src.len();
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n bounds the 16-lane load and 16-byte store.
+        let v = _mm512_mul_ps(_mm512_loadu_ps(sp.add(i)), vinv);
+        // f32::clamp replica: masked moves on ordered compares, so NaN
+        // lanes fail both compares and pass through untouched.
+        let v = _mm512_mask_mov_ps(v, _mm512_cmp_ps_mask::<_CMP_LT_OQ>(v, lo), lo);
+        let v = _mm512_mask_mov_ps(v, _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, hi), hi);
+        let v = _mm512_sub_ps(_mm512_add_ps(v, magic), magic);
+        // Zero NaN lanes: scalar `NaN as i8` is 0, while cvtps would
+        // give i32::MIN and saturate to -128.
+        let v = _mm512_maskz_mov_ps(_mm512_cmp_ps_mask::<_CMP_ORD_Q>(v, v), v);
+        let q = _mm512_cvtps_epi32(v);
+        // Saturating 16×i32 -> 16×i8 narrow in one instruction; values
+        // are already in [-127, 127] so it never clips.
+        _mm_storeu_si128(dp.add(i).cast(), _mm512_cvtsepi32_epi8(q));
+        i += 16;
+    }
+    quantize_scalar_range(&src[i..], inv, &mut dst[i..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn quantize_neon_range(src: &[f32], inv: f32, dst: &mut [i8]) {
+    use std::arch::aarch64::*;
+    let vinv = vdupq_n_f32(inv);
+    let lo = vdupq_n_f32(-QUANT_MAX);
+    let hi = vdupq_n_f32(QUANT_MAX);
+    let magic = vdupq_n_f32(MAGIC);
+    let n = src.len();
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let mut q = [vdupq_n_s32(0); 2];
+        for (u, qu) in q.iter_mut().enumerate() {
+            // SAFETY: i + 8 <= n bounds both 4-lane loads.
+            let v = vmulq_f32(vld1q_f32(sp.add(i + 4 * u)), vinv);
+            // f32::clamp replica: bit-select on ordered compares, so
+            // NaN lanes fail both compares and pass through untouched.
+            let v = vbslq_f32(vcltq_f32(v, lo), lo, v);
+            let v = vbslq_f32(vcgtq_f32(v, hi), hi, v);
+            let v = vsubq_f32(vaddq_f32(v, magic), magic);
+            // Zero NaN lanes (vceqq is false for NaN): scalar
+            // `NaN as i8` is 0.
+            let v =
+                vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(v), vceqq_f32(v, v)));
+            // Truncating convert — exact, the value is already integral
+            // after the magic round.
+            *qu = vcvtq_s32_f32(v);
+        }
+        // 2×4 i32 -> 8 i8 via saturating narrows; never clips in ±127.
+        let h = vcombine_s16(vqmovn_s32(q[0]), vqmovn_s32(q[1]));
+        vst1_s8(dp.add(i), vqmovn_s16(h));
+        i += 8;
+    }
+    quantize_scalar_range(&src[i..], inv, &mut dst[i..]);
+}
+
 /// Quantize `src` to `dst[i] = round(src[i] * inv_scale)` clamped to
 /// ±127, with NaN mapping to 0.
 pub struct QuantizeI8<'a> {
@@ -113,6 +184,40 @@ impl SimdOp for QuantizeI8<'_> {
             // SAFETY: disjoint sub-ranges; AVX2 verified by the caller.
             unsafe {
                 quantize_avx2_range(
+                    std::slice::from_raw_parts(sp.get().add(r.start), r.len()),
+                    inv,
+                    std::slice::from_raw_parts_mut(dp.get().add(r.start), r.len()),
+                );
+            }
+        });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx512(self) {
+        assert_eq!(self.src.len(), self.dst.len());
+        let inv = self.inv_scale;
+        let (sp, dp) = (SendPtr(self.src.as_ptr().cast_mut()), SendPtr(self.dst.as_mut_ptr()));
+        par_groups(self.src.len(), self.src.len() as u64 * 4, move |r| {
+            // SAFETY: disjoint sub-ranges; AVX-512 verified by the caller.
+            unsafe {
+                quantize_avx512_range(
+                    std::slice::from_raw_parts(sp.get().add(r.start), r.len()),
+                    inv,
+                    std::slice::from_raw_parts_mut(dp.get().add(r.start), r.len()),
+                );
+            }
+        });
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) {
+        assert_eq!(self.src.len(), self.dst.len());
+        let inv = self.inv_scale;
+        let (sp, dp) = (SendPtr(self.src.as_ptr().cast_mut()), SendPtr(self.dst.as_mut_ptr()));
+        par_groups(self.src.len(), self.src.len() as u64 * 4, move |r| {
+            // SAFETY: disjoint sub-ranges; NEON verified by the caller.
+            unsafe {
+                quantize_neon_range(
                     std::slice::from_raw_parts(sp.get().add(r.start), r.len()),
                     inv,
                     std::slice::from_raw_parts_mut(dp.get().add(r.start), r.len()),

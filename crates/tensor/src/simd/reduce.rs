@@ -3,12 +3,18 @@
 //! metrics).
 //!
 //! Max-style reductions are order-independent over their filtered
-//! inputs, so the vector bodies are bitwise exact. The sum is made
-//! exact a different way: *both* bodies accumulate into the same 8-lane
-//! virtual accumulator (lane `i % 8`) folded in a fixed order at the
-//! end, so the scalar oracle and the AVX2 body perform the identical
-//! sequence of additions per lane. Reductions here run over small
-//! buffers (scores, calibration scans), so they stay sequential.
+//! inputs, so the vector bodies (AVX2, AVX-512, NEON) are bitwise
+//! exact. The sum is made exact a different way: *every* body
+//! accumulates into the same 8-lane virtual accumulator (lane `i % 8`)
+//! folded in a fixed order at the end, so the scalar oracle and the
+//! vector bodies perform the identical sequence of additions per lane.
+//! Because the 8-lane chain is part of the contract, [`Sum8`] has no
+//! AVX-512 override — a 16-lane accumulator would change lane
+//! assignment — and inherits the AVX2 body through the trait default;
+//! the NEON body splits the virtual accumulator across two `float32x4`
+//! registers to keep the same per-lane chains. Reductions here run
+//! over small buffers (scores, calibration scans), so they stay
+//! sequential.
 
 use super::dispatch::SimdOp;
 
@@ -60,6 +66,57 @@ impl SimdOp for MaxAbs<'_> {
         let mut best = lanes.iter().copied().fold(0.0, f32::max);
         best = best.max(max_abs_scalar(&self.src[i..]));
         best
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx512(self) -> f32 {
+        use std::arch::x86_64::*;
+        let inf = _mm512_set1_ps(f32::INFINITY);
+        let mut acc = _mm512_setzero_ps();
+        let n = self.src.len();
+        let p = self.src.as_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: i + 16 <= n bounds the load.
+            let a = _mm512_abs_ps(_mm512_loadu_ps(p.add(i)));
+            // Non-finite lanes (|x| not < inf, including NaN) drop to
+            // 0, the fold's identity — same as scalar's filter.
+            let finite = _mm512_cmp_ps_mask::<_CMP_LT_OQ>(a, inf);
+            acc = _mm512_max_ps(acc, _mm512_maskz_mov_ps(finite, a));
+            i += 16;
+        }
+        let mut lanes = [0.0f32; 16];
+        _mm512_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut best = lanes.iter().copied().fold(0.0, f32::max);
+        best = best.max(max_abs_scalar(&self.src[i..]));
+        best
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) -> f32 {
+        use std::arch::aarch64::*;
+        // SAFETY: caller verified NEON; loads below stay in bounds.
+        unsafe {
+            let inf = vdupq_n_f32(f32::INFINITY);
+            let mut acc = vdupq_n_f32(0.0);
+            let n = self.src.len();
+            let p = self.src.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let a = vabsq_f32(vld1q_f32(p.add(i)));
+                // Non-finite lanes drop to 0 — same as scalar's filter.
+                let finite = vcltq_f32(a, inf);
+                acc = vmaxq_f32(acc, vreinterpretq_f32_u32(vandq_u32(
+                    vreinterpretq_u32_f32(a),
+                    finite,
+                )));
+                i += 4;
+            }
+            // No NaN survives the mask, so the horizontal max is exact.
+            let mut best = vmaxvq_f32(acc);
+            best = best.max(max_abs_scalar(&self.src[i..]));
+            best
+        }
     }
 }
 
@@ -113,6 +170,59 @@ impl SimdOp for MaxAbsDiff<'_> {
         let mut best = lanes.iter().copied().fold(0.0, f32::max);
         best = best.max(max_abs_diff_scalar(&self.a[i..], &self.b[i..]));
         best
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx512(self) -> f32 {
+        use std::arch::x86_64::*;
+        assert_eq!(self.a.len(), self.b.len());
+        let mut acc = _mm512_setzero_ps();
+        let n = self.a.len();
+        let (pa, pb) = (self.a.as_ptr(), self.b.as_ptr());
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: i + 16 <= n bounds both loads.
+            let d = _mm512_sub_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)));
+            let ad = _mm512_abs_ps(d);
+            // NaN lanes drop to 0 — scalar's fold ignores them too
+            // (f32::max returns the non-NaN operand).
+            let ord = _mm512_cmp_ps_mask::<_CMP_ORD_Q>(ad, ad);
+            acc = _mm512_max_ps(acc, _mm512_maskz_mov_ps(ord, ad));
+            i += 16;
+        }
+        let mut lanes = [0.0f32; 16];
+        _mm512_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut best = lanes.iter().copied().fold(0.0, f32::max);
+        best = best.max(max_abs_diff_scalar(&self.a[i..], &self.b[i..]));
+        best
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) -> f32 {
+        use std::arch::aarch64::*;
+        assert_eq!(self.a.len(), self.b.len());
+        // SAFETY: caller verified NEON; loads below stay in bounds.
+        unsafe {
+            let mut acc = vdupq_n_f32(0.0);
+            let n = self.a.len();
+            let (pa, pb) = (self.a.as_ptr(), self.b.as_ptr());
+            let mut i = 0;
+            while i + 4 <= n {
+                let d = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+                let ad = vabsq_f32(d);
+                // NaN lanes drop to 0 (vceqq is false for NaN), matching
+                // the scalar fold that ignores them.
+                let ord = vceqq_f32(ad, ad);
+                acc = vmaxq_f32(acc, vreinterpretq_f32_u32(vandq_u32(
+                    vreinterpretq_u32_f32(ad),
+                    ord,
+                )));
+                i += 4;
+            }
+            let mut best = vmaxvq_f32(acc);
+            best = best.max(max_abs_diff_scalar(&self.a[i..], &self.b[i..]));
+            best
+        }
     }
 }
 
@@ -172,6 +282,37 @@ impl SimdOp for Sum8<'_> {
         _mm256_storeu_ps(acc.as_mut_ptr(), vacc);
         sum8_lanes_scalar(&self.src[i..], &mut acc);
         fold_lanes(acc)
+    }
+
+    // No `avx512` override: the 8-lane virtual accumulator is part of
+    // the op's contract (a 16-lane accumulator would change which
+    // elements share an addition chain), so AVX-512 inherits the AVX2
+    // body through the trait default.
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) -> f32 {
+        use std::arch::aarch64::*;
+        // SAFETY: caller verified NEON; loads below stay in bounds.
+        unsafe {
+            // The 8-lane virtual accumulator split across two q
+            // registers: a0 holds lanes 0-3, a1 lanes 4-7 — the exact
+            // per-lane addition chains of the scalar body.
+            let mut a0 = vdupq_n_f32(0.0);
+            let mut a1 = vdupq_n_f32(0.0);
+            let n = self.src.len();
+            let p = self.src.as_ptr();
+            let mut i = 0;
+            while i + 8 <= n {
+                a0 = vaddq_f32(a0, vld1q_f32(p.add(i)));
+                a1 = vaddq_f32(a1, vld1q_f32(p.add(i + 4)));
+                i += 8;
+            }
+            let mut acc = [0.0f32; 8];
+            vst1q_f32(acc.as_mut_ptr(), a0);
+            vst1q_f32(acc.as_mut_ptr().add(4), a1);
+            sum8_lanes_scalar(&self.src[i..], &mut acc);
+            fold_lanes(acc)
+        }
     }
 }
 
@@ -233,5 +374,65 @@ impl SimdOp for MinMax<'_> {
         let lo = lo_lanes.into_iter().fold(f32::INFINITY, f32::min);
         let hi = hi_lanes.into_iter().fold(f32::NEG_INFINITY, f32::max);
         min_max_scalar(&self.src[i..], lo, hi)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn avx512(self) -> (f32, f32) {
+        use std::arch::x86_64::*;
+        let pinf = _mm512_set1_ps(f32::INFINITY);
+        let ninf = _mm512_set1_ps(f32::NEG_INFINITY);
+        let mut vlo = pinf;
+        let mut vhi = ninf;
+        let n = self.src.len();
+        let p = self.src.as_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: i + 16 <= n bounds the load. NaN lanes are
+            // replaced with the fold identity so min/max ps never see
+            // an unordered operand — matching scalar f32::min/max,
+            // which skip NaN.
+            let v = _mm512_loadu_ps(p.add(i));
+            let ord = _mm512_cmp_ps_mask::<_CMP_ORD_Q>(v, v);
+            vlo = _mm512_min_ps(vlo, _mm512_mask_mov_ps(pinf, ord, v));
+            vhi = _mm512_max_ps(vhi, _mm512_mask_mov_ps(ninf, ord, v));
+            i += 16;
+        }
+        let mut lo_lanes = [0.0f32; 16];
+        let mut hi_lanes = [0.0f32; 16];
+        _mm512_storeu_ps(lo_lanes.as_mut_ptr(), vlo);
+        _mm512_storeu_ps(hi_lanes.as_mut_ptr(), vhi);
+        let lo = lo_lanes.into_iter().fold(f32::INFINITY, f32::min);
+        let hi = hi_lanes.into_iter().fold(f32::NEG_INFINITY, f32::max);
+        min_max_scalar(&self.src[i..], lo, hi)
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn neon(self) -> (f32, f32) {
+        use std::arch::aarch64::*;
+        // SAFETY: caller verified NEON; loads below stay in bounds.
+        unsafe {
+            let pinf = vdupq_n_f32(f32::INFINITY);
+            let ninf = vdupq_n_f32(f32::NEG_INFINITY);
+            let mut vlo = pinf;
+            let mut vhi = ninf;
+            let n = self.src.len();
+            let p = self.src.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                // NaN lanes swap to the fold identity (vceqq is false
+                // for NaN) so vminq/vmaxq never see an unordered
+                // operand — matching scalar f32::min/max.
+                let v = vld1q_f32(p.add(i));
+                let ord = vceqq_f32(v, v);
+                vlo = vminq_f32(vlo, vbslq_f32(ord, v, pinf));
+                vhi = vmaxq_f32(vhi, vbslq_f32(ord, v, ninf));
+                i += 4;
+            }
+            // The accumulators are NaN-free, so the horizontal folds
+            // are exact.
+            let lo = vminvq_f32(vlo);
+            let hi = vmaxvq_f32(vhi);
+            min_max_scalar(&self.src[i..], lo, hi)
+        }
     }
 }

@@ -14,8 +14,9 @@
 //! call ([`GemmScratch::reallocations`] goes flat).
 
 use insitu_tensor::{
-    matmul, matmul_naive, matmul_nt, matmul_nt_ws, matmul_tn, matmul_tn_ws, matmul_ws,
-    num_threads, set_num_threads, GemmScratch, Rng, Tensor,
+    gemm_kernels_supported, matmul, matmul_naive, matmul_nt, matmul_nt_ws, matmul_tn,
+    matmul_tn_ws, matmul_with_kernel, matmul_ws, num_threads, set_num_threads, GemmScratch, Rng,
+    Tensor,
 };
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -78,6 +79,59 @@ fn ragged_ladder_matches_naive_bitwise_at_all_thread_counts() {
             }
         }
     }
+}
+
+/// Every GEMM kernel variant that could exist on any target; entries
+/// absent from [`gemm_kernels_supported`] are skipped with a note so
+/// CI logs show the coverage this host actually provided.
+const KERNEL_UNIVERSE: &[&str] = &["scalar_8x4", "avx2_8x8", "avx512_8x16", "neon_8x8"];
+
+/// The ragged ladder through **every** detected kernel — not just the
+/// env-selected one — via [`matmul_with_kernel`], at 1/2/4 threads:
+/// each kernel's tile shape must preserve the oracle's per-element
+/// accumulation chain bitwise.
+#[test]
+fn ragged_ladder_all_detected_kernels_bitwise() {
+    let supported = gemm_kernels_supported();
+    for name in KERNEL_UNIVERSE {
+        if !supported.contains(name) {
+            eprintln!("skipped: GEMM kernel `{name}` not detected on this host");
+        }
+    }
+    let mut rng = Rng::seed_from(606);
+    for &m in RAGGED {
+        for &k in RAGGED {
+            for &n in RAGGED {
+                let a = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+                let b = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+                let oracle = bits(&matmul_naive(&a, &b).unwrap());
+                for kernel in &supported {
+                    for threads in [1usize, 2, 4] {
+                        let got =
+                            with_threads(threads, || matmul_with_kernel(&a, &b, kernel).unwrap());
+                        assert_eq!(
+                            bits(&got),
+                            oracle,
+                            "kernel {kernel} {m}x{k}x{n} @ t{threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unknown kernel names must be a hard error naming the supported set,
+/// not a silent fallback.
+#[test]
+fn unknown_kernel_name_is_an_error() {
+    let mut rng = Rng::seed_from(707);
+    let a = Tensor::rand_uniform([4, 4], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([4, 4], -1.0, 1.0, &mut rng);
+    let err = matmul_with_kernel(&a, &b, "avx1024_64x64").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("avx1024_64x64"), "error must name the request: {msg}");
+    assert!(msg.contains("scalar_8x4"), "error must list supported kernels: {msg}");
 }
 
 /// One warm scratch serves an arbitrary mix of shapes and variants; its
@@ -149,6 +203,11 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let got = with_threads(threads, || matmul(&a, &b).unwrap());
             prop_assert_eq!(bits(&got), oracle.clone());
+        }
+        // And through every detected kernel, not just the selected one.
+        for kernel in gemm_kernels_supported() {
+            let got = matmul_with_kernel(&a, &b, kernel).unwrap();
+            prop_assert!(bits(&got) == oracle, "kernel {}", kernel);
         }
     }
 }

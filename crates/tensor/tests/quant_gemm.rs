@@ -13,8 +13,9 @@
 //! scheme: symmetric scale `max_abs/127`, error at most half a step.
 
 use insitu_tensor::{
-    dequantize_i8, matmul_i8, matmul_i8_naive, matmul_i8_ws, max_abs, num_threads, quant_scale,
-    quantize_i8, set_num_threads, GemmScratch, Rng, QUANT_MAX,
+    dequantize_i8, gemm_kernels_supported, matmul_i8, matmul_i8_naive, matmul_i8_with_kernel,
+    matmul_i8_ws, max_abs, num_threads, quant_scale, quantize_i8, set_num_threads, GemmScratch,
+    Rng, QUANT_MAX,
 };
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -61,6 +62,51 @@ fn ragged_ladder_matches_naive_exactly_at_all_thread_counts() {
             }
         }
     }
+}
+
+/// Every GEMM kernel variant that could exist on any target; entries
+/// absent from [`gemm_kernels_supported`] are skipped with a note.
+const KERNEL_UNIVERSE: &[&str] = &["scalar_8x4", "avx2_8x8", "avx512_8x16", "neon_8x8"];
+
+/// The ragged ladder through **every** detected kernel via
+/// [`matmul_i8_with_kernel`], at 1/2/4 threads: i32 accumulation is
+/// exact, so each kernel's `madd` pairing and tile width must never
+/// change an accumulator.
+#[test]
+fn ragged_ladder_all_detected_kernels_exact() {
+    let supported = gemm_kernels_supported();
+    for name in KERNEL_UNIVERSE {
+        if !supported.contains(name) {
+            eprintln!("skipped: GEMM kernel `{name}` not detected on this host");
+        }
+    }
+    let mut rng = Rng::seed_from(808);
+    for &m in RAGGED {
+        for &k in RAGGED {
+            for &n in RAGGED {
+                let a = rand_i8(m * k, &mut rng);
+                let b = rand_i8(k * n, &mut rng);
+                let oracle = matmul_i8_naive(&a, &b, m, k, n);
+                for kernel in &supported {
+                    for threads in [1usize, 2, 4] {
+                        let got = with_threads(threads, || {
+                            matmul_i8_with_kernel(&a, &b, m, k, n, kernel).unwrap()
+                        });
+                        assert_eq!(got, oracle, "kernel {kernel} {m}x{k}x{n} @ t{threads}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unknown kernel names must be a hard error naming the supported set.
+#[test]
+fn unknown_i8_kernel_name_is_an_error() {
+    let err = matmul_i8_with_kernel(&[1i8], &[1i8], 1, 1, 1, "mmx_2x2").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("mmx_2x2"), "error must name the request: {msg}");
+    assert!(msg.contains("scalar_8x4"), "error must list supported kernels: {msg}");
 }
 
 /// One warm scratch serves the whole ladder; growth goes flat after
@@ -150,6 +196,11 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let got = with_threads(threads, || matmul_i8(&a, &b, m, k, n).unwrap());
             prop_assert_eq!(&got, &oracle);
+        }
+        // And through every detected kernel, not just the selected one.
+        for kernel in gemm_kernels_supported() {
+            let got = matmul_i8_with_kernel(&a, &b, m, k, n, kernel).unwrap();
+            prop_assert!(got == oracle, "kernel {}", kernel);
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The scalar body of each [`SimdOp`] is the reference semantics;
 //! these properties hold every other runnable body
-//! ([`SimdIsa::supported`]) to it **bitwise** (compared via `to_bits`)
+//! ([`Isa::supported`]) to it **bitwise** (compared via `to_bits`)
 //! across ragged shapes and 1/2/4 threads, per the policy in
 //! `insitu_tensor::simd`: relu forward / train / backward, clamp,
 //! affine, quantize_i8, max_abs, max_abs_diff, sum8, softmax, and
@@ -10,13 +10,18 @@
 //! against a plain libm reference within 1e-6 absolute, pinning the
 //! documented accuracy of its polynomial `exp`.
 //!
-//! CI runs this suite twice: once with auto detection and once with
-//! `INSITU_SIMD=scalar`, which `dispatch_env_override_is_honored`
-//! checks is actually in force.
+//! Beyond scalar↔vector, `cross_isa_all_pairs_bitwise` holds every
+//! *pair* of host-supported ISAs to each other at 1/2/4 threads, and
+//! prints a `skipped:` note for universe ISAs the host cannot run.
+//!
+//! CI runs this suite several times: with auto detection, with
+//! `INSITU_SIMD=scalar` (which `dispatch_env_override_is_honored`
+//! checks is actually in force), and — where the host supports it —
+//! with `INSITU_SIMD=avx512`.
 
 use insitu_tensor::simd::{
-    dispatch_on, simd_isa_name, Affine, Clamp, MaxAbs, MaxAbsDiff, MaxPool2d, MinMax, QuantizeI8,
-    Relu, ReluBackward, ReluTrain, SimdIsa, SoftmaxRows, Sum8,
+    dispatch_on, simd_isa_name, Affine, Clamp, Isa, MaxAbs, MaxAbsDiff, MaxPool2d, MinMax,
+    QuantizeI8, Relu, ReluBackward, ReluTrain, SoftmaxRows, Sum8, ISA_NAMES,
 };
 use insitu_tensor::{maxpool2d_forward, num_threads, set_num_threads, PoolGeometry, Rng, Tensor};
 use proptest::prelude::*;
@@ -62,8 +67,8 @@ proptest! {
     fn relu_eval_bitwise(n in 0usize..300, seed in 0u64..1000) {
         let src = values(n, seed);
         let mut oracle = src.clone();
-        dispatch_on(SimdIsa::Scalar, Relu { buf: &mut oracle });
-        for isa in SimdIsa::supported() {
+        dispatch_on(Isa::Scalar, Relu { buf: &mut oracle });
+        for isa in Isa::supported() {
             let mut got = src.clone();
             dispatch_on(isa, Relu { buf: &mut got });
             assert_bits_eq(&got, &oracle, isa.name());
@@ -77,10 +82,10 @@ proptest! {
         let (src, grad) = (&src[..], &grad[..]);
         let mut obuf = src.to_vec();
         let mut omask = vec![0u8; n.div_ceil(8)];
-        dispatch_on(SimdIsa::Scalar, ReluTrain { buf: &mut obuf, mask: &mut omask });
+        dispatch_on(Isa::Scalar, ReluTrain { buf: &mut obuf, mask: &mut omask });
         let mut ograd = grad.to_vec();
-        dispatch_on(SimdIsa::Scalar, ReluBackward { grad: &mut ograd, mask: &omask });
-        for isa in SimdIsa::supported() {
+        dispatch_on(Isa::Scalar, ReluBackward { grad: &mut ograd, mask: &omask });
+        for isa in Isa::supported() {
             let mut buf = src.to_vec();
             let mut mask = vec![0u8; n.div_ceil(8)];
             dispatch_on(isa, ReluTrain { buf: &mut buf, mask: &mut mask });
@@ -101,9 +106,9 @@ proptest! {
     ) {
         let src = values(n, seed);
         let mut oracle = src.clone();
-        dispatch_on(SimdIsa::Scalar, Affine { buf: &mut oracle, gain, bias });
-        dispatch_on(SimdIsa::Scalar, Clamp { buf: &mut oracle, lo: 0.0, hi: 1.0 });
-        for isa in SimdIsa::supported() {
+        dispatch_on(Isa::Scalar, Affine { buf: &mut oracle, gain, bias });
+        dispatch_on(Isa::Scalar, Clamp { buf: &mut oracle, lo: 0.0, hi: 1.0 });
+        for isa in Isa::supported() {
             let mut got = src.clone();
             dispatch_on(isa, Affine { buf: &mut got, gain, bias });
             dispatch_on(isa, Clamp { buf: &mut got, lo: 0.0, hi: 1.0 });
@@ -120,10 +125,10 @@ proptest! {
         let src = values(n, seed);
         let mut oracle = vec![0i8; src.len()];
         dispatch_on(
-            SimdIsa::Scalar,
+            Isa::Scalar,
             QuantizeI8 { src: &src, inv_scale: 1.0 / scale, dst: &mut oracle },
         );
-        for isa in SimdIsa::supported() {
+        for isa in Isa::supported() {
             let mut got = vec![0i8; src.len()];
             dispatch_on(isa, QuantizeI8 { src: &src, inv_scale: 1.0 / scale, dst: &mut got });
             prop_assert!(got == oracle, "quantize_i8 @ {}", isa.name());
@@ -135,11 +140,11 @@ proptest! {
         let a = values(n, seed);
         let b = values(n, seed.wrapping_add(7919));
         let (a, b) = (&a[..], &b[..]);
-        let o_abs = dispatch_on(SimdIsa::Scalar, MaxAbs { src: a });
-        let o_diff = dispatch_on(SimdIsa::Scalar, MaxAbsDiff { a, b });
-        let o_sum = dispatch_on(SimdIsa::Scalar, Sum8 { src: a });
-        let o_mm = dispatch_on(SimdIsa::Scalar, MinMax { src: a });
-        for isa in SimdIsa::supported() {
+        let o_abs = dispatch_on(Isa::Scalar, MaxAbs { src: a });
+        let o_diff = dispatch_on(Isa::Scalar, MaxAbsDiff { a, b });
+        let o_sum = dispatch_on(Isa::Scalar, Sum8 { src: a });
+        let o_mm = dispatch_on(Isa::Scalar, MinMax { src: a });
+        for isa in Isa::supported() {
             prop_assert_eq!(dispatch_on(isa, MaxAbs { src: a }).to_bits(), o_abs.to_bits());
             prop_assert_eq!(dispatch_on(isa, MaxAbsDiff { a, b }).to_bits(), o_diff.to_bits());
             prop_assert_eq!(dispatch_on(isa, Sum8 { src: a }).to_bits(), o_sum.to_bits());
@@ -157,8 +162,8 @@ proptest! {
         let mut rng = Rng::seed_from(seed);
         let src: Vec<f32> = (0..rows * k).map(|_| rng.uniform(-12.0, 12.0)).collect();
         let mut oracle = src.clone();
-        dispatch_on(SimdIsa::Scalar, SoftmaxRows { buf: &mut oracle, k });
-        for isa in SimdIsa::supported() {
+        dispatch_on(Isa::Scalar, SoftmaxRows { buf: &mut oracle, k });
+        for isa in Isa::supported() {
             let mut got = src.clone();
             dispatch_on(isa, SoftmaxRows { buf: &mut got, k });
             assert_bits_eq(&got, &oracle, isa.name());
@@ -198,10 +203,10 @@ proptest! {
         let mut o_out = vec![0f32; out_len];
         let mut o_arg = vec![0usize; out_len];
         dispatch_on(
-            SimdIsa::Scalar,
+            Isa::Scalar,
             MaxPool2d { x: &x, g, planes: b * c, out: &mut o_out, argmax: &mut o_arg },
         );
-        for isa in SimdIsa::supported() {
+        for isa in Isa::supported() {
             let mut out = vec![0f32; out_len];
             let mut arg = vec![0usize; out_len];
             dispatch_on(
@@ -228,7 +233,7 @@ fn thread_count_never_changes_bits() {
     let soft: Vec<f32> = (0..4096 * k).map(|_| rng.uniform(-12.0, 12.0)).collect();
     let kw = 24;
     let soft_w: Vec<f32> = (0..2048 * kw).map(|_| rng.uniform(-12.0, 12.0)).collect();
-    for isa in SimdIsa::supported() {
+    for isa in Isa::supported() {
         let run = |threads: usize| {
             with_threads(threads, || {
                 let mut relu = src.clone();
@@ -302,17 +307,17 @@ fn special_values_follow_the_oracle() {
     ];
     let mut o_relu = src.clone();
     let mut o_mask = vec![0u8; src.len().div_ceil(8)];
-    dispatch_on(SimdIsa::Scalar, ReluTrain { buf: &mut o_relu, mask: &mut o_mask });
+    dispatch_on(Isa::Scalar, ReluTrain { buf: &mut o_relu, mask: &mut o_mask });
     let mut o_clamp = src.clone();
-    dispatch_on(SimdIsa::Scalar, Clamp { buf: &mut o_clamp, lo: 0.0, hi: 1.0 });
+    dispatch_on(Isa::Scalar, Clamp { buf: &mut o_clamp, lo: 0.0, hi: 1.0 });
     let mut o_q = vec![0i8; src.len()];
-    dispatch_on(SimdIsa::Scalar, QuantizeI8 { src: &src, inv_scale: 2.0, dst: &mut o_q });
-    let o_abs = dispatch_on(SimdIsa::Scalar, MaxAbs { src: &src });
+    dispatch_on(Isa::Scalar, QuantizeI8 { src: &src, inv_scale: 2.0, dst: &mut o_q });
+    let o_abs = dispatch_on(Isa::Scalar, MaxAbs { src: &src });
     assert_eq!(o_q[0], 0, "NaN must quantize to 0");
     assert_eq!(o_q[1], 127, "inf must saturate to 127");
     assert_eq!(o_q[2], -127, "-inf must saturate to -127");
     assert!(o_abs.is_finite(), "max_abs must skip non-finite values");
-    for isa in SimdIsa::supported() {
+    for isa in Isa::supported() {
         let mut relu = src.clone();
         let mut mask = vec![0u8; src.len().div_ceil(8)];
         dispatch_on(isa, ReluTrain { buf: &mut relu, mask: &mut mask });
@@ -340,8 +345,103 @@ fn dispatch_env_override_is_honored() {
     let want = std::env::var("INSITU_SIMD").unwrap_or_default();
     if want.trim() == "scalar" {
         assert_eq!(simd_isa_name(), "scalar");
-        assert_eq!(SimdIsa::select(), SimdIsa::Scalar);
+        assert_eq!(Isa::select(), Isa::Scalar);
     } else {
-        assert!(SimdIsa::supported().contains(&SimdIsa::select()));
+        assert!(Isa::supported().contains(&Isa::select()));
+    }
+}
+
+/// Every output of one [`op_battery`] run, so ISAs can be compared
+/// pairwise field by field.
+struct Battery {
+    relu: Vec<f32>,
+    mask: Vec<u8>,
+    bwd: Vec<f32>,
+    quant: Vec<i8>,
+    softmax: Vec<f32>,
+    pool: Vec<f32>,
+    argmax: Vec<usize>,
+    reductions: [u32; 4],
+}
+
+/// One battery of every dispatched op on one ISA at one thread count.
+fn op_battery(isa: Isa, threads: usize) -> Battery {
+    // Sized past the parallel-split threshold so the thread count is
+    // exercised, with denormals / signed zeros from `values`.
+    let n: usize = 120_000;
+    let src = values(n, 0xC0FFEE);
+    let grad = values(n, 0xBEEF);
+    with_threads(threads, || {
+        let mut relu = src.clone();
+        let mut mask = vec![0u8; n.div_ceil(8)];
+        dispatch_on(isa, ReluTrain { buf: &mut relu, mask: &mut mask });
+        let mut g = grad.clone();
+        dispatch_on(isa, ReluBackward { grad: &mut g, mask: &mask });
+        dispatch_on(isa, Affine { buf: &mut g, gain: 1.25, bias: -0.5 });
+        dispatch_on(isa, Clamp { buf: &mut g, lo: -0.75, hi: 0.75 });
+        let mut q = vec![0i8; n];
+        dispatch_on(isa, QuantizeI8 { src: &src, inv_scale: 37.5, dst: &mut q });
+        let k = 10;
+        let mut sm = src[..4096 * k].to_vec();
+        dispatch_on(isa, SoftmaxRows { buf: &mut sm, k });
+        let pg = PoolGeometry::new(4, 50, 100, 2, 2).unwrap();
+        let planes = 6 * 4;
+        let mut pool = vec![0f32; planes * pg.out_h * pg.out_w];
+        let mut arg = vec![0usize; pool.len()];
+        dispatch_on(
+            isa,
+            MaxPool2d { x: &src[..planes * 50 * 100], g: pg, planes, out: &mut pool, argmax: &mut arg },
+        );
+        let reds = [
+            dispatch_on(isa, MaxAbs { src: &src }).to_bits(),
+            dispatch_on(isa, MaxAbsDiff { a: &src, b: &grad }).to_bits(),
+            dispatch_on(isa, Sum8 { src: &src }).to_bits(),
+            {
+                let (lo, hi) = dispatch_on(isa, MinMax { src: &src });
+                lo.to_bits() ^ hi.to_bits().rotate_left(16)
+            },
+        ];
+        Battery {
+            relu,
+            mask,
+            bwd: g,
+            quant: q,
+            softmax: sm,
+            pool,
+            argmax: arg,
+            reductions: reds,
+        }
+    })
+}
+
+/// Cross-ISA equivalence matrix: every host-supported ISA pair must
+/// agree **bitwise** on every dispatched op at 1, 2 and 4 threads.
+/// ISAs in the universe (`ISA_NAMES` minus `auto`) that this host
+/// cannot run are skipped with a visible note, so CI logs show
+/// exactly which cells of the matrix were exercised.
+#[test]
+fn cross_isa_all_pairs_bitwise() {
+    let supported = Isa::supported();
+    for name in ISA_NAMES.iter().filter(|&&n| n != "auto") {
+        if !supported.iter().any(|i| i.name() == *name) {
+            eprintln!("skipped: ISA `{name}` not supported on this host");
+        }
+    }
+    for threads in [1usize, 2, 4] {
+        let batteries: Vec<_> =
+            supported.iter().map(|&isa| (isa, op_battery(isa, threads))).collect();
+        for (ai, (isa_a, a)) in batteries.iter().enumerate() {
+            for (isa_b, b) in &batteries[ai + 1..] {
+                let pair = format!("{} vs {} @ t{threads}", isa_a.name(), isa_b.name());
+                assert_bits_eq(&a.relu, &b.relu, &format!("relu_train {pair}"));
+                assert_eq!(a.mask, b.mask, "mask {pair}");
+                assert_bits_eq(&a.bwd, &b.bwd, &format!("bwd/affine/clamp {pair}"));
+                assert_eq!(a.quant, b.quant, "quantize {pair}");
+                assert_bits_eq(&a.softmax, &b.softmax, &format!("softmax {pair}"));
+                assert_bits_eq(&a.pool, &b.pool, &format!("maxpool {pair}"));
+                assert_eq!(a.argmax, b.argmax, "argmax {pair}");
+                assert_eq!(a.reductions, b.reductions, "reductions {pair}");
+            }
+        }
     }
 }
